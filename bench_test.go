@@ -1,0 +1,329 @@
+package oovec
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper (Tables 1-3, Figures 3-9 and 11-13), each reporting its
+// headline quantity as a custom metric, plus ablation benchmarks for the
+// design decisions called out in DESIGN.md and raw simulator-throughput
+// benchmarks.
+//
+// Benchmarks run on reduced traces (benchInsns instructions per program) so
+// `go test -bench=.` completes quickly; `cmd/ovbench` regenerates the
+// full-scale tables.
+
+import (
+	"testing"
+
+	"oovec/internal/experiments"
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+	"oovec/internal/rob"
+	"oovec/internal/tgen"
+)
+
+// benchInsns is the per-program trace size used by the table/figure
+// benchmarks.
+const benchInsns = 8000
+
+func benchSuite() *Suite {
+	return NewSuite(SuiteOpts{Insns: benchInsns})
+}
+
+func BenchmarkTable1Latencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2OperationCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Table2(s)
+		var minVect float64 = 100
+		for _, row := range res.Rows {
+			if row.PctVect < minVect {
+				minVect = row.PctVect
+			}
+		}
+		b.ReportMetric(minVect, "min-%vect")
+	}
+}
+
+func BenchmarkTable3SpillCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Table3(s)
+		for _, row := range res.Rows {
+			if row.Name == "bdna" {
+				b.ReportMetric(row.SpillTrafficPct, "bdna-spill-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3StateBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSuite(SuiteOpts{Insns: benchInsns, Names: []string{"hydro2d", "dyfesm"}})
+		res := experiments.Fig3(s)
+		// Headline: fraction of fully-idle cycles at latency 100 (dyfesm).
+		bd := res.Breakdown["dyfesm"][100]
+		b.ReportMetric(100*float64(bd.Idle())/float64(bd.Total()), "dyfesm-idle-%")
+	}
+}
+
+func BenchmarkFig4PortIdle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig4(s)
+		var max float64
+		for _, name := range res.Names {
+			if v := res.IdlePct[name][70]; v > max {
+				max = v
+			}
+		}
+		b.ReportMetric(max, "max-idle-%-lat70")
+	}
+}
+
+func BenchmarkFig5Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig5(s)
+		lo, hi := 100.0, 0.0
+		for _, name := range res.Names {
+			v := res.Speedup16[name][16]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		b.ReportMetric(lo, "min-speedup-16regs")
+		b.ReportMetric(hi, "max-speedup-16regs")
+	}
+}
+
+func BenchmarkFig6PortIdleCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig6(s)
+		under20 := 0
+		for _, name := range res.Names {
+			if res.OOOIdle[name] < 20 {
+				under20++
+			}
+		}
+		// Paper: "for all but two of the benchmarks, the memory port is
+		// idle less than 20% of the time".
+		b.ReportMetric(float64(under20), "programs-under-20%-idle")
+	}
+}
+
+func BenchmarkFig7StateCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig7(s)
+		var worst float64
+		for _, name := range res.Names {
+			frac := 100 * float64(res.OOO[name].Idle()) / float64(res.OOO[name].Total())
+			if frac > worst {
+				worst = frac
+			}
+		}
+		b.ReportMetric(worst, "max-OOO-fullidle-%")
+	}
+}
+
+func BenchmarkFig8LatencyTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig8(s)
+		var worst float64
+		for _, name := range res.Names {
+			if d := res.Degradation(name); d > worst {
+				worst = d
+			}
+		}
+		b.ReportMetric(100*worst, "max-degr-%-lat1to100")
+	}
+}
+
+func BenchmarkFig9CommitModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig9(s)
+		b.ReportMetric(100*res.Degradation16("trfd"), "trfd-late-cost-%")
+		b.ReportMetric(100*res.Degradation16("swm256"), "swm256-late-cost-%")
+	}
+}
+
+func BenchmarkFig11SLE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig11(s)
+		b.ReportMetric(res.Speedup["trfd"][32], "trfd-SLE-speedup")
+	}
+}
+
+func BenchmarkFig12SLEVLE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig12(s)
+		var sum float64
+		for _, name := range res.Names {
+			sum += res.Speedup[name][32]
+		}
+		b.ReportMetric(sum/float64(len(res.Names)), "mean-SLE+VLE-speedup-32regs")
+	}
+}
+
+func BenchmarkFig13Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite()
+		res := experiments.Fig13(s)
+		var sum float64
+		for _, name := range res.Names {
+			sum += 100 * (1 - 1/res.SLEVLE[name])
+		}
+		b.ReportMetric(sum/float64(len(res.Names)), "mean-traffic-cut-%")
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// ablationTrace is a memory-intensive benchmark for the ablation studies.
+func ablationTrace() *Trace {
+	p, _ := tgen.PresetByName("bdna")
+	p.Insns = benchInsns
+	return tgen.Generate(p)
+}
+
+func BenchmarkAblationLoadChaining(b *testing.B) {
+	// trfd: its loop-carried recurrence has a load feeding a compute chain,
+	// so load→FU chaining shortens the one path out-of-order issue cannot
+	// hide. bdna-style independent codes see ~nothing — out-of-order issue
+	// subsumes load chaining there.
+	p, _ := tgen.PresetByName("trfd")
+	p.Insns = benchInsns
+	tr := tgen.Generate(p)
+	for i := 0; i < b.N; i++ {
+		base := ooosim.DefaultConfig()
+		chained := base
+		chained.ChainLoads = true
+		c0 := ooosim.Run(tr, base).Stats.Cycles
+		c1 := ooosim.Run(tr, chained).Stats.Cycles
+		// How much would chaining loads into FUs have bought on top of
+		// out-of-order issue? (The paper keeps loads unchained.)
+		b.ReportMetric(float64(c0)/float64(c1), "speedup-if-loads-chained")
+	}
+}
+
+func BenchmarkAblationStoreTags(b *testing.B) {
+	tr := ablationTrace()
+	for i := 0; i < b.N; i++ {
+		cfg := ooosim.DefaultConfig()
+		cfg.Commit = rob.PolicyLate
+		cfg.LoadElim = ooosim.ElimSLEVLE
+		with := ooosim.Run(tr, cfg).Stats
+		cfg.NoStoreTags = true
+		without := ooosim.Run(tr, cfg).Stats
+		b.ReportMetric(float64(with.EliminatedLoads), "elim-with-store-tags")
+		b.ReportMetric(float64(without.EliminatedLoads), "elim-without-store-tags")
+	}
+}
+
+func BenchmarkAblationInvalidation(b *testing.B) {
+	// Sum across programs with non-unit strides, where stores partially
+	// overlap tagged regions: the conservative policy (kill on any overlap)
+	// forgoes the eliminations the unsafe exact-match policy would keep.
+	var traces []*Trace
+	for _, name := range []string{"arc2d", "nasa7", "bdna"} {
+		p, _ := tgen.PresetByName(name)
+		p.Insns = benchInsns
+		traces = append(traces, tgen.Generate(p))
+	}
+	for i := 0; i < b.N; i++ {
+		var extra int64
+		for _, tr := range traces {
+			cfg := ooosim.DefaultConfig()
+			cfg.Commit = rob.PolicyLate
+			cfg.LoadElim = ooosim.ElimSLEVLE
+			conservative := ooosim.Run(tr, cfg).Stats
+			cfg.ExactInvalidation = true
+			unsafe := ooosim.Run(tr, cfg).Stats
+			extra += unsafe.EliminatedLoads - conservative.EliminatedLoads
+		}
+		// The (incorrect) extra eliminations exact-only invalidation keeps.
+		b.ReportMetric(float64(extra), "unsafe-extra-eliminations")
+	}
+}
+
+func BenchmarkAblationPorts(b *testing.B) {
+	// swm256: long vectors with deep cross-iteration overlap — the workload
+	// where renamed registers land on conflicting banks most often.
+	p, _ := tgen.PresetByName("swm256")
+	p.Insns = benchInsns
+	tr := tgen.Generate(p)
+	for i := 0; i < b.N; i++ {
+		flat := ooosim.DefaultConfig()
+		banked := flat
+		banked.BankedPorts = true
+		cf := ooosim.Run(tr, flat).Stats.Cycles
+		cb := ooosim.Run(tr, banked).Stats.Cycles
+		// §2.2: "The original banking scheme of the register file can not
+		// be kept because renaming shuffles all the compiler scheduled
+		// read/write ports". The slowdown quantifies it.
+		b.ReportMetric(float64(cb)/float64(cf), "banked-ports-slowdown")
+	}
+}
+
+// BenchmarkExtensionSpillStoreElision measures the paper's §6 future-work
+// idea ("relaxing compatibility could lead to removing some spill stores"):
+// dead-spill-store elision on the spill-heaviest benchmark.
+func BenchmarkExtensionSpillStoreElision(b *testing.B) {
+	tr := ablationTrace() // bdna: 69% spill traffic
+	for i := 0; i < b.N; i++ {
+		base := ooosim.DefaultConfig()
+		base.PhysVRegs = 32
+		baseRun := ooosim.Run(tr, base).Stats
+		cfg := base
+		cfg.ElideDeadSpillStores = true
+		run := ooosim.Run(tr, cfg).Stats
+		b.ReportMetric(float64(run.ElidedStores), "elided-stores")
+		b.ReportMetric(float64(baseRun.MemRequests)/float64(run.MemRequests), "traffic-reduction")
+	}
+}
+
+// ---------------------------------------------------------------- raw speed
+
+func BenchmarkSimulatorRefThroughput(b *testing.B) {
+	p, _ := tgen.PresetByName("hydro2d")
+	p.Insns = 20000
+	tr := tgen.Generate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refsim.Run(tr, refsim.DefaultConfig())
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
+}
+
+func BenchmarkSimulatorOOOThroughput(b *testing.B) {
+	p, _ := tgen.PresetByName("hydro2d")
+	p.Insns = 20000
+	tr := tgen.Generate(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ooosim.Run(tr, ooosim.DefaultConfig())
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	p, _ := tgen.PresetByName("swm256")
+	p.Insns = 20000
+	for i := 0; i < b.N; i++ {
+		tgen.Generate(p)
+	}
+}

@@ -1,0 +1,73 @@
+// Command ovbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ovbench                 # all experiments, full-size traces
+//	ovbench -exp fig5       # one experiment
+//	ovbench -insns 10000    # smaller traces (faster, noisier)
+//	ovbench -out results/   # also write one text file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"oovec"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (empty = all): "+strings.Join(oovec.Experiments(), ", "))
+		insns = flag.Int("insns", 0, "per-benchmark instruction budget override")
+		names = flag.String("bench", "", "comma-separated benchmark subset (empty = all ten)")
+		out   = flag.String("out", "", "directory to write per-experiment text files")
+		plot  = flag.Bool("plot", false, "render text charts instead of tables (figures only)")
+	)
+	flag.Parse()
+
+	opts := oovec.SuiteOpts{Insns: *insns}
+	if *names != "" {
+		opts.Names = strings.Split(*names, ",")
+	}
+	suite := oovec.NewSuite(opts)
+
+	list := oovec.Experiments()
+	if *exp != "" {
+		list = []string{*exp}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ovbench:", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range list {
+		start := time.Now()
+		var text string
+		var err error
+		if *plot {
+			text, err = oovec.PlotExperiment(suite, name)
+			if err != nil && *exp == "" {
+				continue // tables have no chart form; skip in -plot all mode
+			}
+		} else {
+			text, err = oovec.RunExperiment(suite, name)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ovbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), text)
+		if *out != "" {
+			path := filepath.Join(*out, name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ovbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

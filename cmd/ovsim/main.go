@@ -1,0 +1,132 @@
+// Command ovsim runs one benchmark on one machine configuration and prints
+// the measurements.
+//
+// Usage:
+//
+//	ovsim -bench swm256 -machine ooo -vregs 16 -latency 50
+//	ovsim -bench trfd -machine ooo -commit late -elim sle+vle
+//	ovsim -bench hydro2d -machine ref -latency 100
+//	ovsim -trace kernel.ovtr -machine ooo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oovec"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "swm256", "benchmark name (see ovtrace -list)")
+		traceF  = flag.String("trace", "", "run a serialised trace file instead of a benchmark")
+		machine = flag.String("machine", "ooo", "machine: ref | ooo")
+		vregs   = flag.Int("vregs", 16, "physical vector registers (OOOVA)")
+		queues  = flag.Int("queues", 16, "instruction queue slots (OOOVA)")
+		latency = flag.Int64("latency", 50, "main-memory latency in cycles")
+		commit  = flag.String("commit", "early", "commit policy: early | late (OOOVA)")
+		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
+		insns   = flag.Int("insns", 0, "override benchmark instruction budget")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*bench, *traceF, *insns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovsim:", err)
+		os.Exit(1)
+	}
+
+	switch *machine {
+	case "ref":
+		cfg := oovec.DefaultReferenceConfig()
+		cfg.MemLatency = *latency
+		st := oovec.RunReference(tr, cfg)
+		printStats(st)
+	case "ooo":
+		cfg := oovec.DefaultOOOVAConfig()
+		cfg.PhysVRegs = *vregs
+		cfg.QueueSlots = *queues
+		cfg.MemLatency = *latency
+		switch *commit {
+		case "early":
+			cfg.Commit = oovec.CommitEarly
+		case "late":
+			cfg.Commit = oovec.CommitLate
+		default:
+			fmt.Fprintf(os.Stderr, "ovsim: unknown commit policy %q\n", *commit)
+			os.Exit(1)
+		}
+		switch *elim {
+		case "none":
+			cfg.LoadElim = oovec.ElimNone
+		case "sle":
+			cfg.LoadElim = oovec.ElimSLE
+		case "sle+vle", "slevle":
+			cfg.LoadElim = oovec.ElimSLEVLE
+		default:
+			fmt.Fprintf(os.Stderr, "ovsim: unknown elimination mode %q\n", *elim)
+			os.Exit(1)
+		}
+		res := oovec.RunOOOVA(tr, cfg)
+		printStats(res.Stats)
+		// Compare against the reference at the same latency.
+		refCfg := oovec.DefaultReferenceConfig()
+		refCfg.MemLatency = *latency
+		ref := oovec.RunReference(tr, refCfg)
+		fmt.Printf("%-28s %.3f\n", "speedup over REF:", oovec.Speedup(ref, res.Stats))
+		fmt.Printf("%-28s %.3f\n", "IDEAL speedup bound:", oovec.IdealSpeedup(ref.Cycles, tr))
+	default:
+		fmt.Fprintf(os.Stderr, "ovsim: unknown machine %q (ref | ooo)\n", *machine)
+		os.Exit(1)
+	}
+}
+
+func loadTrace(bench, traceFile string, insns int) (*oovec.Trace, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return oovec.ReadTrace(f)
+	}
+	if insns > 0 {
+		p, ok := oovec.BenchmarkPresetByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		p.Insns = insns
+		return oovec.GeneratePreset(p), nil
+	}
+	return oovec.GenerateBenchmark(bench)
+}
+
+func printStats(st *oovec.RunStats) {
+	fmt.Printf("%-28s %s\n", "machine:", st.Machine)
+	fmt.Printf("%-28s %s\n", "program:", st.Program)
+	fmt.Printf("%-28s %d\n", "instructions:", st.Instructions)
+	fmt.Printf("%-28s %d\n", "cycles:", st.Cycles)
+	fmt.Printf("%-28s %d\n", "memory requests:", st.MemRequests)
+	fmt.Printf("%-28s %.1f%%\n", "memory port idle:", st.MemPortIdlePct())
+	fmt.Printf("%-28s %d\n", "port conflict cycles:", st.VRegPortConflictCycles)
+	if st.Mispredicts > 0 {
+		fmt.Printf("%-28s %d\n", "mispredictions:", st.Mispredicts)
+	}
+	if st.EliminatedLoads > 0 {
+		fmt.Printf("%-28s %d (%d requests)\n", "eliminated loads:",
+			st.EliminatedLoads, st.EliminatedRequests)
+	}
+	fmt.Println("state breakdown:")
+	for s := 0; s < len(st.States); s++ {
+		if st.States[s] == 0 {
+			continue
+		}
+		pct := 100 * float64(st.States[s]) / float64(st.Cycles)
+		fmt.Printf("  %-16s %10d  (%.1f%%)\n", stateName(s), st.States[s], pct)
+	}
+}
+
+func stateName(s int) string {
+	return oovec.StateBreakdownName(s)
+}

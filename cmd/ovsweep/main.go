@@ -1,0 +1,125 @@
+// Command ovsweep runs parameter grids over the simulators and writes the
+// raw measurements as CSV for downstream plotting.
+//
+// Usage:
+//
+//	ovsweep -bench swm256,trfd -regs 9,16,32,64 -lats 1,50,100 -o sweep.csv
+//	ovsweep -bench bdna -machine ref -lats 1,20,70,100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oovec"
+	"oovec/internal/ooosim"
+	"oovec/internal/sweep"
+	"oovec/internal/tgen"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "swm256", "comma-separated benchmark names")
+		machine = flag.String("machine", "ooo", "machine: ref | ooo | both")
+		regsF   = flag.String("regs", "9,12,16,32,64", "comma-separated physical vector register counts (OOOVA)")
+		latsF   = flag.String("lats", "1,50,100", "comma-separated memory latencies")
+		commit  = flag.String("commit", "early", "commit policy: early | late (OOOVA)")
+		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
+		insns   = flag.Int("insns", 0, "instruction budget override")
+		out     = flag.String("o", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	regs, err := parseInts(*regsF)
+	if err != nil {
+		fatal(err)
+	}
+	lats64, err := parseInt64s(*latsF)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := ooosim.DefaultConfig()
+	switch *commit {
+	case "early":
+	case "late":
+		base.Commit = oovec.CommitLate
+	default:
+		fatal(fmt.Errorf("unknown commit policy %q", *commit))
+	}
+	switch *elim {
+	case "none":
+	case "sle":
+		base.LoadElim = ooosim.ElimSLE
+	case "sle+vle", "slevle":
+		base.LoadElim = ooosim.ElimSLEVLE
+	default:
+		fatal(fmt.Errorf("unknown elimination mode %q", *elim))
+	}
+
+	var pts []sweep.Point
+	for _, name := range strings.Split(*bench, ",") {
+		p, ok := tgen.PresetByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", name))
+		}
+		if *insns > 0 {
+			p.Insns = *insns
+		}
+		tr := tgen.Generate(p)
+		if *machine == "ref" || *machine == "both" {
+			pts = append(pts, sweep.RefGrid(tr, lats64)...)
+		}
+		if *machine == "ooo" || *machine == "both" {
+			pts = append(pts, sweep.OOOGrid(tr, base, regs, lats64)...)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sweep.WriteCSV(w, pts); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d points to %s\n", len(pts), *out)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	vs, err := parseInts(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command ovtrace generates, inspects and converts benchmark traces.
+//
+// Usage:
+//
+//	ovtrace -list                        # list the ten benchmarks
+//	ovtrace -bench trfd -stats           # Table 2/3 statistics of one trace
+//	ovtrace -bench trfd -o trfd.ovtr     # serialise a trace
+//	ovtrace -i trfd.ovtr -stats          # statistics of a trace file
+//	ovtrace -bench swm256 -dump -n 40    # disassemble the first 40 instructions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oovec"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list benchmark presets")
+		bench = flag.String("bench", "", "benchmark to generate")
+		in    = flag.String("i", "", "read a serialised trace file")
+		out   = flag.String("o", "", "write the trace to a file")
+		stats = flag.Bool("stats", false, "print Table 2/3 statistics")
+		dump  = flag.Bool("dump", false, "disassemble instructions")
+		n     = flag.Int("n", 32, "instructions to dump")
+		insns = flag.Int("insns", 0, "instruction budget override")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %-8s %10s %10s %6s %7s  features\n",
+			"name", "suite", "scalar(M)", "vector(M)", "avgVL", "spill%")
+		for _, name := range oovec.Benchmarks() {
+			p, _ := oovec.BenchmarkPresetByName(name)
+			feat := ""
+			if p.InterIterDep {
+				feat += " inter-iter-dep"
+			}
+			if p.HugeBasicBlocks {
+				feat += " huge-blocks"
+			}
+			if p.GatherFrac > 0 {
+				feat += " gathers"
+			}
+			fmt.Printf("%-8s %-8s %10.1f %10.1f %6d %7.0f %s\n",
+				name, p.Suite, p.PaperScalarM, p.PaperVectorM, p.AvgVL,
+				p.SpillTrafficPct, feat)
+		}
+		return
+	}
+
+	tr, err := load(*bench, *in, *insns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovtrace:", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		s := tr.ComputeStats()
+		fmt.Printf("%-24s %s (%s)\n", "program:", tr.Name, tr.Suite)
+		fmt.Printf("%-24s %d\n", "instructions:", tr.Len())
+		fmt.Printf("%-24s %d\n", "scalar instructions:", s.ScalarInsns)
+		fmt.Printf("%-24s %d\n", "vector instructions:", s.VectorInsns)
+		fmt.Printf("%-24s %d\n", "vector operations:", s.VectorOps)
+		fmt.Printf("%-24s %.1f%%\n", "vectorization:", s.PctVectorization())
+		fmt.Printf("%-24s %.1f\n", "average vector length:", s.AvgVL())
+		fmt.Printf("%-24s %d / %d\n", "load/store elements:", s.LoadOps, s.StoreOps)
+		fmt.Printf("%-24s %d / %d\n", "spill load/store:", s.SpillLoadOps, s.SpillStoreOps)
+		fmt.Printf("%-24s %.1f%%\n", "spill traffic:", s.SpillTrafficPct())
+		fmt.Printf("%-24s %d\n", "branches:", s.Branches)
+	}
+
+	if *dump {
+		limit := *n
+		if limit > tr.Len() {
+			limit = tr.Len()
+		}
+		for i := 0; i < limit; i++ {
+			fmt.Printf("%6d  %s\n", i, tr.At(i).String())
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ovtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := oovec.WriteTrace(f, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "ovtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d instructions)\n", *out, tr.Len())
+	}
+}
+
+func load(bench, in string, insns int) (*oovec.Trace, error) {
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return oovec.ReadTrace(f)
+	case bench != "":
+		if insns > 0 {
+			p, ok := oovec.BenchmarkPresetByName(bench)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", bench)
+			}
+			p.Insns = insns
+			return oovec.GeneratePreset(p), nil
+		}
+		return oovec.GenerateBenchmark(bench)
+	}
+	return nil, fmt.Errorf("nothing to do: pass -list, -bench or -i (see -help)")
+}

@@ -1,0 +1,56 @@
+// Dead-spill-store elision — the §6 future-work idea the paper left on the
+// table: "Relaxing compatibility could lead to removing some spill stores,
+// but we have not yet pursued this approach."
+//
+// This example pursues it: spill stores wait in a store buffer, and when a
+// later spill overwrites exactly the same slot before anything read it, the
+// buffered store dies without ever issuing memory requests. The memory
+// image no longer reflects every intermediate spill (relaxed binary
+// compatibility), but every consumed value is still correct — the reload
+// either executes normally or is eliminated by VLE against the live
+// register.
+package main
+
+import (
+	"fmt"
+
+	"oovec"
+)
+
+func main() {
+	// A register-starved loop that re-spills a rotating set of slots every
+	// iteration; only the final generation of spills is ever reloaded.
+	const iters = 40
+	b := oovec.NewTraceBuilder("respill")
+	b.SetVL(64, oovec.A(0))
+	for i := 0; i < iters; i++ {
+		b.SetPC(0x300)
+		b.VLoad(oovec.V(0), uint64(0x0100_0000+i*0x2000))
+		b.Vector(oovec.OpVMul, oovec.V(1), oovec.V(0), oovec.V(2))
+		b.SpillStore(oovec.V(1), uint64(0x0090_0000+(i%4)*0x2000))
+		b.Branch(0x300, i != iters-1)
+	}
+	for s := 0; s < 4; s++ {
+		b.SpillLoad(oovec.V(3), uint64(0x0090_0000+s*0x2000))
+		b.VStore(oovec.V(3), uint64(0x0200_0000+s*0x2000))
+	}
+	tr := b.Build()
+
+	base := oovec.DefaultOOOVAConfig()
+	base.PhysVRegs = 32
+	baseRun := oovec.RunOOOVA(tr, base).Stats
+
+	elide := base
+	elide.ElideDeadSpillStores = true
+	elideRun := oovec.RunOOOVA(tr, elide).Stats
+
+	fmt.Printf("%d spill stores emitted; %d slots live at loop exit\n", iters, 4)
+	fmt.Printf("  baseline OOOVA : %6d memory requests\n", baseRun.MemRequests)
+	fmt.Printf("  with elision   : %6d memory requests\n", elideRun.MemRequests)
+	fmt.Printf("  dead stores    : %d (%d requests never sent)\n",
+		elideRun.ElidedStores, elideRun.ElidedRequests)
+	fmt.Printf("  traffic ratio  : %.3f\n", oovec.TrafficReduction(baseRun, elideRun))
+	fmt.Println()
+	fmt.Println("trade-off: the memory image no longer carries dead spill generations;")
+	fmt.Println("strict binary compatibility (paper §6) is relaxed, consumed values stay exact.")
+}

@@ -1,0 +1,49 @@
+// Latency sweep (the Figure 8 experiment on two contrasting benchmarks):
+// how execution time responds to main-memory latency on the in-order
+// reference machine versus the out-of-order OOOVA.
+//
+// swm256 (long vectors) and dyfesm (short vectors) bracket the paper's
+// benchmark set. The reference machine's time climbs with latency — "even
+// though it is a vector machine, memory latency influences execution time
+// considerably" — while the OOOVA's stays nearly flat to 100 cycles.
+package main
+
+import (
+	"fmt"
+
+	"oovec"
+)
+
+func main() {
+	latencies := []int64{1, 20, 50, 70, 100}
+	for _, name := range []string{"swm256", "dyfesm"} {
+		p, _ := oovec.BenchmarkPresetByName(name)
+		p.Insns = 15000 // keep the example quick
+		tr := oovec.GeneratePreset(p)
+
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  %-10s %12s %12s %9s\n", "latency", "REF cycles", "OOOVA cycles", "speedup")
+		var ref1, ooo1 int64
+		for _, lat := range latencies {
+			refCfg := oovec.DefaultReferenceConfig()
+			refCfg.MemLatency = lat
+			ref := oovec.RunReference(tr, refCfg)
+
+			oooCfg := oovec.DefaultOOOVAConfig()
+			oooCfg.MemLatency = lat
+			ooo := oovec.RunOOOVA(tr, oooCfg).Stats
+
+			if lat == 1 {
+				ref1, ooo1 = ref.Cycles, ooo.Cycles
+			}
+			fmt.Printf("  %-10d %12d %12d %9.2f\n", lat, ref.Cycles, ooo.Cycles,
+				oovec.Speedup(ref, ooo))
+			if lat == 100 {
+				fmt.Printf("  1 -> 100 growth: REF +%.0f%%, OOOVA +%.0f%%\n",
+					100*(float64(ref.Cycles)/float64(ref1)-1),
+					100*(float64(ooo.Cycles)/float64(ooo1)-1))
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// Precise traps (§5): inject a page fault into a vector loop running on
+// the late-commit OOOVA, roll back the renames of every in-flight younger
+// instruction using the reorder-buffer records, and verify the recovered
+// architectural mapping — the mechanism that makes virtual memory practical
+// on a vector machine with hundreds of in-flight operations.
+package main
+
+import (
+	"fmt"
+
+	"oovec"
+)
+
+func main() {
+	tr, err := oovec.GenerateBenchmark("flo52")
+	if err != nil {
+		panic(err)
+	}
+
+	// The faulting instruction: pick a vector load mid-trace (a page fault
+	// on a vector reference is the §5 motivating case).
+	faultIdx := -1
+	count := 0
+	for i := 0; i < tr.Len(); i++ {
+		if in := tr.At(i); in.Op.IsLoad() && in.Op.IsVector() {
+			count++
+			if count == 100 {
+				faultIdx = i
+				break
+			}
+		}
+	}
+	fmt.Printf("injecting a page fault at instruction %d: %s\n", faultIdx, tr.At(faultIdx))
+
+	cfg := oovec.DefaultOOOVAConfig()
+	cfg.Commit = oovec.CommitLate // precise traps require the late-commit model
+	res, err := oovec.RunOOOVAWithFault(tr, cfg, faultIdx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  fault detected at cycle %d\n", res.DetectCycle)
+	fmt.Printf("  in-flight instructions squashed and rolled back: %d\n", res.InFlight)
+	fmt.Printf("  precise state recovered as of cycle %d\n", res.PreciseCycle)
+
+	// Verify: the recovered mapping equals the mapping after executing only
+	// the pre-fault prefix.
+	prefix := &oovec.Trace{Name: "prefix", Insns: tr.Insns[:faultIdx]}
+	want := oovec.RunOOOVA(prefix, cfg)
+	mismatches := 0
+	for class, table := range res.Tables {
+		for l := 0; l < class.NumLogical(); l++ {
+			if table.Lookup(l) != want.Tables[class].Lookup(l) {
+				mismatches++
+			}
+		}
+	}
+	if mismatches == 0 {
+		fmt.Println("  rollback verified: recovered mapping matches the precise architectural state")
+	} else {
+		fmt.Printf("  ERROR: %d mapping mismatches after rollback\n", mismatches)
+	}
+
+	// The cost of enabling this (§5): early vs late commit on the full run.
+	early := oovec.DefaultOOOVAConfig()
+	late := early
+	late.Commit = oovec.CommitLate
+	ce := oovec.RunOOOVA(tr, early).Stats.Cycles
+	cl := oovec.RunOOOVA(tr, late).Stats.Cycles
+	fmt.Printf("\nprice of precise traps on %s: %d -> %d cycles (+%.1f%%)\n",
+		tr.Name, ce, cl, 100*(float64(cl)/float64(ce)-1))
+}

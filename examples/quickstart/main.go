@@ -1,0 +1,45 @@
+// Quickstart: build a DAXPY kernel with the trace builder, run it on both
+// machines, and print the out-of-order speedup — the paper's headline
+// experiment at the smallest possible scale.
+package main
+
+import (
+	"fmt"
+
+	"oovec"
+)
+
+func main() {
+	// DAXPY: y[i] = a*x[i] + y[i], strip-mined into 64-element vectors.
+	const (
+		iters = 64
+		vlen  = 64
+		xBase = uint64(0x0100_0000)
+		yBase = uint64(0x0200_0000)
+	)
+	b := oovec.NewTraceBuilder("daxpy")
+	b.SetVL(vlen, oovec.A(0))
+	for i := 0; i < iters; i++ {
+		off := uint64(i * vlen * 8)
+		b.SetPC(0x100)                                              // loop body shares PCs so the BTB can learn the back edge
+		b.VLoad(oovec.V(0), xBase+off)                              // x strip
+		b.VLoad(oovec.V(1), yBase+off)                              // y strip
+		b.Vector(oovec.OpVSMul, oovec.V(2), oovec.V(0), oovec.S(0)) // a*x
+		b.Vector(oovec.OpVAdd, oovec.V(3), oovec.V(2), oovec.V(1))  // +y
+		b.VStore(oovec.V(3), yBase+off)
+		b.Scalar(oovec.OpAAdd, oovec.A(1), oovec.A(1), oovec.A(2))
+		b.Branch(0x100, i != iters-1)
+	}
+	tr := b.Build()
+
+	ref := oovec.RunReference(tr, oovec.DefaultReferenceConfig())
+	ooo := oovec.RunOOOVA(tr, oovec.DefaultOOOVAConfig())
+
+	fmt.Println("DAXPY,", tr.Len(), "dynamic instructions, VL =", vlen)
+	fmt.Printf("  reference machine : %7d cycles (memory port idle %.1f%%)\n",
+		ref.Cycles, ref.MemPortIdlePct())
+	fmt.Printf("  OOOVA             : %7d cycles (memory port idle %.1f%%)\n",
+		ooo.Stats.Cycles, ooo.Stats.MemPortIdlePct())
+	fmt.Printf("  speedup           : %.2f\n", oovec.Speedup(ref, ooo.Stats))
+	fmt.Printf("  IDEAL bound       : %.2f\n", oovec.IdealSpeedup(ref.Cycles, tr))
+}

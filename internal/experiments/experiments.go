@@ -1,0 +1,764 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Tables 1–3 and Figures 3–9, 11–13 (Figures 1, 2 and 10 are
+// block diagrams — their content is the simulator structure itself).
+//
+// Each experiment has a driver returning a typed result with a Render
+// method producing the paper-style text table. The drivers are used by
+// cmd/ovbench, by the benchmark suite in the repository root, and by
+// EXPERIMENTS.md generation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oovec/internal/isa"
+	"oovec/internal/metrics"
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+	"oovec/internal/rob"
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+// Opts configures a Suite.
+type Opts struct {
+	// Insns overrides the per-benchmark dynamic instruction budget
+	// (0 = tgen.DefaultInsns). Smaller values speed up sweeps.
+	Insns int
+	// Names restricts the benchmark set (nil = all ten).
+	Names []string
+}
+
+// Suite caches generated traces and reference runs across experiments.
+type Suite struct {
+	opts    Opts
+	names   []string
+	traces  map[string]*trace.Trace
+	refRuns map[string]map[int64]*metrics.RunStats // name -> latency -> run
+}
+
+// NewSuite builds a suite over the selected benchmarks.
+func NewSuite(opts Opts) *Suite {
+	names := opts.Names
+	if len(names) == 0 {
+		names = tgen.Names()
+	}
+	return &Suite{
+		opts:    opts,
+		names:   names,
+		traces:  make(map[string]*trace.Trace),
+		refRuns: make(map[string]map[int64]*metrics.RunStats),
+	}
+}
+
+// Names returns the benchmark names in Table 2 order.
+func (s *Suite) Names() []string { return s.names }
+
+// Trace returns (generating and caching) the trace for a benchmark.
+func (s *Suite) Trace(name string) *trace.Trace {
+	if t, ok := s.traces[name]; ok {
+		return t
+	}
+	p, ok := tgen.PresetByName(name)
+	if !ok {
+		panic("experiments: unknown benchmark " + name)
+	}
+	if s.opts.Insns > 0 {
+		p.Insns = s.opts.Insns
+	}
+	t := tgen.Generate(p)
+	s.traces[name] = t
+	return t
+}
+
+// Ref returns (running and caching) the reference machine result at the
+// given memory latency.
+func (s *Suite) Ref(name string, latency int64) *metrics.RunStats {
+	if m, ok := s.refRuns[name]; ok {
+		if r, ok := m[latency]; ok {
+			return r
+		}
+	} else {
+		s.refRuns[name] = make(map[int64]*metrics.RunStats)
+	}
+	cfg := refsim.DefaultConfig()
+	cfg.MemLatency = latency
+	r := refsim.Run(s.Trace(name), cfg)
+	s.refRuns[name][latency] = r
+	return r
+}
+
+// OOO runs the OOOVA with the given configuration.
+func (s *Suite) OOO(name string, cfg ooosim.Config) *metrics.RunStats {
+	return ooosim.Run(s.Trace(name), cfg).Stats
+}
+
+// baseOOO returns the paper's headline OOOVA config at the given register
+// count and latency.
+func baseOOO(vregs int, latency int64) ooosim.Config {
+	cfg := ooosim.DefaultConfig()
+	cfg.PhysVRegs = vregs
+	cfg.MemLatency = latency
+	return cfg
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1 renders the functional-unit latency table (a configuration table;
+// it is verified by the isa package's tests rather than measured).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: functional unit latencies (cycles)\n")
+	fmt.Fprintf(&b, "%-24s %6s %6s\n", "", "REF", "OOOVA")
+	fmt.Fprintf(&b, "%-24s %6d %6d\n", "read RF + crossbar", isa.ReadXbar(isa.MachineRef), isa.ReadXbar(isa.MachineOOO))
+	fmt.Fprintf(&b, "%-24s %6d %6d\n", "write crossbar", isa.WriteXbar(isa.MachineRef), isa.WriteXbar(isa.MachineOOO))
+	fmt.Fprintf(&b, "%-24s %6d %6d\n", "vector startup", isa.VectorStartup, isa.VectorStartup)
+	rows := []struct {
+		label string
+		op    isa.Op
+	}{
+		{"add/logic/shift (scalar)", isa.OpSAdd},
+		{"add/logic/shift (vector)", isa.OpVAdd},
+		{"mul (scalar)", isa.OpSMul},
+		{"mul (vector)", isa.OpVMul},
+		{"div/sqrt (scalar)", isa.OpSDiv},
+		{"div/sqrt (vector)", isa.OpVDiv},
+	}
+	for _, r := range rows {
+		l := isa.ExecLatency(r.op)
+		fmt.Fprintf(&b, "%-24s %6d %6d\n", r.label, l, l)
+	}
+	b.WriteString("memory latency: configurable (default 50; swept 1..100)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one benchmark's operation counts.
+type Table2Row struct {
+	Name, Suite  string
+	ScalarInsns  int64
+	VectorInsns  int64
+	VectorOps    int64
+	PctVect      float64
+	AvgVL        float64
+	PaperScalarM float64
+	PaperVectorM float64
+	PaperAvgVL   int
+}
+
+// Table2Result holds the measured Table 2.
+type Table2Result struct{ Rows []Table2Row }
+
+// Table2 computes operation counts for every benchmark.
+func Table2(s *Suite) *Table2Result {
+	res := &Table2Result{}
+	for _, name := range s.names {
+		p, _ := tgen.PresetByName(name)
+		st := s.Trace(name).ComputeStats()
+		res.Rows = append(res.Rows, Table2Row{
+			Name: name, Suite: p.Suite,
+			ScalarInsns: st.ScalarInsns, VectorInsns: st.VectorInsns,
+			VectorOps: st.VectorOps,
+			PctVect:   st.PctVectorization(), AvgVL: st.AvgVL(),
+			PaperScalarM: p.PaperScalarM, PaperVectorM: p.PaperVectorM,
+			PaperAvgVL: p.AvgVL,
+		})
+	}
+	return res
+}
+
+// Render produces the paper-style table.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: basic operation counts (synthetic traces, ~2000x scaled; paper values in parens)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %10s %10s %10s %7s %6s %18s\n",
+		"program", "suite", "#scalar", "#vector", "#vec ops", "%vect", "avgVL", "paper S/V (M)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-8s %10d %10d %10d %7.1f %6.1f %9.1f/%-8.1f\n",
+			row.Name, row.Suite, row.ScalarInsns, row.VectorInsns, row.VectorOps,
+			row.PctVect, row.AvgVL, row.PaperScalarM, row.PaperVectorM)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one benchmark's spill traffic.
+type Table3Row struct {
+	Name                           string
+	LoadOps, SpillLoadOps          int64
+	StoreOps, SpillStoreOps        int64
+	SpillTrafficPct, PaperSpillPct float64
+}
+
+// Table3Result holds the measured Table 3.
+type Table3Result struct{ Rows []Table3Row }
+
+// Table3 computes vector memory spill operations.
+func Table3(s *Suite) *Table3Result {
+	res := &Table3Result{}
+	for _, name := range s.names {
+		p, _ := tgen.PresetByName(name)
+		st := s.Trace(name).ComputeStats()
+		res.Rows = append(res.Rows, Table3Row{
+			Name:    name,
+			LoadOps: st.LoadOps, SpillLoadOps: st.SpillLoadOps,
+			StoreOps: st.StoreOps, SpillStoreOps: st.SpillStoreOps,
+			SpillTrafficPct: st.SpillTrafficPct(),
+			PaperSpillPct:   p.SpillTrafficPct,
+		})
+	}
+	return res
+}
+
+// Render produces the paper-style table.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: memory spill operations (element counts)\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %8s %8s\n",
+		"program", "load", "spill-ld", "store", "spill-st", "spill%", "paper%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %10d %10d %10d %10d %8.1f %8.1f\n",
+			row.Name, row.LoadOps, row.SpillLoadOps, row.StoreOps, row.SpillStoreOps,
+			row.SpillTrafficPct, row.PaperSpillPct)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Latencies are the memory latencies of Figure 3.
+var Fig3Latencies = []int64{1, 20, 70, 100}
+
+// Fig3Result holds per-benchmark, per-latency execution-state breakdowns of
+// the reference machine.
+type Fig3Result struct {
+	Names     []string
+	Latencies []int64
+	// Breakdown[name][latency] is the 8-state cycle breakdown.
+	Breakdown map[string]map[int64]metrics.Breakdown
+}
+
+// Fig3 computes the reference machine's execution-state breakdown.
+func Fig3(s *Suite) *Fig3Result {
+	res := &Fig3Result{
+		Names:     s.names,
+		Latencies: Fig3Latencies,
+		Breakdown: map[string]map[int64]metrics.Breakdown{},
+	}
+	for _, name := range s.names {
+		res.Breakdown[name] = map[int64]metrics.Breakdown{}
+		for _, lat := range Fig3Latencies {
+			res.Breakdown[name][lat] = s.Ref(name, lat).States
+		}
+	}
+	return res
+}
+
+// Render produces one stacked-bar-equivalent table per benchmark.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: REF execution-state breakdown (kilocycles) vs memory latency\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "\n%s:\n%-16s", name, "state \\ latency")
+		for _, lat := range r.Latencies {
+			fmt.Fprintf(&b, "%10d", lat)
+		}
+		b.WriteString("\n")
+		for st := metrics.State(0); st < metrics.NumStates; st++ {
+			fmt.Fprintf(&b, "%-16s", st)
+			for _, lat := range r.Latencies {
+				fmt.Fprintf(&b, "%10.1f", float64(r.Breakdown[name][lat][st])/1000)
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%-16s", "total")
+		for _, lat := range r.Latencies {
+			fmt.Fprintf(&b, "%10.1f", float64(r.Breakdown[name][lat].Total())/1000)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Result holds the REF memory-port idle percentages.
+type Fig4Result struct {
+	Names     []string
+	Latencies []int64
+	IdlePct   map[string]map[int64]float64
+}
+
+// Fig4 computes the percentage of cycles the memory port is idle on the
+// reference machine for four latencies.
+func Fig4(s *Suite) *Fig4Result {
+	res := &Fig4Result{
+		Names:     s.names,
+		Latencies: Fig3Latencies,
+		IdlePct:   map[string]map[int64]float64{},
+	}
+	for _, name := range s.names {
+		res.IdlePct[name] = map[int64]float64{}
+		for _, lat := range Fig3Latencies {
+			res.IdlePct[name][lat] = s.Ref(name, lat).MemPortIdlePct()
+		}
+	}
+	return res
+}
+
+// Render produces the figure's table.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: % cycles the memory port is idle (REF)\n")
+	fmt.Fprintf(&b, "%-8s", "program")
+	for _, lat := range r.Latencies {
+		fmt.Fprintf(&b, "  lat=%-4d", lat)
+	}
+	b.WriteString("\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s", name)
+		for _, lat := range r.Latencies {
+			fmt.Fprintf(&b, "  %7.1f", r.IdlePct[name][lat])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Regs are the physical vector register counts swept in Figure 5.
+var Fig5Regs = []int{9, 12, 16, 32, 64}
+
+// Fig5Result holds OOOVA speedups over REF for register/queue sweeps.
+type Fig5Result struct {
+	Names []string
+	Regs  []int
+	// Speedup16 and Speedup128 index [name][#regs] for the 16- and
+	// 128-slot queue configurations.
+	Speedup16  map[string]map[int]float64
+	Speedup128 map[string]map[int]float64
+	Ideal      map[string]float64
+}
+
+// Fig5 computes the speedup of the OOOVA over the reference architecture
+// for different numbers of vector physical registers (memory latency 50).
+func Fig5(s *Suite) *Fig5Result {
+	res := &Fig5Result{
+		Names:      s.names,
+		Regs:       Fig5Regs,
+		Speedup16:  map[string]map[int]float64{},
+		Speedup128: map[string]map[int]float64{},
+		Ideal:      map[string]float64{},
+	}
+	for _, name := range s.names {
+		ref := s.Ref(name, 50)
+		res.Speedup16[name] = map[int]float64{}
+		res.Speedup128[name] = map[int]float64{}
+		res.Ideal[name] = metrics.IdealSpeedup(ref.Cycles, s.Trace(name))
+		for _, regs := range Fig5Regs {
+			cfg := baseOOO(regs, 50)
+			res.Speedup16[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
+			cfg.QueueSlots = 128
+			res.Speedup128[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
+		}
+	}
+	return res
+}
+
+// Render produces the figure's table.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: OOOVA speedup over REF vs #physical vector registers (latency 50)\n")
+	fmt.Fprintf(&b, "%-8s %-10s", "program", "queue")
+	for _, regs := range r.Regs {
+		fmt.Fprintf(&b, "  regs=%-3d", regs)
+	}
+	fmt.Fprintf(&b, "  %8s\n", "IDEAL")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %-10s", name, "OOOVA-16")
+		for _, regs := range r.Regs {
+			fmt.Fprintf(&b, "  %8.2f", r.Speedup16[name][regs])
+		}
+		fmt.Fprintf(&b, "  %8.2f\n", r.Ideal[name])
+		fmt.Fprintf(&b, "%-8s %-10s", "", "OOOVA-128")
+		for _, regs := range r.Regs {
+			fmt.Fprintf(&b, "  %8.2f", r.Speedup128[name][regs])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Result compares memory-port idle percentages between REF and OOOVA.
+type Fig6Result struct {
+	Names   []string
+	RefIdle map[string]float64
+	OOOIdle map[string]float64
+}
+
+// Fig6 computes the idle percentages (16 physical registers, latency 50).
+func Fig6(s *Suite) *Fig6Result {
+	res := &Fig6Result{Names: s.names,
+		RefIdle: map[string]float64{}, OOOIdle: map[string]float64{}}
+	for _, name := range s.names {
+		res.RefIdle[name] = s.Ref(name, 50).MemPortIdlePct()
+		res.OOOIdle[name] = s.OOO(name, baseOOO(16, 50)).MemPortIdlePct()
+	}
+	return res
+}
+
+// Render produces the figure's table.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: % idle cycles of the memory port (latency 50, 16 physical vector registers)\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s\n", "program", "REF", "OOOVA")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %8.1f %8.1f\n", name, r.RefIdle[name], r.OOOIdle[name])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Result compares execution-state breakdowns between REF and OOOVA.
+type Fig7Result struct {
+	Names []string
+	Ref   map[string]metrics.Breakdown
+	OOO   map[string]metrics.Breakdown
+}
+
+// Fig7 computes both machines' state breakdowns (16 regs, latency 50).
+func Fig7(s *Suite) *Fig7Result {
+	res := &Fig7Result{Names: s.names,
+		Ref: map[string]metrics.Breakdown{}, OOO: map[string]metrics.Breakdown{}}
+	for _, name := range s.names {
+		res.Ref[name] = s.Ref(name, 50).States
+		res.OOO[name] = s.OOO(name, baseOOO(16, 50)).States
+	}
+	return res
+}
+
+// Render produces the figure's table.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: execution-cycle breakdown, REF vs OOOVA (kilocycles; 16 regs, latency 50)\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "\n%s:\n%-16s %10s %10s\n", name, "state", "REF", "OOOVA")
+		for st := metrics.State(0); st < metrics.NumStates; st++ {
+			fmt.Fprintf(&b, "%-16s %10.1f %10.1f\n", st,
+				float64(r.Ref[name][st])/1000, float64(r.OOO[name][st])/1000)
+		}
+		fmt.Fprintf(&b, "%-16s %10.1f %10.1f\n", "total",
+			float64(r.Ref[name].Total())/1000, float64(r.OOO[name].Total())/1000)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8Latencies are the latencies of Figure 8.
+var Fig8Latencies = []int64{1, 50, 100}
+
+// Fig8Result holds execution times across memory latencies.
+type Fig8Result struct {
+	Names     []string
+	Latencies []int64
+	RefCycles map[string]map[int64]int64
+	OOOCycles map[string]map[int64]int64
+	Ideal     map[string]int64
+}
+
+// Fig8 computes execution time vs memory latency for REF and OOOVA-16,
+// plus the latency-independent IDEAL bound.
+func Fig8(s *Suite) *Fig8Result {
+	res := &Fig8Result{
+		Names: s.names, Latencies: Fig8Latencies,
+		RefCycles: map[string]map[int64]int64{},
+		OOOCycles: map[string]map[int64]int64{},
+		Ideal:     map[string]int64{},
+	}
+	for _, name := range s.names {
+		res.RefCycles[name] = map[int64]int64{}
+		res.OOOCycles[name] = map[int64]int64{}
+		res.Ideal[name] = metrics.IdealCycles(s.Trace(name))
+		for _, lat := range Fig8Latencies {
+			res.RefCycles[name][lat] = s.Ref(name, lat).Cycles
+			res.OOOCycles[name][lat] = s.OOO(name, baseOOO(16, lat)).Cycles
+		}
+	}
+	return res
+}
+
+// Degradation returns the OOOVA's execution-time growth from latency 1 to
+// latency 100 for a benchmark (the §4.3 tolerance metric).
+func (r *Fig8Result) Degradation(name string) float64 {
+	c1 := r.OOOCycles[name][1]
+	c100 := r.OOOCycles[name][100]
+	if c1 == 0 {
+		return 0
+	}
+	return float64(c100-c1) / float64(c1)
+}
+
+// Render produces the figure's table.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: execution time (kilocycles) vs main-memory latency (16 physical vector registers)\n")
+	fmt.Fprintf(&b, "%-8s %-8s", "program", "machine")
+	for _, lat := range r.Latencies {
+		fmt.Fprintf(&b, "  lat=%-6d", lat)
+	}
+	b.WriteString("\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %-8s", name, "REF")
+		for _, lat := range r.Latencies {
+			fmt.Fprintf(&b, "  %9.1f", float64(r.RefCycles[name][lat])/1000)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "%-8s %-8s", "", "OOOVA")
+		for _, lat := range r.Latencies {
+			fmt.Fprintf(&b, "  %9.1f", float64(r.OOOCycles[name][lat])/1000)
+		}
+		fmt.Fprintf(&b, "   (1->100: +%.1f%%)\n", 100*r.Degradation(name))
+		fmt.Fprintf(&b, "%-8s %-8s  %9.1f\n", "", "IDEAL", float64(r.Ideal[name])/1000)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// Fig9Result compares early- vs late-commit speedups over REF.
+type Fig9Result struct {
+	Names []string
+	Regs  []int
+	Early map[string]map[int]float64
+	Late  map[string]map[int]float64
+	Ideal map[string]float64
+}
+
+// Fig9 computes the commit-model comparison (latency 50).
+func Fig9(s *Suite) *Fig9Result {
+	res := &Fig9Result{
+		Names: s.names, Regs: Fig5Regs,
+		Early: map[string]map[int]float64{},
+		Late:  map[string]map[int]float64{},
+		Ideal: map[string]float64{},
+	}
+	for _, name := range s.names {
+		ref := s.Ref(name, 50)
+		res.Early[name] = map[int]float64{}
+		res.Late[name] = map[int]float64{}
+		res.Ideal[name] = metrics.IdealSpeedup(ref.Cycles, s.Trace(name))
+		for _, regs := range Fig5Regs {
+			cfg := baseOOO(regs, 50)
+			res.Early[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
+			cfg.Commit = rob.PolicyLate
+			res.Late[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
+		}
+	}
+	return res
+}
+
+// Degradation16 returns the early→late performance degradation at 16
+// registers (the §5 cost of precise traps).
+func (r *Fig9Result) Degradation16(name string) float64 {
+	e := r.Early[name][16]
+	l := r.Late[name][16]
+	if l == 0 {
+		return 0
+	}
+	return e/l - 1
+}
+
+// Render produces the figure's table.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: OOOVA speedup over REF, early vs late commit (latency 50)\n")
+	fmt.Fprintf(&b, "%-8s %-6s", "program", "model")
+	for _, regs := range r.Regs {
+		fmt.Fprintf(&b, "  regs=%-3d", regs)
+	}
+	fmt.Fprintf(&b, "  %8s\n", "IDEAL")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %-6s", name, "early")
+		for _, regs := range r.Regs {
+			fmt.Fprintf(&b, "  %8.2f", r.Early[name][regs])
+		}
+		fmt.Fprintf(&b, "  %8.2f\n", r.Ideal[name])
+		fmt.Fprintf(&b, "%-8s %-6s", "", "late")
+		for _, regs := range r.Regs {
+			fmt.Fprintf(&b, "  %8.2f", r.Late[name][regs])
+		}
+		fmt.Fprintf(&b, "   (cost at 16 regs: %.1f%%)\n", 100*r.Degradation16(name))
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------- Figures 11 & 12
+
+// ElimRegs are the register counts swept in Figures 11 and 12.
+var ElimRegs = []int{16, 32, 64}
+
+// ElimResult holds load-elimination speedups over the late-commit OOOVA.
+type ElimResult struct {
+	Mode  ooosim.ElimMode
+	Names []string
+	Regs  []int
+	// Speedup[name][regs] over the same-regs late-commit baseline.
+	Speedup map[string]map[int]float64
+	// EliminatedLoads[name][regs] counts dynamically removed loads.
+	EliminatedLoads map[string]map[int]int64
+}
+
+// elim computes Figure 11 (SLE) or Figure 12 (SLE+VLE): the speedup of the
+// load-eliminating OOOVA over the baseline late-commit OOOVA. (§6.3: "As a
+// baseline we use the late commit OOOVA described above, without dynamic
+// load elimination.")
+func elim(s *Suite, mode ooosim.ElimMode) *ElimResult {
+	res := &ElimResult{
+		Mode: mode, Names: s.names, Regs: ElimRegs,
+		Speedup:         map[string]map[int]float64{},
+		EliminatedLoads: map[string]map[int]int64{},
+	}
+	for _, name := range s.names {
+		res.Speedup[name] = map[int]float64{}
+		res.EliminatedLoads[name] = map[int]int64{}
+		for _, regs := range ElimRegs {
+			base := baseOOO(regs, 50)
+			base.Commit = rob.PolicyLate
+			baseRun := s.OOO(name, base)
+			cfg := base
+			cfg.LoadElim = mode
+			run := s.OOO(name, cfg)
+			res.Speedup[name][regs] = metrics.Speedup(baseRun, run)
+			res.EliminatedLoads[name][regs] = run.EliminatedLoads
+		}
+	}
+	return res
+}
+
+// Fig11 computes the scalar-only load elimination (SLE) speedups.
+func Fig11(s *Suite) *ElimResult { return elim(s, ooosim.ElimSLE) }
+
+// Fig12 computes the scalar+vector load elimination (SLE+VLE) speedups.
+func Fig12(s *Suite) *ElimResult { return elim(s, ooosim.ElimSLEVLE) }
+
+// Render produces the figure's table.
+func (r *ElimResult) Render() string {
+	fig := "Figure 11 (SLE)"
+	if r.Mode == ooosim.ElimSLEVLE {
+		fig = "Figure 12 (SLE+VLE)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: speedup over the late-commit OOOVA\n", fig)
+	fmt.Fprintf(&b, "%-8s", "program")
+	for _, regs := range r.Regs {
+		fmt.Fprintf(&b, "  regs=%-3d (elim)", regs)
+	}
+	b.WriteString("\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s", name)
+		for _, regs := range r.Regs {
+			fmt.Fprintf(&b, "  %8.3f %6d", r.Speedup[name][regs], r.EliminatedLoads[name][regs])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 13
+
+// Fig13Result holds traffic-reduction ratios at 32 physical registers.
+type Fig13Result struct {
+	Names []string
+	// SLE and SLEVLE map name -> baseline requests / configuration requests.
+	SLE    map[string]float64
+	SLEVLE map[string]float64
+}
+
+// Fig13 computes the total address-bus traffic reduction of the two
+// load-elimination configurations (32 physical vector registers).
+func Fig13(s *Suite) *Fig13Result {
+	res := &Fig13Result{Names: s.names,
+		SLE: map[string]float64{}, SLEVLE: map[string]float64{}}
+	for _, name := range s.names {
+		base := baseOOO(32, 50)
+		base.Commit = rob.PolicyLate
+		baseRun := s.OOO(name, base)
+		for _, mode := range []ooosim.ElimMode{ooosim.ElimSLE, ooosim.ElimSLEVLE} {
+			cfg := base
+			cfg.LoadElim = mode
+			run := s.OOO(name, cfg)
+			ratio := metrics.TrafficReduction(baseRun, run)
+			if mode == ooosim.ElimSLE {
+				res.SLE[name] = ratio
+			} else {
+				res.SLEVLE[name] = ratio
+			}
+		}
+	}
+	return res
+}
+
+// Render produces the figure's table.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: traffic reduction (baseline requests / configuration requests; 32 physical vector registers)\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s\n", "program", "SLE", "SLE+VLE")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %8.3f %8.3f\n", name, r.SLE[name], r.SLEVLE[name])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- registry
+
+// Experiment names accepted by Run.
+var AllExperiments = []string{
+	"table1", "table2", "table3",
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig11", "fig12", "fig13",
+}
+
+// Run executes one experiment by name and returns its rendered output.
+func Run(s *Suite, name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(s).Render(), nil
+	case "table3":
+		return Table3(s).Render(), nil
+	case "fig3":
+		return Fig3(s).Render(), nil
+	case "fig4":
+		return Fig4(s).Render(), nil
+	case "fig5":
+		return Fig5(s).Render(), nil
+	case "fig6":
+		return Fig6(s).Render(), nil
+	case "fig7":
+		return Fig7(s).Render(), nil
+	case "fig8":
+		return Fig8(s).Render(), nil
+	case "fig9":
+		return Fig9(s).Render(), nil
+	case "fig11":
+		return Fig11(s).Render(), nil
+	case "fig12":
+		return Fig12(s).Render(), nil
+	case "fig13":
+		return Fig13(s).Render(), nil
+	}
+	sorted := append([]string(nil), AllExperiments...)
+	sort.Strings(sorted)
+	return "", fmt.Errorf("experiments: unknown experiment %q (have: %s)",
+		name, strings.Join(sorted, ", "))
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallSuite keeps experiment tests fast: three representative benchmarks
+// (long vectors, short vectors + dependence, spill-heavy) at reduced size.
+func smallSuite() *Suite {
+	return NewSuite(Opts{
+		Insns: 8000,
+		Names: []string{"swm256", "trfd", "bdna"},
+	})
+}
+
+func TestTable1MentionsAllRows(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"read RF", "write crossbar", "vector startup",
+		"mul", "div/sqrt", "memory latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2RowsAndVectorization(t *testing.T) {
+	s := smallSuite()
+	res := Table2(s)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PctVect < 70 {
+			t.Errorf("%s: vectorization %.1f%% below the paper's 70%% floor", row.Name, row.PctVect)
+		}
+		if row.AvgVL <= 0 || row.VectorOps <= row.VectorInsns {
+			t.Errorf("%s: implausible stats %+v", row.Name, row)
+		}
+	}
+	if !strings.Contains(res.Render(), "swm256") {
+		t.Error("render missing program name")
+	}
+}
+
+func TestTable3SpillShapes(t *testing.T) {
+	s := smallSuite()
+	res := Table3(s)
+	byName := map[string]Table3Row{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	if byName["bdna"].SpillTrafficPct <= byName["swm256"].SpillTrafficPct {
+		t.Error("bdna must be the spill-traffic outlier")
+	}
+	if byName["bdna"].SpillTrafficPct < 55 {
+		t.Errorf("bdna spill = %.1f%%, want >= 55%%", byName["bdna"].SpillTrafficPct)
+	}
+}
+
+func TestFig3BreakdownSumsAndLatencyGrowth(t *testing.T) {
+	s := smallSuite()
+	res := Fig3(s)
+	for _, name := range res.Names {
+		t1 := res.Breakdown[name][1].Total()
+		t100 := res.Breakdown[name][100].Total()
+		if t100 <= t1 {
+			t.Errorf("%s: REF not latency sensitive (%d -> %d)", name, t1, t100)
+		}
+	}
+}
+
+func TestFig4IdleRangesMatchPaper(t *testing.T) {
+	s := smallSuite()
+	res := Fig4(s)
+	// Paper: at latency 70, port idle time ranges between 30%% and 65%%.
+	for _, name := range res.Names {
+		idle := res.IdlePct[name][70]
+		if idle < 20 || idle > 75 {
+			t.Errorf("%s: REF idle at lat 70 = %.1f%%, outside the paper's band", name, idle)
+		}
+	}
+}
+
+func TestFig5SpeedupShapes(t *testing.T) {
+	s := smallSuite()
+	res := Fig5(s)
+	for _, name := range res.Names {
+		s16 := res.Speedup16[name][16]
+		if s16 < 1.15 {
+			t.Errorf("%s: speedup at 16 regs = %.2f, want >= 1.15", name, s16)
+		}
+		if res.Speedup16[name][9] > s16+0.01 {
+			t.Errorf("%s: 9 regs (%.2f) outperforms 16 regs (%.2f)",
+				name, res.Speedup16[name][9], s16)
+		}
+		// IDEAL dominates every configuration.
+		for _, regs := range res.Regs {
+			if res.Speedup16[name][regs] > res.Ideal[name]+0.01 {
+				t.Errorf("%s: speedup at %d regs exceeds IDEAL", name, regs)
+			}
+		}
+		// Deeper queues change little (paper: "quite small").
+		d := res.Speedup128[name][16] - s16
+		if d < -0.1 || d > 0.35 {
+			t.Errorf("%s: queue-128 delta %.2f implausible", name, d)
+		}
+	}
+}
+
+func TestFig6OOOCutsIdle(t *testing.T) {
+	s := smallSuite()
+	res := Fig6(s)
+	for _, name := range res.Names {
+		if res.OOOIdle[name] >= res.RefIdle[name] {
+			t.Errorf("%s: OOOVA idle %.1f%% not below REF %.1f%%",
+				name, res.OOOIdle[name], res.RefIdle[name])
+		}
+	}
+}
+
+func TestFig7IdleStateShrinks(t *testing.T) {
+	s := smallSuite()
+	res := Fig7(s)
+	for _, name := range res.Names {
+		refIdleFrac := float64(res.Ref[name].Idle()) / float64(res.Ref[name].Total())
+		oooIdleFrac := float64(res.OOO[name].Idle()) / float64(res.OOO[name].Total())
+		if oooIdleFrac >= refIdleFrac {
+			t.Errorf("%s: < , , > state did not shrink (%.2f -> %.2f)",
+				name, refIdleFrac, oooIdleFrac)
+		}
+	}
+}
+
+func TestFig8LatencyTolerance(t *testing.T) {
+	s := smallSuite()
+	res := Fig8(s)
+	for _, name := range res.Names {
+		// REF grows with latency.
+		if res.RefCycles[name][100] <= res.RefCycles[name][1] {
+			t.Errorf("%s: REF flat across latency", name)
+		}
+		// OOOVA grows far less than REF (tolerance).
+		refGrowth := float64(res.RefCycles[name][100]) / float64(res.RefCycles[name][1])
+		oooGrowth := float64(res.OOOCycles[name][100]) / float64(res.OOOCycles[name][1])
+		if oooGrowth >= refGrowth {
+			t.Errorf("%s: OOOVA growth %.2f not below REF growth %.2f",
+				name, oooGrowth, refGrowth)
+		}
+		// IDEAL below both machines' cycle counts.
+		if res.Ideal[name] > res.OOOCycles[name][1] {
+			t.Errorf("%s: IDEAL above measured time", name)
+		}
+	}
+}
+
+func TestFig9LateCostsAndTrfdOutlier(t *testing.T) {
+	s := smallSuite()
+	res := Fig9(s)
+	for _, name := range res.Names {
+		for _, regs := range res.Regs {
+			if res.Late[name][regs] > res.Early[name][regs]+0.02 {
+				t.Errorf("%s: late commit faster than early at %d regs", name, regs)
+			}
+		}
+	}
+	// trfd (inter-iteration dependence) must degrade much more than swm256.
+	if res.Degradation16("trfd") < res.Degradation16("swm256")+0.05 {
+		t.Errorf("trfd late-commit cost %.2f not an outlier vs swm256 %.2f",
+			res.Degradation16("trfd"), res.Degradation16("swm256"))
+	}
+}
+
+func TestFig11SLEHelpsTrfdMost(t *testing.T) {
+	s := smallSuite()
+	res := Fig11(s)
+	for _, name := range res.Names {
+		if sp := res.Speedup[name][32]; sp < 0.97 {
+			t.Errorf("%s: SLE slowdown %.3f", name, sp)
+		}
+	}
+	// §6.3: under SLE, trfd/dyfesm achieve large speedups while all other
+	// programs stay low.
+	if res.Speedup["trfd"][32] <= res.Speedup["swm256"][32] {
+		t.Errorf("SLE: trfd (%.3f) should beat swm256 (%.3f)",
+			res.Speedup["trfd"][32], res.Speedup["swm256"][32])
+	}
+}
+
+func TestFig12VLEEliminatesAndSpeedsUp(t *testing.T) {
+	s := smallSuite()
+	res := Fig12(s)
+	for _, name := range res.Names {
+		if res.EliminatedLoads[name][32] == 0 {
+			t.Errorf("%s: no loads eliminated", name)
+		}
+		if sp := res.Speedup[name][32]; sp < 1.0 {
+			t.Errorf("%s: SLE+VLE slowdown %.3f", name, sp)
+		}
+	}
+	// bdna (69%% spill traffic) must see substantial elimination benefit.
+	if res.Speedup["bdna"][32] < 1.05 {
+		t.Errorf("bdna SLE+VLE speedup = %.3f, want >= 1.05", res.Speedup["bdna"][32])
+	}
+}
+
+func TestFig13TrafficReduction(t *testing.T) {
+	s := smallSuite()
+	res := Fig13(s)
+	for _, name := range res.Names {
+		if res.SLEVLE[name] < res.SLE[name]-0.001 {
+			t.Errorf("%s: SLE+VLE (%.3f) below SLE (%.3f)", name, res.SLEVLE[name], res.SLE[name])
+		}
+		if res.SLEVLE[name] < 1.0 {
+			t.Errorf("%s: SLE+VLE increased traffic (%.3f)", name, res.SLEVLE[name])
+		}
+	}
+	// bdna: huge spill share -> large traffic reduction.
+	if res.SLEVLE["bdna"] < 1.10 {
+		t.Errorf("bdna traffic reduction = %.3f, want >= 1.10", res.SLEVLE["bdna"])
+	}
+}
+
+func TestRunRegistry(t *testing.T) {
+	s := NewSuite(Opts{Insns: 3000, Names: []string{"flo52"}})
+	for _, name := range AllExperiments {
+		out, err := Run(s, name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+	if _, err := Run(s, "fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestSuiteCachesTraces(t *testing.T) {
+	s := smallSuite()
+	a := s.Trace("swm256")
+	b := s.Trace("swm256")
+	if a != b {
+		t.Error("trace not cached")
+	}
+	r1 := s.Ref("swm256", 50)
+	r2 := s.Ref("swm256", 50)
+	if r1 != r2 {
+		t.Error("reference run not cached")
+	}
+}

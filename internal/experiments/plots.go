@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"oovec/internal/metrics"
+	"oovec/internal/ooosim"
+	"oovec/internal/viz"
+)
+
+// Plot renders a text chart of one experiment (the figures that are charts
+// in the paper; tables render as tables via Run). Returns an error for
+// experiments with no chart form.
+func Plot(s *Suite, name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "fig3":
+		return plotStates3(Fig3(s)), nil
+	case "fig4":
+		return plotFig4(Fig4(s)), nil
+	case "fig5":
+		return plotFig5(Fig5(s)), nil
+	case "fig6":
+		return plotFig6(Fig6(s)), nil
+	case "fig7":
+		return plotFig7(Fig7(s)), nil
+	case "fig8":
+		return plotFig8(Fig8(s)), nil
+	case "fig9":
+		return plotFig9(Fig9(s)), nil
+	case "fig11":
+		return plotElim(Fig11(s)), nil
+	case "fig12":
+		return plotElim(Fig12(s)), nil
+	case "fig13":
+		return plotFig13(Fig13(s)), nil
+	}
+	return "", fmt.Errorf("experiments: no chart form for %q", name)
+}
+
+// stateParts are the legend entries of the stacked state charts.
+func stateParts() []string {
+	parts := make([]string, metrics.NumStates)
+	for st := metrics.State(0); st < metrics.NumStates; st++ {
+		parts[st] = st.String()
+	}
+	return parts
+}
+
+func breakdownRow(b metrics.Breakdown) []float64 {
+	row := make([]float64, metrics.NumStates)
+	for st := 0; st < metrics.NumStates; st++ {
+		row[st] = float64(b[st])
+	}
+	return row
+}
+
+func plotStates3(r *Fig3Result) string {
+	var b strings.Builder
+	for _, name := range r.Names {
+		labels := make([]string, len(r.Latencies))
+		data := make([][]float64, len(r.Latencies))
+		for i, lat := range r.Latencies {
+			labels[i] = fmt.Sprintf("lat=%d", lat)
+			data[i] = breakdownRow(r.Breakdown[name][lat])
+		}
+		b.WriteString(viz.Stacked("Figure 3 — "+name+" (REF state breakdown)",
+			labels, stateParts(), data, 60))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func plotFig4(r *Fig4Result) string {
+	series := make([]viz.Series, len(r.Latencies))
+	for i, lat := range r.Latencies {
+		s := viz.Series{Name: fmt.Sprintf("lat=%d", lat)}
+		for _, name := range r.Names {
+			s.Values = append(s.Values, r.IdlePct[name][lat])
+		}
+		series[i] = s
+	}
+	return viz.Grouped("Figure 4 — memory port idle % (REF)", r.Names, series, 50)
+}
+
+func plotFig5(r *Fig5Result) string {
+	var b strings.Builder
+	xs := make([]float64, len(r.Regs))
+	for i, v := range r.Regs {
+		xs[i] = float64(v)
+	}
+	for _, name := range r.Names {
+		ideal := make([]float64, len(r.Regs))
+		s16 := make([]float64, len(r.Regs))
+		s128 := make([]float64, len(r.Regs))
+		for i, regs := range r.Regs {
+			ideal[i] = r.Ideal[name]
+			s16[i] = r.Speedup16[name][regs]
+			s128[i] = r.Speedup128[name][regs]
+		}
+		b.WriteString(viz.Lines(
+			fmt.Sprintf("Figure 5 — %s (speedup vs physical registers)", name), xs,
+			[]viz.Series{
+				{Name: "IDEAL", Values: ideal, Glyph: '-'},
+				{Name: "OOOVA-16", Values: s16, Glyph: 'x'},
+				{Name: "OOOVA-128", Values: s128, Glyph: 'o'},
+			}, 56, 12))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func plotFig6(r *Fig6Result) string {
+	ref := viz.Series{Name: "REF"}
+	ooo := viz.Series{Name: "OOOVA"}
+	for _, name := range r.Names {
+		ref.Values = append(ref.Values, r.RefIdle[name])
+		ooo.Values = append(ooo.Values, r.OOOIdle[name])
+	}
+	return viz.Grouped("Figure 6 — memory port idle % (latency 50, 16 regs)",
+		r.Names, []viz.Series{ref, ooo}, 50)
+}
+
+func plotFig7(r *Fig7Result) string {
+	labels := make([]string, 0, 2*len(r.Names))
+	data := make([][]float64, 0, 2*len(r.Names))
+	for _, name := range r.Names {
+		labels = append(labels, name+"/REF", name+"/OOO")
+		data = append(data, breakdownRow(r.Ref[name]), breakdownRow(r.OOO[name]))
+	}
+	return viz.Stacked("Figure 7 — execution-cycle breakdown", labels, stateParts(), data, 60)
+}
+
+func plotFig8(r *Fig8Result) string {
+	var b strings.Builder
+	xs := make([]float64, len(r.Latencies))
+	for i, v := range r.Latencies {
+		xs[i] = float64(v)
+	}
+	for _, name := range r.Names {
+		ref := make([]float64, len(r.Latencies))
+		ooo := make([]float64, len(r.Latencies))
+		ideal := make([]float64, len(r.Latencies))
+		for i, lat := range r.Latencies {
+			ref[i] = float64(r.RefCycles[name][lat]) / 1000
+			ooo[i] = float64(r.OOOCycles[name][lat]) / 1000
+			ideal[i] = float64(r.Ideal[name]) / 1000
+		}
+		b.WriteString(viz.Lines(
+			fmt.Sprintf("Figure 8 — %s (kilocycles vs memory latency)", name), xs,
+			[]viz.Series{
+				{Name: "REF", Values: ref, Glyph: '+'},
+				{Name: "OOOVA-16", Values: ooo, Glyph: 'x'},
+				{Name: "IDEAL", Values: ideal, Glyph: '-'},
+			}, 56, 12))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func plotFig9(r *Fig9Result) string {
+	var b strings.Builder
+	xs := make([]float64, len(r.Regs))
+	for i, v := range r.Regs {
+		xs[i] = float64(v)
+	}
+	for _, name := range r.Names {
+		early := make([]float64, len(r.Regs))
+		late := make([]float64, len(r.Regs))
+		ideal := make([]float64, len(r.Regs))
+		for i, regs := range r.Regs {
+			early[i] = r.Early[name][regs]
+			late[i] = r.Late[name][regs]
+			ideal[i] = r.Ideal[name]
+		}
+		b.WriteString(viz.Lines(
+			fmt.Sprintf("Figure 9 — %s (early vs late commit)", name), xs,
+			[]viz.Series{
+				{Name: "IDEAL", Values: ideal, Glyph: '-'},
+				{Name: "early", Values: early, Glyph: 'x'},
+				{Name: "late", Values: late, Glyph: 'o'},
+			}, 56, 12))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func plotElim(r *ElimResult) string {
+	fig := "Figure 11 — SLE speedup"
+	if r.Mode != ooosim.ElimSLE {
+		fig = "Figure 12 — SLE+VLE speedup"
+	}
+	series := make([]viz.Series, len(r.Regs))
+	for i, regs := range r.Regs {
+		s := viz.Series{Name: fmt.Sprintf("%d regs", regs)}
+		for _, name := range r.Names {
+			s.Values = append(s.Values, r.Speedup[name][regs])
+		}
+		series[i] = s
+	}
+	return viz.Grouped(fig+" (over late-commit OOOVA)", r.Names, series, 40)
+}
+
+func plotFig13(r *Fig13Result) string {
+	sle := viz.Series{Name: "SLE"}
+	vle := viz.Series{Name: "SLE+VLE"}
+	for _, name := range r.Names {
+		sle.Values = append(sle.Values, r.SLE[name])
+		vle.Values = append(vle.Values, r.SLEVLE[name])
+	}
+	return viz.Grouped("Figure 13 — traffic reduction ratio (32 regs)",
+		r.Names, []viz.Series{sle, vle}, 40)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotAllFigures(t *testing.T) {
+	s := NewSuite(Opts{Insns: 3000, Names: []string{"flo52", "trfd"}})
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig11", "fig12", "fig13"} {
+		out, err := Plot(s, name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty chart", name)
+		}
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("%s: missing title", name)
+		}
+	}
+}
+
+func TestPlotTablesRejected(t *testing.T) {
+	s := NewSuite(Opts{Insns: 2000, Names: []string{"flo52"}})
+	for _, name := range []string{"table1", "table2", "table3", "nonesuch"} {
+		if _, err := Plot(s, name); err == nil {
+			t.Errorf("%s: expected error (no chart form)", name)
+		}
+	}
+}
+
+func TestPlotFig5HasAllSeries(t *testing.T) {
+	s := NewSuite(Opts{Insns: 3000, Names: []string{"flo52"}})
+	out, err := Plot(s, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IDEAL", "OOOVA-16", "OOOVA-128", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 chart missing %q", want)
+		}
+	}
+}
+
+func TestPlotFig7CoversBothMachines(t *testing.T) {
+	s := NewSuite(Opts{Insns: 3000, Names: []string{"flo52"}})
+	out, err := Plot(s, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flo52/REF") || !strings.Contains(out, "flo52/OOO") {
+		t.Error("fig7 chart missing machine rows")
+	}
+}

@@ -1,0 +1,295 @@
+// Package funcsim executes traces at value level. The timing simulators
+// (refsim, ooosim) never touch data values; funcsim complements them by
+// checking the *correctness* arguments of the paper:
+//
+//   - The §6 load-elimination invariant: whenever a physical register
+//     carries a valid memory tag, the register's value equals the memory
+//     contents of the tagged range — so renaming a load onto that register
+//     (or copying from it) observes exactly the bytes memory holds.
+//     Validate runs the tag protocol (the same rename.TagFile used by
+//     ooosim) against a value-level machine and verifies the invariant at
+//     every load that would be eliminated.
+//
+//   - The necessity of conservative invalidation: with the unsafe
+//     exact-only policy, partially overlapping stores leave stale tags and
+//     Validate reports value mismatches.
+//
+// The value semantics are deterministic and total (wrap-around uint64
+// arithmetic; division guards against zero); any deterministic semantics
+// suffices for the invariant check.
+package funcsim
+
+import (
+	"fmt"
+
+	"oovec/internal/isa"
+	"oovec/internal/mem"
+	"oovec/internal/rename"
+	"oovec/internal/trace"
+)
+
+// State is the architectural value state of the machine.
+type State struct {
+	A [isa.NumLogicalA]uint64
+	S [isa.NumLogicalS]uint64
+	V [isa.NumLogicalV][]uint64
+	// Mask holds one bit per element.
+	Mask []bool
+	// Mem is the functional memory image.
+	Mem *mem.Memory
+}
+
+// NewState returns a deterministic non-trivial initial state (registers
+// seeded with distinct values so aliasing bugs surface).
+func NewState() *State {
+	st := &State{Mem: mem.NewMemory(), Mask: make([]bool, isa.MaxVL)}
+	for i := range st.A {
+		st.A[i] = uint64(0xA0 + i)
+	}
+	for i := range st.S {
+		st.S[i] = uint64(0x500 + i*7)
+	}
+	for i := range st.V {
+		st.V[i] = make([]uint64, isa.MaxVL)
+		for e := range st.V[i] {
+			st.V[i][e] = uint64(i)<<32 | uint64(e)
+		}
+	}
+	return st
+}
+
+// vecOf returns the first n elements of vector register r.
+func (st *State) vecOf(r isa.Reg, n int) []uint64 {
+	return st.V[r.Idx][:n]
+}
+
+// scalarOf reads a scalar register.
+func (st *State) scalarOf(r isa.Reg) uint64 {
+	switch r.Class {
+	case isa.RegA:
+		return st.A[r.Idx]
+	case isa.RegS:
+		return st.S[r.Idx]
+	}
+	return 0
+}
+
+// setScalar writes a scalar register.
+func (st *State) setScalar(r isa.Reg, v uint64) {
+	switch r.Class {
+	case isa.RegA:
+		st.A[r.Idx] = v
+	case isa.RegS:
+		st.S[r.Idx] = v
+	}
+}
+
+// binop applies the deterministic value function of op.
+func binop(op isa.Op, a, b uint64) uint64 {
+	switch op {
+	case isa.OpVAdd, isa.OpSAdd, isa.OpAAdd, isa.OpVSAdd:
+		return a + b
+	case isa.OpVMul, isa.OpSMul, isa.OpAMul, isa.OpVSMul:
+		return a * b
+	case isa.OpVDiv, isa.OpSDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case isa.OpVSqrt, isa.OpSSqrt:
+		return a >> 1 // any deterministic unary stand-in
+	case isa.OpVLogic, isa.OpSLogic:
+		return a ^ b
+	case isa.OpVShift, isa.OpSShift:
+		return a<<1 | b>>63
+	case isa.OpSMove, isa.OpAMove:
+		return a
+	}
+	return a + b
+}
+
+// Execute runs the whole trace against st, updating registers and memory.
+func Execute(t *trace.Trace, st *State) {
+	for i := range t.Insns {
+		Step(&t.Insns[i], st)
+	}
+}
+
+// Step executes one instruction at value level.
+func Step(in *isa.Instruction, st *State) {
+	n := in.EffVL()
+	switch in.Op {
+	case isa.OpNop, isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpReturn,
+		isa.OpSetVL, isa.OpSetVS:
+		return
+
+	case isa.OpALoad, isa.OpSLoad:
+		st.setScalar(in.Dst, st.Mem.ReadWord(in.Addr))
+	case isa.OpAStore, isa.OpSStore:
+		st.Mem.WriteWord(in.Addr, st.scalarOf(in.Src1))
+
+	case isa.OpVLoad:
+		vals := st.Mem.ReadVector(in.Addr, n, int64(in.VS))
+		copy(st.V[in.Dst.Idx], vals)
+	case isa.OpVStore:
+		st.Mem.WriteVector(in.Addr, st.vecOf(in.Src1, n), int64(in.VS))
+	case isa.OpVGather:
+		idx := st.vecOf(in.Src2, n)
+		for e := 0; e < n; e++ {
+			st.V[in.Dst.Idx][e] = st.Mem.ReadWord(in.Addr + (idx[e]%isa.MaxVL)*isa.ElemBytes)
+		}
+	case isa.OpVScatter:
+		idx := st.vecOf(in.Src2, n)
+		src := st.vecOf(in.Src1, n)
+		for e := 0; e < n; e++ {
+			st.Mem.WriteWord(in.Addr+(idx[e]%isa.MaxVL)*isa.ElemBytes, src[e])
+		}
+
+	case isa.OpVCmp:
+		a, b := st.vecOf(in.Src1, n), st.vecOf(in.Src2, n)
+		for e := 0; e < n; e++ {
+			st.Mask[e] = a[e] > b[e]
+		}
+	case isa.OpVMerge:
+		a, b := st.vecOf(in.Src1, n), st.vecOf(in.Src2, n)
+		for e := 0; e < n; e++ {
+			if st.Mask[e] {
+				st.V[in.Dst.Idx][e] = a[e]
+			} else {
+				st.V[in.Dst.Idx][e] = b[e]
+			}
+		}
+	case isa.OpVReduce:
+		var sum uint64
+		for _, v := range st.vecOf(in.Src1, n) {
+			sum += v
+		}
+		st.setScalar(in.Dst, sum)
+
+	case isa.OpVSAdd, isa.OpVSMul:
+		a := st.vecOf(in.Src1, n)
+		s := st.scalarOf(in.Src2)
+		for e := 0; e < n; e++ {
+			st.V[in.Dst.Idx][e] = binop(in.Op, a[e], s)
+		}
+
+	case isa.OpVAdd, isa.OpVMul, isa.OpVDiv, isa.OpVSqrt, isa.OpVLogic, isa.OpVShift:
+		a, b := st.vecOf(in.Src1, n), st.vecOf(in.Src2, n)
+		for e := 0; e < n; e++ {
+			st.V[in.Dst.Idx][e] = binop(in.Op, a[e], b[e])
+		}
+
+	default: // scalar ALU
+		st.setScalar(in.Dst, binop(in.Op, st.scalarOf(in.Src1), st.scalarOf(in.Src2)))
+	}
+}
+
+// Violation records one failure of the load-elimination invariant: a load
+// whose tag matched a register whose value does NOT equal memory.
+type Violation struct {
+	// Index is the trace position of the load.
+	Index int
+	// Register is the logical vector register whose physical tag matched.
+	Register int
+	// Element is the first mismatching element.
+	Element int
+	// Got and Want are the register's and memory's values at that element.
+	Got, Want uint64
+}
+
+// String formats the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("insn %d: tag match on v%d but element %d holds %#x, memory holds %#x",
+		v.Index, v.Register, v.Element, v.Got, v.Want)
+}
+
+// Report is the outcome of Validate.
+type Report struct {
+	// Eliminations is the number of loads whose tags matched (and that the
+	// OOOVA would eliminate).
+	Eliminations int
+	// Checked is the number of element comparisons performed.
+	Checked int
+	// Violations lists invariant failures (empty under the conservative
+	// §6.1 invalidation policy).
+	Violations []Violation
+}
+
+// Validate runs the §6 tag protocol at value level over the trace: tags
+// are set by loads and stores and invalidated by stores exactly as the
+// OOOVA does, and every tag match is checked against memory contents.
+// exactInvalidation selects the unsafe ablation policy; with the paper's
+// conservative policy the returned report must contain no violations.
+//
+// The tag file is indexed by *logical* register here: funcsim has no
+// renamer, and the invariant — tagged register mirrors memory — is
+// identical under any injective register mapping.
+func Validate(t *trace.Trace, exactInvalidation bool) *Report {
+	st := NewState()
+	tags := rename.NewTagFile(isa.NumLogicalV)
+	rep := &Report{}
+
+	for i := range t.Insns {
+		in := &t.Insns[i]
+		n := in.EffVL()
+		taggable := in.Op == isa.OpVLoad || in.Op == isa.OpVStore
+
+		if in.Op == isa.OpVLoad {
+			rs, re := in.MemRange()
+			tag := rename.Tag{Start: rs, End: re, VL: uint16(n), VS: in.VS,
+				Sz: isa.ElemBytes, Valid: true}
+			if match := tags.FindExact(tag); match >= 0 {
+				// The OOOVA would eliminate this load: the destination
+				// would be renamed onto `match`. Verify the invariant.
+				rep.Eliminations++
+				want := st.Mem.ReadVector(in.Addr, n, int64(in.VS))
+				got := st.V[match][:n]
+				for e := 0; e < n; e++ {
+					rep.Checked++
+					if got[e] != want[e] {
+						rep.Violations = append(rep.Violations, Violation{
+							Index: i, Register: match, Element: e,
+							Got: got[e], Want: want[e],
+						})
+						break
+					}
+				}
+			}
+		}
+
+		// Execute the instruction's value semantics.
+		Step(in, st)
+
+		// Tag maintenance, mirroring ooosim.execMem.
+		switch {
+		case in.Op == isa.OpVLoad:
+			rs, re := in.MemRange()
+			tags.Set(int(in.Dst.Idx), rename.Tag{Start: rs, End: re,
+				VL: uint16(n), VS: in.VS, Sz: isa.ElemBytes, Valid: true})
+		case in.Op.IsStore() && in.Op.IsVector():
+			rs, re := in.MemRange()
+			own := -1
+			if taggable {
+				own = int(in.Src1.Idx)
+				tags.Set(own, rename.Tag{Start: rs, End: re,
+					VL: uint16(n), VS: in.VS, Sz: isa.ElemBytes, Valid: true})
+			}
+			if exactInvalidation {
+				tags.InvalidateExact(rs, re, own)
+			} else {
+				tags.InvalidateOverlap(rs, re, own)
+			}
+		case in.Op.IsStore():
+			rs, re := in.MemRange()
+			if exactInvalidation {
+				tags.InvalidateExact(rs, re, -1)
+			} else {
+				tags.InvalidateOverlap(rs, re, -1)
+			}
+		case in.WritesReg() && in.Dst.Class == isa.RegV:
+			// A functional-unit result no longer mirrors memory.
+			tags.Invalidate(int(in.Dst.Idx))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,241 @@
+package funcsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oovec/internal/isa"
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+func TestVectorLoadStoreRoundTrip(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(8, isa.A(0))
+	b.VStore(isa.V(3), 0x1000)
+	b.VLoad(isa.V(5), 0x1000)
+	tr := b.Build()
+	st := NewState()
+	Execute(tr, st)
+	for e := 0; e < 8; e++ {
+		if st.V[5][e] != st.V[3][e] {
+			t.Fatalf("element %d: %#x != %#x", e, st.V[5][e], st.V[3][e])
+		}
+	}
+}
+
+func TestStridedStoreLoad(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(4, isa.A(0))
+	b.SetVS(32, isa.A(1))
+	b.VStore(isa.V(2), 0x2000)
+	b.VLoad(isa.V(6), 0x2000)
+	tr := b.Build()
+	st := NewState()
+	Execute(tr, st)
+	for e := 0; e < 4; e++ {
+		if st.V[6][e] != st.V[2][e] {
+			t.Fatalf("strided element %d mismatch", e)
+		}
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(4, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(2), isa.V(0), isa.V(1))
+	b.Vector(isa.OpVMul, isa.V(3), isa.V(0), isa.V(1))
+	tr := b.Build()
+	st := NewState()
+	v0, v1 := append([]uint64(nil), st.V[0]...), append([]uint64(nil), st.V[1]...)
+	Execute(tr, st)
+	for e := 0; e < 4; e++ {
+		if st.V[2][e] != v0[e]+v1[e] {
+			t.Errorf("add element %d", e)
+		}
+		if st.V[3][e] != v0[e]*v1[e] {
+			t.Errorf("mul element %d", e)
+		}
+	}
+}
+
+func TestMaskedMerge(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(4, isa.A(0))
+	b.Vector(isa.OpVCmp, isa.VM(), isa.V(1), isa.V(0)) // v1 > v0 elementwise
+	b.Vector(isa.OpVMerge, isa.V(4), isa.V(1), isa.V(0))
+	tr := b.Build()
+	st := NewState()
+	Execute(tr, st)
+	for e := 0; e < 4; e++ {
+		want := st.V[0][e]
+		if st.V[1][e] > st.V[0][e] {
+			want = st.V[1][e]
+		}
+		if st.V[4][e] != want {
+			t.Errorf("merge element %d = %#x, want %#x", e, st.V[4][e], want)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(4, isa.A(0))
+	b.Scatter(isa.V(2), isa.V(1), 0x8000)
+	b.Gather(isa.V(6), isa.V(1), 0x8000)
+	tr := b.Build()
+	st := NewState()
+	Execute(tr, st)
+	for e := 0; e < 4; e++ {
+		if st.V[6][e] != st.V[2][e] {
+			t.Errorf("gather element %d mismatch", e)
+		}
+	}
+}
+
+func TestScalarOpsAndReduce(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.Scalar(isa.OpSAdd, isa.S(3), isa.S(1), isa.S(2))
+	b.SetVL(4, isa.A(0))
+	b.Raw(isa.Instruction{Op: isa.OpVReduce, Dst: isa.S(4), Src1: isa.V(2), VL: 4})
+	tr := b.Build()
+	st := NewState()
+	s1, s2 := st.S[1], st.S[2]
+	var sum uint64
+	for e := 0; e < 4; e++ {
+		sum += st.V[2][e]
+	}
+	Execute(tr, st)
+	if st.S[3] != s1+s2 {
+		t.Error("scalar add wrong")
+	}
+	if st.S[4] != sum {
+		t.Errorf("reduce = %#x, want %#x", st.S[4], sum)
+	}
+}
+
+func TestValidateSpillPairInvariantHolds(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(16, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.Vector(isa.OpVMul, isa.V(1), isa.V(0), isa.V(3)) // clobber the register
+	b.SpillLoad(isa.V(4), 0x900000)                    // tag still matches v1's spill
+	tr := b.Build()
+	rep := Validate(tr, false)
+	// The clobber invalidated v1's tag (FU write), so the reload matches
+	// nothing... unless the store's tag was on v1 — which the FU write
+	// kills too. Either way: zero violations.
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}
+
+func TestValidateRepeatedLoadEliminatedCorrectly(t *testing.T) {
+	b := trace.NewBuilder("t")
+	b.SetVL(16, isa.A(0))
+	b.VStore(isa.V(2), 0x4000)
+	b.VLoad(isa.V(1), 0x4000)
+	b.VLoad(isa.V(5), 0x4000) // matches v1's (or v2's) tag
+	tr := b.Build()
+	rep := Validate(tr, false)
+	if rep.Eliminations == 0 {
+		t.Fatal("expected at least one elimination")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}
+
+func TestValidateConservativePolicyOnAllPresets(t *testing.T) {
+	// The §6 correctness claim, checked end to end: across all ten
+	// benchmark traces, no eliminated load ever observes a value different
+	// from memory.
+	for _, p := range tgen.Presets() {
+		p.Insns = 6000
+		tr := tgen.Generate(p)
+		rep := Validate(tr, false)
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s: %d violations, first: %v", p.Name, len(rep.Violations), rep.Violations[0])
+		}
+		if p.SpillTrafficPct > 15 && rep.Eliminations == 0 {
+			t.Errorf("%s: spilly program with no eliminations", p.Name)
+		}
+	}
+}
+
+func TestValidateExactInvalidationIsUnsafe(t *testing.T) {
+	// A partially overlapping store must kill the tag; the exact-only
+	// ablation keeps it and serves stale data.
+	b := trace.NewBuilder("t")
+	b.SetVL(16, isa.A(0))
+	b.VStore(isa.V(2), 0x4000) // tag v2 = [0x4000, 16 elems]
+	b.SetVL(4, isa.A(1))
+	b.VStore(isa.V(3), 0x4010) // partial overwrite (different range)
+	b.SetVL(16, isa.A(2))
+	b.VLoad(isa.V(5), 0x4000) // exact-match against v2's stale tag
+	tr := b.Build()
+
+	unsafeRep := Validate(tr, true)
+	if len(unsafeRep.Violations) == 0 {
+		t.Error("exact-only invalidation should produce a stale-value violation")
+	}
+	safeRep := Validate(tr, false)
+	if len(safeRep.Violations) != 0 {
+		t.Errorf("conservative policy violated: %v", safeRep.Violations)
+	}
+}
+
+func TestPropertyEliminationInvariantOnRandomTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := trace.NewBuilder("prop")
+		vl := 4 + r.Intn(28)
+		b.SetVL(vl, isa.A(0))
+		// Random mix over a small address pool to force tag churn.
+		for i := 0; i < 300; i++ {
+			addr := uint64(0x1000 + r.Intn(8)*0x40)
+			switch r.Intn(5) {
+			case 0:
+				b.VLoad(isa.V(r.Intn(8)), addr)
+			case 1:
+				b.VStore(isa.V(r.Intn(8)), addr)
+			case 2:
+				b.Vector(isa.OpVAdd, isa.V(r.Intn(8)), isa.V(r.Intn(8)), isa.V(r.Intn(8)))
+			case 3:
+				b.SpillStore(isa.V(r.Intn(8)), addr+0x10000)
+			case 4:
+				b.SpillLoad(isa.V(r.Intn(8)), addr+0x10000)
+			}
+			if r.Intn(16) == 0 {
+				nvl := 4 + r.Intn(28)
+				b.SetVL(nvl, isa.A(1))
+			}
+		}
+		rep := Validate(b.Build(), false)
+		return len(rep.Violations) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	p, _ := tgen.PresetByName("flo52")
+	p.Insns = 3000
+	tr := tgen.Generate(p)
+	a, b := NewState(), NewState()
+	Execute(tr, a)
+	Execute(tr, b)
+	for i := range a.V {
+		for e := range a.V[i] {
+			if a.V[i][e] != b.V[i][e] {
+				t.Fatalf("nondeterministic value at v%d[%d]", i, e)
+			}
+		}
+	}
+	if a.Mem.Footprint() != b.Mem.Footprint() {
+		t.Error("memory footprints differ")
+	}
+}

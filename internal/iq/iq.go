@@ -1,0 +1,165 @@
+// Package iq models the four instruction queues of the OOOVA (§2.2).
+//
+// The A, S and V queues are simple out-of-order issue windows: they "monitor
+// the ready status of all instructions held in the queue slots and as soon
+// as an instruction is ready, it is sent to the appropriate functional unit"
+// — one instruction per queue per cycle.
+//
+// The M (memory) queue is different: instructions first proceed *in order*
+// through a three-stage pipeline — Issue/RF, Range (computing the address
+// range the instruction may touch) and Dependence (run-time memory
+// disambiguation against previous instructions in the queue) — and only
+// then may issue memory requests out of order.
+package iq
+
+import "oovec/internal/sched"
+
+// DefaultSlots is the paper's queue capacity ("All instruction queues are
+// set at 16 slots"); the OOOVA-128 configuration uses 128.
+const DefaultSlots = 16
+
+// Queue is an A/S/V-style out-of-order issue queue.
+type Queue struct {
+	window *sched.RingWindow
+	slots  *sched.Gap
+
+	issued int64
+}
+
+// NewQueue returns a queue with the given capacity.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultSlots
+	}
+	return &Queue{
+		window: sched.NewRingWindow(capacity),
+		slots:  sched.NewGap(),
+	}
+}
+
+// AdmitConstraint returns the earliest cycle a new instruction can be
+// admitted (decode stalls until the queue has a slot).
+func (q *Queue) AdmitConstraint() int64 { return q.window.FreeAt() }
+
+// Issue admits an instruction that enters the queue at `enter` and whose
+// operands are ready at `ready`, books the 1-per-cycle issue port at the
+// first free cycle at or after max(enter, ready), records the slot's
+// occupancy, and returns the issue cycle.
+func (q *Queue) Issue(enter, ready int64) int64 {
+	at := enter
+	if ready > at {
+		at = ready
+	}
+	t := q.slots.Allocate(at, 1)
+	q.window.Admit(t)
+	q.issued++
+	return t
+}
+
+// Issued returns the number of instructions issued.
+func (q *Queue) Issued() int64 { return q.issued }
+
+// memEntry is the disambiguation record of one memory instruction.
+type memEntry struct {
+	start, end uint64
+	isStore    bool
+	busEnd     int64
+}
+
+// maxScan bounds the conflict scan. Entries further back have left the
+// queue long ago; with the address bus serialising at one request per cycle
+// their requests are necessarily far in the past.
+const maxScan = 256
+
+// MemQueue is the memory instruction queue with its in-order front pipeline
+// and range-based disambiguation.
+type MemQueue struct {
+	window *sched.RingWindow
+	// The three in-order front stages, each processing one instruction per
+	// cycle.
+	issueRF, rangeSt, depSt *sched.Monotonic
+
+	entries [maxScan]memEntry
+	n       int // total entries recorded
+	scanWin int
+
+	conflicts int64
+}
+
+// NewMemQueue returns a memory queue with the given capacity.
+func NewMemQueue(capacity int) *MemQueue {
+	if capacity <= 0 {
+		capacity = DefaultSlots
+	}
+	scan := capacity
+	if scan > maxScan {
+		scan = maxScan
+	}
+	return &MemQueue{
+		window:  sched.NewRingWindow(capacity),
+		issueRF: sched.NewMonotonic(),
+		rangeSt: sched.NewMonotonic(),
+		depSt:   sched.NewMonotonic(),
+		scanWin: scan,
+	}
+}
+
+// AdmitConstraint returns the earliest cycle a new memory instruction can be
+// admitted to the queue.
+func (q *MemQueue) AdmitConstraint() int64 { return q.window.FreeAt() }
+
+// Advance pushes an instruction entering the queue at `enter` through the
+// three in-order front stages and returns the cycle it leaves the
+// Dependence stage (after which it may issue out of order).
+func (q *MemQueue) Advance(enter int64) int64 {
+	s1 := q.issueRF.Allocate(enter, 1)
+	s2 := q.rangeSt.Allocate(s1+1, 1)
+	s3 := q.depSt.Allocate(s2+1, 1)
+	return s3 + 1
+}
+
+// ConflictConstraint performs the Dependence-stage check: it returns the
+// earliest cycle this access (byte range [start, end], store flag) may
+// issue, given the previous memory instructions in the queue. An access
+// conflicts with an earlier one when their ranges overlap and at least one
+// of the two is a store; the younger access must then wait until the older
+// one has issued all its requests.
+func (q *MemQueue) ConflictConstraint(start, end uint64, isStore bool) int64 {
+	var at int64
+	lo := q.n - q.scanWin
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < q.n; i++ {
+		e := &q.entries[i%maxScan]
+		if !(isStore || e.isStore) {
+			continue // load-load never conflicts
+		}
+		if e.start <= end && start <= e.end {
+			if e.busEnd > at {
+				at = e.busEnd
+			}
+		}
+	}
+	if at > 0 {
+		q.conflicts++
+	}
+	return at
+}
+
+// Record registers an issued memory access for later disambiguation and
+// books its queue slot (the slot frees when the instruction proceeds to
+// issue requests, at busStart).
+func (q *MemQueue) Record(start, end uint64, isStore bool, busStart, busEnd int64) {
+	q.entries[q.n%maxScan] = memEntry{start: start, end: end, isStore: isStore, busEnd: busEnd}
+	q.n++
+	q.window.Admit(busStart)
+}
+
+// Admit books a queue slot without a disambiguation record; callers that
+// track disambiguation themselves use this to model slot occupancy only.
+// The slot frees when the instruction leaves the queue (issues requests).
+func (q *MemQueue) Admit(leaveAt int64) { q.window.Admit(leaveAt) }
+
+// Conflicts returns the number of accesses delayed by disambiguation.
+func (q *MemQueue) Conflicts() int64 { return q.conflicts }

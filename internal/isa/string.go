@@ -1,0 +1,93 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+var opNames = [NumOps]string{
+	OpNop:      "nop",
+	OpAAdd:     "a.add",
+	OpAMul:     "a.mul",
+	OpAMove:    "a.mov",
+	OpALoad:    "a.ld",
+	OpAStore:   "a.st",
+	OpSAdd:     "s.add",
+	OpSMul:     "s.mul",
+	OpSDiv:     "s.div",
+	OpSSqrt:    "s.sqrt",
+	OpSLogic:   "s.log",
+	OpSShift:   "s.shf",
+	OpSMove:    "s.mov",
+	OpSLoad:    "s.ld",
+	OpSStore:   "s.st",
+	OpBranch:   "br",
+	OpJump:     "jmp",
+	OpCall:     "call",
+	OpReturn:   "ret",
+	OpSetVL:    "setvl",
+	OpSetVS:    "setvs",
+	OpVAdd:     "v.add",
+	OpVMul:     "v.mul",
+	OpVDiv:     "v.div",
+	OpVSqrt:    "v.sqrt",
+	OpVLogic:   "v.log",
+	OpVShift:   "v.shf",
+	OpVCmp:     "v.cmp",
+	OpVMerge:   "v.mrg",
+	OpVSMul:    "vs.mul",
+	OpVSAdd:    "vs.add",
+	OpVReduce:  "v.red",
+	OpVLoad:    "v.ld",
+	OpVStore:   "v.st",
+	OpVGather:  "v.gth",
+	OpVScatter: "v.sct",
+}
+
+// String returns the mnemonic of the operation.
+func (o Op) String() string {
+	if int(o) < NumOps && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// String renders the instruction in a readable assembly-like form, e.g.
+//
+//	v.ld v2, 0x1000(vl=64,vs=8)
+//	v.add v3, v1, v2 (vl=64)
+//	br 0x40 taken
+func (in *Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	sep := " "
+	put := func(r Reg) {
+		if r.Class == RegNone {
+			return
+		}
+		b.WriteString(sep)
+		b.WriteString(r.String())
+		sep = ", "
+	}
+	put(in.Dst)
+	put(in.Src1)
+	put(in.Src2)
+	switch {
+	case in.Op.IsMem() && in.Op.IsVector():
+		fmt.Fprintf(&b, "%s0x%x(vl=%d,vs=%d)", sep, in.Addr, in.VL, in.VS)
+	case in.Op.IsMem():
+		fmt.Fprintf(&b, "%s0x%x", sep, in.Addr)
+	case in.Op.IsBranch():
+		dir := "not-taken"
+		if in.Taken {
+			dir = "taken"
+		}
+		fmt.Fprintf(&b, "%s0x%x %s", sep, in.Addr, dir)
+	case in.Op.IsVector():
+		fmt.Fprintf(&b, " (vl=%d)", in.VL)
+	}
+	if in.Spill {
+		b.WriteString(" ;spill")
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+// Package mem models the memory system of both simulated machines and
+// provides a functional (value-level) memory image.
+//
+// The paper's memory model (§2.2 "Machine Parameters"):
+//
+//   - a single address bus shared by all types of memory transactions
+//     (scalar/vector, load/store), issuing at most one request per cycle;
+//   - physically separate data busses for sending and receiving data;
+//   - vector load instructions pay an initial latency and then receive one
+//     datum from memory per cycle;
+//   - vector store instructions do not result in observed latency;
+//   - main-memory latency is a parameter (the paper uses 50 cycles as the
+//     default and varies it between 1 and 100).
+package mem
+
+// DefaultLatency is the paper's default main-memory latency in cycles.
+const DefaultLatency = 50
+
+// Config carries the memory-system parameters.
+type Config struct {
+	// Latency is the main-memory access latency in cycles.
+	Latency int64
+}
+
+// DefaultConfig returns the paper's default memory configuration.
+func DefaultConfig() Config { return Config{Latency: DefaultLatency} }
+
+// AddressBus models the single shared address port. Reservations are
+// contiguous cycle intervals (one request per cycle); the bus tracks total
+// busy cycles and total requests so the simulators can report the
+// memory-port idle percentages of Figures 4 and 6 and the traffic counts of
+// Figure 13 without per-cycle bookkeeping.
+type AddressBus struct {
+	nextFree int64
+	busy     int64
+	requests int64
+}
+
+// Reserve books n consecutive request slots starting no earlier than
+// `earliest` and no earlier than the end of the previous reservation.
+// It returns the cycle of the first slot.
+func (b *AddressBus) Reserve(earliest, n int64) int64 {
+	if n <= 0 {
+		return earliest
+	}
+	start := earliest
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	b.nextFree = start + n
+	b.busy += n
+	b.requests += n
+	return start
+}
+
+// NextFree returns the first cycle at which the bus has no reservation.
+func (b *AddressBus) NextFree() int64 { return b.nextFree }
+
+// BusyCycles returns the total number of cycles the bus spent issuing
+// requests.
+func (b *AddressBus) BusyCycles() int64 { return b.busy }
+
+// Requests returns the total number of requests (element transfers) issued.
+func (b *AddressBus) Requests() int64 { return b.requests }
+
+// Reset clears the bus state.
+func (b *AddressBus) Reset() { *b = AddressBus{} }
+
+// Memory is a sparse functional memory of 64-bit words. The simulators are
+// timing simulators and do not need values, but the dynamic load elimination
+// tests and the examples use Memory to check value-level correctness of the
+// elimination (an eliminated load must observe exactly the bytes the memory
+// holds).
+type Memory struct {
+	words map[uint64]uint64
+}
+
+// NewMemory returns an empty memory; unwritten words read as zero.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint64]uint64)}
+}
+
+// align returns the word-aligned address containing addr.
+func align(addr uint64) uint64 { return addr &^ 7 }
+
+// ReadWord returns the 64-bit word containing addr.
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	return m.words[align(addr)]
+}
+
+// WriteWord stores a 64-bit word at the word containing addr.
+func (m *Memory) WriteWord(addr uint64, v uint64) {
+	m.words[align(addr)] = v
+}
+
+// ReadVector reads n words starting at base with the given byte stride.
+func (m *Memory) ReadVector(base uint64, n int, stride int64) []uint64 {
+	out := make([]uint64, n)
+	a := int64(base)
+	for i := 0; i < n; i++ {
+		out[i] = m.ReadWord(uint64(a))
+		a += stride
+	}
+	return out
+}
+
+// WriteVector writes the given words starting at base with the given byte
+// stride.
+func (m *Memory) WriteVector(base uint64, vals []uint64, stride int64) {
+	a := int64(base)
+	for _, v := range vals {
+		m.WriteWord(uint64(a), v)
+		a += stride
+	}
+}
+
+// Footprint returns the number of distinct words ever written.
+func (m *Memory) Footprint() int { return len(m.words) }

@@ -1,0 +1,243 @@
+// Package metrics computes the measurements the paper reports: the
+// eight-state (FU2, FU1, MEM) execution-cycle breakdown of Figures 3 and 7,
+// the memory-port idle percentages of Figures 4 and 6, the IDEAL speedup
+// bound of Figures 5 and 8, and assorted speedup/traffic helpers.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"oovec/internal/isa"
+	"oovec/internal/sched"
+	"oovec/internal/trace"
+)
+
+// State is the paper's 3-tuple machine state: which of the three vector-unit
+// resources (FU2, FU1, MEM) are busy in a cycle. Encoded as a bitmask.
+type State uint8
+
+// Bit assignments within State.
+const (
+	StateMEM State = 1 << iota
+	StateFU1
+	StateFU2
+)
+
+// NumStates is the number of distinct (FU2, FU1, MEM) states.
+const NumStates = 8
+
+// String renders the state in the paper's tuple notation, e.g.
+// "<FU2,FU1,MEM>" or "< , , >".
+func (s State) String() string {
+	f2, f1, m := " ", " ", " "
+	if s&StateFU2 != 0 {
+		f2 = "FU2"
+	}
+	if s&StateFU1 != 0 {
+		f1 = "FU1"
+	}
+	if s&StateMEM != 0 {
+		m = "MEM"
+	}
+	return fmt.Sprintf("<%s,%s,%s>", f2, f1, m)
+}
+
+// Breakdown is the number of cycles spent in each of the eight states.
+type Breakdown [NumStates]int64
+
+// Total returns the sum over all states (the measured execution time).
+func (b Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Idle returns the cycles in state < , , > (all vector units idle).
+func (b Breakdown) Idle() int64 { return b[0] }
+
+// FullyBusy returns the cycles in state <FU2,FU1,MEM>.
+func (b Breakdown) FullyBusy() int64 { return b[StateFU2|StateFU1|StateMEM] }
+
+// MemIdleCycles returns the cycles in the four states where the MEM unit is
+// idle — the quantity of Figure 4 ("these four states correspond to cycles
+// where the memory port could potentially be used").
+func (b Breakdown) MemIdleCycles() int64 {
+	var t int64
+	for s := State(0); s < NumStates; s++ {
+		if s&StateMEM == 0 {
+			t += b[s]
+		}
+	}
+	return t
+}
+
+// StateBreakdown sweeps the busy intervals of the three vector units and
+// returns the exact per-state cycle counts over [0, total).
+func StateBreakdown(fu2, fu1, mem []sched.Interval, total int64) Breakdown {
+	type edge struct {
+		t   int64
+		bit State
+		on  bool
+	}
+	var edges []edge
+	add := func(ivs []sched.Interval, bit State) {
+		for _, iv := range ivs {
+			s, e := iv.Start, iv.End
+			if s < 0 {
+				s = 0
+			}
+			if e > total {
+				e = total
+			}
+			if s >= e {
+				continue
+			}
+			edges = append(edges, edge{s, bit, true}, edge{e, bit, false})
+		}
+	}
+	add(fu2, StateFU2)
+	add(fu1, StateFU1)
+	add(mem, StateMEM)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+
+	var b Breakdown
+	cur := State(0)
+	prev := int64(0)
+	for i := 0; i < len(edges); {
+		t := edges[i].t
+		if t > prev {
+			b[cur] += t - prev
+			prev = t
+		}
+		for i < len(edges) && edges[i].t == t {
+			if edges[i].on {
+				cur |= edges[i].bit
+			} else {
+				cur &^= edges[i].bit
+			}
+			i++
+		}
+	}
+	if total > prev {
+		b[cur] += total - prev
+	}
+	return b
+}
+
+// RunStats is the measurement record produced by one simulator run. Both the
+// reference and OOOVA simulators fill one.
+type RunStats struct {
+	// Machine names the configuration ("REF", "OOOVA", ...).
+	Machine string
+	// Program names the trace.
+	Program string
+	// Cycles is the total execution time.
+	Cycles int64
+	// States is the (FU2,FU1,MEM) occupancy breakdown.
+	States Breakdown
+	// MemPortBusy is the number of cycles the address bus issued a request.
+	MemPortBusy int64
+	// MemRequests is the number of requests (element transfers) on the
+	// address bus — the traffic measure of Figure 13.
+	MemRequests int64
+	// Instructions is the dynamic instruction count simulated.
+	Instructions int64
+	// VRegPortConflictCycles counts stall cycles charged to vector
+	// register-file port conflicts.
+	VRegPortConflictCycles int64
+	// Mispredicts counts front-end control mispredictions (OOOVA only).
+	Mispredicts int64
+	// EliminatedLoads counts dynamically eliminated load instructions
+	// (§6, OOOVA with SLE/VLE only).
+	EliminatedLoads int64
+	// EliminatedRequests counts the address-bus requests those loads would
+	// have issued.
+	EliminatedRequests int64
+	// ElidedStores counts dead spill stores removed by the
+	// ElideDeadSpillStores extension, and ElidedRequests their requests.
+	ElidedStores   int64
+	ElidedRequests int64
+	// DecodeStallRegs counts decode stalls waiting for a free physical
+	// register (OOOVA only).
+	DecodeStallRegs int64
+	// DecodeStallQueue counts decode stalls waiting for an issue-queue slot.
+	DecodeStallQueue int64
+	// DecodeStallROB counts decode stalls waiting for a reorder-buffer slot.
+	DecodeStallROB int64
+}
+
+// MemPortIdlePct returns the Figure 4/6 metric: the percentage of execution
+// cycles in which the address port issued no request.
+func (r *RunStats) MemPortIdlePct() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	idle := r.Cycles - r.MemPortBusy
+	return 100 * float64(idle) / float64(r.Cycles)
+}
+
+// Speedup returns base.Cycles / r.Cycles: the speedup of r over base.
+func Speedup(base, r *RunStats) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// TrafficReduction returns the Figure 13 metric: base requests divided by
+// r's requests (>1 means r sends less traffic).
+func TrafficReduction(base, r *RunStats) float64 {
+	if r.MemRequests == 0 {
+		return 0
+	}
+	return float64(base.MemRequests) / float64(r.MemRequests)
+}
+
+// IdealCycles computes the paper's IDEAL lower bound for a trace: "the total
+// number of cycles consumed by the most heavily used vector unit (FU1, FU2,
+// or MEM)", eliminating all data and memory dependences.
+//
+// FU2-only work (mul/div/sqrt) must run on FU2; the remaining vector
+// computation may be split freely between FU1 and FU2, so the best
+// achievable per-FU load is the balanced partition. The MEM bound is the
+// address-bus occupancy: one cycle per element for vector references and one
+// cycle per scalar reference.
+func IdealCycles(t *trace.Trace) int64 {
+	var fu2Only, flexible, memCycles int64
+	for i := range t.Insns {
+		in := &t.Insns[i]
+		switch {
+		case in.Op.ExecUnit() == isa.UnitV:
+			if in.Op.NeedsFU2() {
+				fu2Only += int64(in.EffVL())
+			} else {
+				flexible += int64(in.EffVL())
+			}
+		case in.Op.IsMem():
+			memCycles += int64(in.EffVL())
+		}
+	}
+	// Best max(FU1, FU2) given FU2 must hold fu2Only.
+	bal := (fu2Only + flexible + 1) / 2
+	fuBound := fu2Only
+	if bal > fuBound {
+		fuBound = bal
+	}
+	if memCycles > fuBound {
+		return memCycles
+	}
+	return fuBound
+}
+
+// IdealSpeedup returns the IDEAL speedup line of Figures 5, 8 and 9 for a
+// program: reference cycles over the IDEAL bound.
+func IdealSpeedup(refCycles int64, t *trace.Trace) float64 {
+	ideal := IdealCycles(t)
+	if ideal == 0 {
+		return 0
+	}
+	return float64(refCycles) / float64(ideal)
+}

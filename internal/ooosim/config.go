@@ -1,0 +1,185 @@
+// Package ooosim simulates the OOOVA — the dynamic, out-of-order, register-
+// renaming vector architecture that is the paper's central proposal (§2.2),
+// including the precise-trap commit model of §5 and the dynamic load
+// elimination technique of §6.
+//
+// Pipeline structure (paper Figures 1, 2 and 10):
+//
+//	Fetch → Decode/Rename → {A queue, S queue, V queue, M queue} → units
+//
+// Instructions flow in order through Fetch and Decode/Rename, where four
+// mapping tables (A, S, V, mask) translate architectural registers into
+// physical registers and a reorder-buffer slot is allocated. The A, S and V
+// queues issue out of order as operands become ready. Memory instructions
+// traverse the M queue's three in-order stages (Issue/RF, Range,
+// Dependence) and then issue memory requests out of order, subject to
+// range-based dynamic memory disambiguation.
+//
+// Under dynamic load elimination (§6.2), all instructions that use a vector
+// register are renamed at the Dependence stage instead of at decode, so
+// they all pass in order through the memory front pipeline; loads whose
+// memory tag exactly matches a physical register's tag are eliminated with
+// a rename-table update.
+package ooosim
+
+import (
+	"oovec/internal/rob"
+)
+
+// ElimMode selects the §6 dynamic load elimination configuration.
+type ElimMode uint8
+
+const (
+	// ElimNone disables load elimination (the plain OOOVA).
+	ElimNone ElimMode = iota
+	// ElimSLE eliminates scalar loads only (the paper's "SLE").
+	ElimSLE
+	// ElimSLEVLE eliminates scalar and vector loads ("SLE+VLE").
+	ElimSLEVLE
+)
+
+// String names the mode as the paper does.
+func (m ElimMode) String() string {
+	switch m {
+	case ElimSLE:
+		return "SLE"
+	case ElimSLEVLE:
+		return "SLE+VLE"
+	}
+	return "none"
+}
+
+// Config parameterises the OOOVA.
+type Config struct {
+	// PhysVRegs is the number of physical vector registers (paper sweeps
+	// 9–64; 16 is the headline configuration).
+	PhysVRegs int
+	// PhysARegs and PhysSRegs are the scalar physical register file sizes
+	// (64 each in the paper).
+	PhysARegs int
+	PhysSRegs int
+	// PhysMRegs is the mask physical register file size (8 in the paper).
+	PhysMRegs int
+	// QueueSlots is the instruction queue depth (16, or 128 for OOOVA-128).
+	QueueSlots int
+	// ROBSize is the reorder buffer capacity (64).
+	ROBSize int
+	// CommitWidth is the maximum commits per cycle (4).
+	CommitWidth int
+	// MemLatency is the main-memory latency in cycles (default 50).
+	MemLatency int64
+	// ScalarMemLatency is the latency of scalar references, which hit the
+	// scalar data cache that machines of this class carried (default 6).
+	ScalarMemLatency int64
+	// Commit selects the early (§2.2) or late (§5, precise traps) policy.
+	Commit rob.Policy
+	// LoadElim selects the §6 configuration.
+	LoadElim ElimMode
+	// MispredictPenalty is the front-end refill bubble after a control
+	// misprediction (cycles). Default 3 (fetch + decode + redirect).
+	MispredictPenalty int64
+	// CollectRecords, when true, retains the reorder-buffer rename records
+	// so precise-trap rollback can be demonstrated (costs memory).
+	CollectRecords bool
+
+	// Ablation switches (all default off; used by the ablation benchmarks
+	// to probe the design decisions DESIGN.md calls out).
+
+	// ChainLoads lets memory loads chain into functional units, which
+	// neither the C3400 nor the paper's OOOVA supports. Ablation: how much
+	// of the OOOVA's advantage would load chaining have provided?
+	ChainLoads bool
+	// NoStoreTags disables tagging the stored register on stores (§6.1).
+	// Without store tags, spill store → reload pairs cannot match, which
+	// removes most of the dynamic load elimination benefit.
+	NoStoreTags bool
+	// BankedPorts runs the OOOVA with the reference machine's banked
+	// register-file ports (pairs of physical registers sharing 2 read +
+	// 1 write port) instead of the paper's dedicated per-register ports.
+	// Ablation: renaming shuffles the compiler's port scheduling, so
+	// banking induces heavy conflicts — the reason §2.2 changed the ports.
+	BankedPorts bool
+	// ExactInvalidation makes stores invalidate only exactly-matching tags
+	// instead of all overlapping tags. UNSAFE — partial overwrites leave
+	// stale tags that would return wrong data in a real machine; the
+	// ablation measures how many additional (incorrect) eliminations the
+	// conservative policy forgoes.
+	ExactInvalidation bool
+	// ElideDeadSpillStores enables the paper's §6 future-work idea
+	// ("relaxing compatibility could lead to removing some spill stores"):
+	// a spill store held in the store buffer is elided when a later spill
+	// store overwrites exactly the same slot before any overlapping access
+	// consumed it. Relaxes strict binary compatibility (the memory image
+	// no longer reflects every spill); effective under early commit only —
+	// late commit executes stores at the ROB head, before the overwrite
+	// arrives.
+	ElideDeadSpillStores bool
+	// Probe, when non-nil, observes every instruction's decode, issue and
+	// completion cycles. Used by tests.
+	Probe func(i int, decode, issue, complete int64)
+}
+
+// DefaultConfig returns the paper's headline OOOVA configuration: 16
+// physical vector registers, 16-slot queues, 64-entry ROB, 4-wide commit,
+// 50-cycle memory, early commit.
+func DefaultConfig() Config {
+	return Config{
+		PhysVRegs:         16,
+		PhysARegs:         64,
+		PhysSRegs:         64,
+		PhysMRegs:         8,
+		QueueSlots:        16,
+		ROBSize:           64,
+		CommitWidth:       4,
+		MemLatency:        50,
+		ScalarMemLatency:  6,
+		Commit:            rob.PolicyEarly,
+		LoadElim:          ElimNone,
+		MispredictPenalty: 3,
+	}
+}
+
+// withDefaults fills zero fields with the paper's values.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PhysVRegs == 0 {
+		c.PhysVRegs = d.PhysVRegs
+	}
+	if c.PhysARegs == 0 {
+		c.PhysARegs = d.PhysARegs
+	}
+	if c.PhysSRegs == 0 {
+		c.PhysSRegs = d.PhysSRegs
+	}
+	if c.PhysMRegs == 0 {
+		c.PhysMRegs = d.PhysMRegs
+	}
+	if c.QueueSlots == 0 {
+		c.QueueSlots = d.QueueSlots
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = d.ROBSize
+	}
+	if c.CommitWidth == 0 {
+		c.CommitWidth = d.CommitWidth
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = d.MemLatency
+	}
+	if c.ScalarMemLatency == 0 {
+		c.ScalarMemLatency = d.ScalarMemLatency
+	}
+	if c.MispredictPenalty == 0 {
+		c.MispredictPenalty = d.MispredictPenalty
+	}
+	return c
+}
+
+// Name renders a short configuration label, e.g. "OOOVA-16/early".
+func (c Config) Name() string {
+	label := "OOOVA"
+	if c.LoadElim != ElimNone {
+		label += "+" + c.LoadElim.String()
+	}
+	return label
+}

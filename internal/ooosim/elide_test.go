@@ -1,0 +1,170 @@
+package ooosim
+
+import (
+	"testing"
+
+	"oovec/internal/isa"
+	"oovec/internal/rob"
+	"oovec/internal/trace"
+)
+
+func elideCfg() Config {
+	c := DefaultConfig()
+	c.PhysVRegs = 32
+	c.ElideDeadSpillStores = true
+	return c
+}
+
+func TestDeadSpillStoreElided(t *testing.T) {
+	// Two spill stores to the same slot with no intervening reader: the
+	// first is dead and must never issue requests.
+	b := trace.NewBuilder("dead")
+	b.SetVL(64, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.Vector(isa.OpVMul, isa.V(3), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(3), 0x900000) // overwrites the dead spill
+	tr := b.Build()
+
+	st := Run(tr, elideCfg()).Stats
+	if st.ElidedStores != 1 {
+		t.Errorf("elided = %d, want 1", st.ElidedStores)
+	}
+	if st.ElidedRequests != 64 {
+		t.Errorf("elided requests = %d, want 64", st.ElidedRequests)
+	}
+	base := Run(tr, cfgN(32)).Stats
+	if st.MemRequests != base.MemRequests-64 {
+		t.Errorf("traffic = %d, want %d", st.MemRequests, base.MemRequests-64)
+	}
+}
+
+func TestLiveSpillStoreNotElided(t *testing.T) {
+	// A reload consumes the spill before the overwrite: the store is live.
+	b := trace.NewBuilder("live")
+	b.SetVL(64, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.SpillLoad(isa.V(4), 0x900000) // reader: forces the store to issue
+	b.Vector(isa.OpVMul, isa.V(3), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(3), 0x900000)
+	tr := b.Build()
+	st := Run(tr, elideCfg()).Stats
+	if st.ElidedStores != 0 {
+		t.Errorf("elided = %d, want 0 (spill was read)", st.ElidedStores)
+	}
+}
+
+func TestPartialOverlapDoesNotElide(t *testing.T) {
+	// A store to a different (partially overlapping) range must not count
+	// as an overwrite of the slot.
+	b := trace.NewBuilder("partial")
+	b.SetVL(64, isa.A(0))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.SetVL(16, isa.A(1))
+	b.SpillStore(isa.V(2), 0x900040) // different extent: no exact-slot kill
+	tr := b.Build()
+	st := Run(tr, elideCfg()).Stats
+	if st.ElidedStores != 0 {
+		t.Errorf("elided = %d, want 0 (ranges differ)", st.ElidedStores)
+	}
+}
+
+func TestNonSpillStoresNeverElided(t *testing.T) {
+	b := trace.NewBuilder("plain")
+	b.SetVL(64, isa.A(0))
+	b.VStore(isa.V(1), 0x200000)
+	b.VStore(isa.V(2), 0x200000) // same address, but not spill code
+	tr := b.Build()
+	st := Run(tr, elideCfg()).Stats
+	if st.ElidedStores != 0 {
+		t.Errorf("elided = %d, want 0 (not spill code)", st.ElidedStores)
+	}
+}
+
+func TestElisionDisabledByDefault(t *testing.T) {
+	b := trace.NewBuilder("off")
+	b.SetVL(64, isa.A(0))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.SpillStore(isa.V(2), 0x900000)
+	tr := b.Build()
+	st := Run(tr, cfgN(32)).Stats
+	if st.ElidedStores != 0 {
+		t.Error("elision active without the flag")
+	}
+}
+
+func TestElisionInactiveUnderLateCommit(t *testing.T) {
+	b := trace.NewBuilder("late")
+	b.SetVL(64, isa.A(0))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.SpillStore(isa.V(2), 0x900000)
+	tr := b.Build()
+	cfg := elideCfg()
+	cfg.Commit = rob.PolicyLate
+	st := Run(tr, cfg).Stats
+	if st.ElidedStores != 0 {
+		t.Error("late commit executes stores at the ROB head; nothing to elide")
+	}
+}
+
+func TestElisionOnSpillHeavyLoop(t *testing.T) {
+	// A loop that re-spills the same slots every iteration without reading
+	// them back until the end: most spill stores are dead.
+	b := trace.NewBuilder("loop")
+	b.SetVL(64, isa.A(0))
+	const slots = 4
+	for i := 0; i < 24; i++ {
+		b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+		b.SpillStore(isa.V(1), uint64(0x900000+(i%slots)*0x2000))
+	}
+	for s := 0; s < slots; s++ {
+		b.SpillLoad(isa.V(3), uint64(0x900000+s*0x2000))
+		b.VStore(isa.V(3), uint64(0x200000+s*0x2000))
+	}
+	tr := b.Build()
+	base := Run(tr, cfgN(32)).Stats
+	el := Run(tr, elideCfg()).Stats
+	// 24 spill stores, 4 slots, the last write per slot is live: 20 dead.
+	if el.ElidedStores != 20 {
+		t.Errorf("elided = %d, want 20", el.ElidedStores)
+	}
+	if el.MemRequests >= base.MemRequests {
+		t.Error("elision did not reduce traffic")
+	}
+	// The win is traffic (the paper frames traffic reduction as a
+	// multiprocessor-level benefit); cycles on an unloaded bus may move a
+	// few percent either way from placement-order differences.
+	if float64(el.Cycles) > 1.03*float64(base.Cycles) {
+		t.Errorf("elision slowed execution significantly: %d vs %d", el.Cycles, base.Cycles)
+	}
+}
+
+func TestElisionDeterministic(t *testing.T) {
+	tr := spillTrace(12)
+	cfg := elideCfg()
+	a := Run(tr, cfg).Stats
+	b := Run(tr, cfg).Stats
+	if a.Cycles != b.Cycles || a.ElidedStores != b.ElidedStores {
+		t.Error("nondeterministic elision")
+	}
+}
+
+func TestElisionComposesWithVLE(t *testing.T) {
+	// Elision removes dead spill stores; VLE removes the redundant reloads.
+	tr := spillTrace(12)
+	cfg := elideCfg()
+	cfg.LoadElim = ElimSLEVLE
+	// VLE requires renaming at the dependence stage; combine with early
+	// commit elision.
+	cfg.Commit = rob.PolicyEarly
+	st := Run(tr, cfg).Stats
+	if st.EliminatedLoads == 0 {
+		t.Error("VLE inactive alongside elision")
+	}
+	base := cfgN(32)
+	baseSt := Run(tr, base).Stats
+	if st.MemRequests >= baseSt.MemRequests {
+		t.Error("combined optimisations did not reduce traffic")
+	}
+}

@@ -1,0 +1,349 @@
+package ooosim
+
+import (
+	"testing"
+
+	"oovec/internal/isa"
+	"oovec/internal/rob"
+	"oovec/internal/trace"
+)
+
+// spillTrace builds a spill-heavy loop: compute, spill-store the result,
+// later reload it from the same slot and use it again — the §6 scenario.
+func spillTrace(iters int) *trace.Trace {
+	b := trace.NewBuilder("spilly")
+	b.SetVL(64, isa.A(0))
+	for i := 0; i < iters; i++ {
+		slot := uint64(0x900000 + (i%4)*0x1000)
+		b.VLoad(isa.V(0), uint64(0x10000+i*0x1000))
+		b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+		b.SpillStore(isa.V(1), slot)
+		b.Vector(isa.OpVMul, isa.V(1), isa.V(0), isa.V(3)) // clobbers v1
+		b.SpillLoad(isa.V(4), slot)                        // reload: redundant
+		b.Vector(isa.OpVAdd, isa.V(5), isa.V(4), isa.V(1))
+		b.VStore(isa.V(5), uint64(0x200000+i*0x1000))
+	}
+	return b.Build()
+}
+
+func elimCfg(mode ElimMode, vregs int) Config {
+	c := DefaultConfig()
+	c.PhysVRegs = vregs
+	c.Commit = rob.PolicyLate // the paper's §6 baseline is the late-commit OOOVA
+	c.LoadElim = mode
+	return c
+}
+
+func TestVLEEliminatesSpillReloads(t *testing.T) {
+	tr := spillTrace(20)
+	res := Run(tr, elimCfg(ElimSLEVLE, 32))
+	if res.Stats.EliminatedLoads == 0 {
+		t.Fatal("no loads eliminated on spill-heavy code")
+	}
+	// Every reload (one per iteration) should be eliminated.
+	if res.Stats.EliminatedLoads < 18 {
+		t.Errorf("eliminated %d of 20 reloads", res.Stats.EliminatedLoads)
+	}
+	if res.Stats.EliminatedRequests < 18*64 {
+		t.Errorf("eliminated requests = %d", res.Stats.EliminatedRequests)
+	}
+}
+
+func TestVLESpeedsUpSpillCode(t *testing.T) {
+	tr := spillTrace(20)
+	base := Run(tr, elimCfg(ElimNone, 32)).Stats
+	vle := Run(tr, elimCfg(ElimSLEVLE, 32)).Stats
+	if vle.Cycles >= base.Cycles {
+		t.Errorf("SLE+VLE (%d cycles) not faster than base (%d)", vle.Cycles, base.Cycles)
+	}
+}
+
+func TestVLEReducesTraffic(t *testing.T) {
+	tr := spillTrace(20)
+	base := Run(tr, elimCfg(ElimNone, 32)).Stats
+	vle := Run(tr, elimCfg(ElimSLEVLE, 32)).Stats
+	if vle.MemRequests >= base.MemRequests {
+		t.Errorf("traffic not reduced: %d vs %d", vle.MemRequests, base.MemRequests)
+	}
+	// ~1 of 7 memory ops per iteration eliminated (the reload): expect a
+	// meaningful reduction ratio.
+	ratio := float64(base.MemRequests) / float64(vle.MemRequests)
+	if ratio < 1.15 {
+		t.Errorf("traffic reduction ratio = %.3f, want >= 1.15", ratio)
+	}
+	// Spill stores are NOT eliminated (binary compatibility).
+	if vle.MemRequests < base.MemRequests/2 {
+		t.Errorf("too much traffic removed (%d of %d): stores must remain",
+			vle.MemRequests, base.MemRequests)
+	}
+}
+
+func TestInterveningStoreInvalidatesTag(t *testing.T) {
+	// A store overlapping the spill slot between the spill and the reload
+	// must kill the tag: the reload is NOT redundant any more.
+	b := trace.NewBuilder("clobber")
+	b.SetVL(64, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x900000)
+	b.Vector(isa.OpVMul, isa.V(3), isa.V(0), isa.V(2))
+	b.VStore(isa.V(3), 0x900100) // overlaps [0x900000,0x9001ff]
+	b.SpillLoad(isa.V(4), 0x900000)
+	tr := b.Build()
+	res := Run(tr, elimCfg(ElimSLEVLE, 32))
+	if res.Stats.EliminatedLoads != 0 {
+		t.Errorf("eliminated %d loads; the clobbered reload must execute",
+			res.Stats.EliminatedLoads)
+	}
+}
+
+func TestDifferentStrideDoesNotMatch(t *testing.T) {
+	// Same base address but different stride: the 6-tuple differs, no match.
+	b := trace.NewBuilder("stride")
+	b.SetVL(32, isa.A(0))
+	b.VLoad(isa.V(1), 0x50000) // stride 8
+	b.SetVS(16, isa.A(1))
+	b.VLoad(isa.V(2), 0x50000) // stride 16: not the same data layout
+	tr := b.Build()
+	res := Run(tr, elimCfg(ElimSLEVLE, 32))
+	if res.Stats.EliminatedLoads != 0 {
+		t.Error("stride-mismatched load must not be eliminated")
+	}
+}
+
+func TestRepeatedLoadEliminated(t *testing.T) {
+	// Two identical loads with no intervening store: the second is
+	// redundant ("limited registers also cause repeated loads from the
+	// same memory location").
+	b := trace.NewBuilder("repload")
+	b.SetVL(64, isa.A(0))
+	b.VLoad(isa.V(1), 0x50000)
+	b.Vector(isa.OpVAdd, isa.V(2), isa.V(1), isa.V(3))
+	b.VLoad(isa.V(1), 0x50000) // same address, same VL/VS
+	tr := b.Build()
+	res := Run(tr, elimCfg(ElimSLEVLE, 32))
+	if res.Stats.EliminatedLoads != 1 {
+		t.Errorf("eliminated = %d, want 1", res.Stats.EliminatedLoads)
+	}
+}
+
+func TestSLEOnlyEliminatesScalars(t *testing.T) {
+	b := trace.NewBuilder("sle")
+	b.SetVL(64, isa.A(0))
+	// Scalar spill pair.
+	b.Scalar(isa.OpSAdd, isa.S(1), isa.S(0), isa.S(2))
+	b.ScalarSpillStore(isa.S(1), 0x908000)
+	b.ScalarSpillLoad(isa.S(3), 0x908000)
+	// Vector spill pair.
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x910000)
+	b.SpillLoad(isa.V(4), 0x910000)
+	tr := b.Build()
+
+	sle := Run(tr, elimCfg(ElimSLE, 32)).Stats
+	if sle.EliminatedLoads != 1 {
+		t.Errorf("SLE eliminated %d, want 1 (scalar only)", sle.EliminatedLoads)
+	}
+	both := Run(tr, elimCfg(ElimSLEVLE, 32)).Stats
+	if both.EliminatedLoads != 2 {
+		t.Errorf("SLE+VLE eliminated %d, want 2", both.EliminatedLoads)
+	}
+}
+
+func TestScalarCopyDoesNotChangeRenameTable(t *testing.T) {
+	// §6.1: scalar elimination copies the value; vector elimination renames.
+	b := trace.NewBuilder("copy")
+	b.Scalar(isa.OpSAdd, isa.S(1), isa.S(0), isa.S(2))
+	b.ScalarSpillStore(isa.S(1), 0x908000)
+	b.ScalarSpillLoad(isa.S(3), 0x908000)
+	tr := b.Build()
+	res := Run(tr, elimCfg(ElimSLE, 32))
+	// s1 and s3 must map to different physical registers (copy, not alias).
+	tb := res.Tables[isa.RegS]
+	if tb.Lookup(1) == tb.Lookup(3) {
+		t.Error("scalar elimination must not alias the rename table")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorEliminationAliasesRenameTable(t *testing.T) {
+	b := trace.NewBuilder("alias")
+	b.SetVL(64, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x910000)
+	b.SpillLoad(isa.V(4), 0x910000)
+	tr := b.Build()
+	res := Run(tr, elimCfg(ElimSLEVLE, 32))
+	tb := res.Tables[isa.RegV]
+	if tb.Lookup(1) != tb.Lookup(4) {
+		t.Error("eliminated vector load must alias v4 to v1's physical register")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatherScatterNeverTaggedOrEliminated(t *testing.T) {
+	b := trace.NewBuilder("gather")
+	b.SetVL(32, isa.A(0))
+	b.Gather(isa.V(1), isa.V(0), 0x70000)
+	b.Gather(isa.V(2), isa.V(0), 0x70000)
+	tr := b.Build()
+	res := Run(tr, elimCfg(ElimSLEVLE, 32))
+	if res.Stats.EliminatedLoads != 0 {
+		t.Error("indexed accesses must never be eliminated")
+	}
+}
+
+func TestEliminationNearZeroTime(t *testing.T) {
+	// "a load for spilled data is executed in nearly zero time": the
+	// dependent consumer of an eliminated reload starts far earlier than
+	// with the load executed.
+	b := trace.NewBuilder("zerotime")
+	b.SetVL(64, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+	b.SpillStore(isa.V(1), 0x910000)
+	b.SpillLoad(isa.V(4), 0x910000)
+	b.Vector(isa.OpVMul, isa.V(5), isa.V(4), isa.V(2))
+	tr := b.Build()
+
+	probeIssue := func(cfg Config) int64 {
+		var mulIssue int64
+		cfg.Probe = func(i int, dec, issue, complete int64) {
+			if i == 4 {
+				mulIssue = issue
+			}
+		}
+		Run(tr, cfg)
+		return mulIssue
+	}
+	base := probeIssue(elimCfg(ElimNone, 32))
+	vle := probeIssue(elimCfg(ElimSLEVLE, 32))
+	if vle >= base {
+		t.Errorf("consumer of eliminated load issued at %d, not earlier than base %d", vle, base)
+	}
+}
+
+func TestMorePhysRegsCacheMoreSpills(t *testing.T) {
+	// Fig 12: elimination benefits from more physical registers ("it can
+	// cache more data inside the vector register file"). Use many distinct
+	// spill slots so a small file keeps evicting tags.
+	b := trace.NewBuilder("manyslots")
+	b.SetVL(64, isa.A(0))
+	const slots = 24
+	for i := 0; i < slots; i++ {
+		b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(2))
+		b.SpillStore(isa.V(1), uint64(0x900000+i*0x1000))
+	}
+	for i := 0; i < slots; i++ {
+		b.SpillLoad(isa.V(3), uint64(0x900000+i*0x1000))
+		b.Vector(isa.OpVAdd, isa.V(4), isa.V(3), isa.V(2))
+	}
+	tr := b.Build()
+	e16 := Run(tr, elimCfg(ElimSLEVLE, 16)).Stats.EliminatedLoads
+	e64 := Run(tr, elimCfg(ElimSLEVLE, 64)).Stats.EliminatedLoads
+	if e64 <= e16 {
+		t.Errorf("eliminations: 64 regs %d <= 16 regs %d", e64, e16)
+	}
+}
+
+// rollbackTrace builds a renaming-heavy loop for the §5 fault experiments.
+func rollbackTrace(iters int) *trace.Trace {
+	b := trace.NewBuilder("rollback")
+	b.SetVL(64, isa.A(0))
+	for i := 0; i < iters; i++ {
+		b.VLoad(isa.V(i%8), uint64(0x10000+i*0x1000))
+		b.Vector(isa.OpVAdd, isa.V((i+1)%8), isa.V(i%8), isa.V((i+2)%8))
+	}
+	return b.Build()
+}
+
+func TestPreciseTrapRollback(t *testing.T) {
+	// §5: a fault at instruction k recovers exactly the architectural
+	// mapping produced by instructions 0..k-1.
+	tr := rollbackTrace(30)
+	cfg := DefaultConfig()
+	cfg.Commit = rob.PolicyLate
+	faultAt := 41 // a vload in the middle of the loop
+
+	res, err := RunWithFault(tr, cfg, faultAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InFlight < 1 {
+		t.Errorf("in-flight = %d, want >= 1", res.InFlight)
+	}
+
+	// Reference: run only the pre-fault prefix and compare final mappings.
+	pre := &trace.Trace{Name: "prefix", Insns: tr.Insns[:faultAt]}
+	want := Run(pre, cfg)
+	for class, tb := range res.Tables {
+		for l := 0; l < class.NumLogical(); l++ {
+			if got, exp := tb.Lookup(l), want.Tables[class].Lookup(l); got != exp {
+				t.Errorf("%v%d maps to %d after rollback, want %d", class, l, got, exp)
+			}
+		}
+	}
+	if res.DetectCycle <= 0 || res.PreciseCycle <= 0 {
+		t.Errorf("timing fields not populated: detect=%d precise=%d",
+			res.DetectCycle, res.PreciseCycle)
+	}
+}
+
+func TestPreciseTrapRollbackAtFirstInstruction(t *testing.T) {
+	tr := rollbackTrace(5)
+	cfg := DefaultConfig()
+	cfg.Commit = rob.PolicyLate
+	res, err := RunWithFault(tr, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rollback to the initial identity mapping.
+	for class, tb := range res.Tables {
+		for l := 0; l < class.NumLogical(); l++ {
+			if tb.Lookup(l) != l {
+				t.Errorf("%v%d maps to %d, want identity", class, l, tb.Lookup(l))
+			}
+		}
+	}
+}
+
+func TestRunWithFaultRejectsBadIndex(t *testing.T) {
+	tr := rollbackTrace(2)
+	if _, err := RunWithFault(tr, DefaultConfig(), -1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := RunWithFault(tr, DefaultConfig(), tr.Len()); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestRollbackWithEliminatedLoads(t *testing.T) {
+	// Rollback must also undo AliasTo renames (refcounted registers).
+	tr := spillTrace(8)
+	cfg := elimCfg(ElimSLEVLE, 32)
+	faultAt := 20
+	res, err := RunWithFault(tr, cfg, faultAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := &trace.Trace{Name: "prefix", Insns: tr.Insns[:faultAt]}
+	want := Run(pre, cfg)
+	tb := res.Tables[isa.RegV]
+	for l := 0; l < 8; l++ {
+		if got, exp := tb.Lookup(l), want.Tables[isa.RegV].Lookup(l); got != exp {
+			t.Errorf("v%d maps to %d after rollback, want %d", l, got, exp)
+		}
+	}
+}
+
+func TestVLEDeterminism(t *testing.T) {
+	tr := spillTrace(15)
+	a := Run(tr, elimCfg(ElimSLEVLE, 32)).Stats
+	c := Run(tr, elimCfg(ElimSLEVLE, 32)).Stats
+	if a.Cycles != c.Cycles || a.EliminatedLoads != c.EliminatedLoads ||
+		a.MemRequests != c.MemRequests {
+		t.Error("SLE+VLE run nondeterministic")
+	}
+}

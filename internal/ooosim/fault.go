@@ -1,0 +1,103 @@
+package ooosim
+
+import (
+	"fmt"
+
+	"oovec/internal/isa"
+	"oovec/internal/rename"
+	"oovec/internal/trace"
+)
+
+// FaultResult describes a precise-trap experiment (§5): a fault injected at
+// one instruction, the in-flight younger instructions squashed, and the
+// rename state rolled back to the precise architectural state at the fault.
+type FaultResult struct {
+	// FaultIndex is the trace index of the faulting instruction.
+	FaultIndex int
+	// InFlight is the number of instructions (the faulting one included)
+	// that had entered the pipeline when the fault was detected and were
+	// rolled back.
+	InFlight int
+	// DetectCycle is the cycle the fault was detected (the faulting
+	// instruction's execution).
+	DetectCycle int64
+	// PreciseCycle is the cycle at which the precise state was recovered
+	// (all older instructions committed).
+	PreciseCycle int64
+	// Tables is the rename state after rollback: the precise architectural
+	// mapping at the faulting instruction.
+	Tables map[isa.RegClass]*rename.Table
+}
+
+// RunWithFault simulates the trace under cfg with a page-fault (or any
+// precise exception) injected at instruction faultIdx. Older instructions
+// commit normally; the faulting instruction and every younger instruction
+// that had entered the pipeline are squashed and their renames undone using
+// the reorder-buffer records, exactly as §5 describes. The returned tables
+// hold the recovered precise mapping.
+//
+// Precise traps require the late-commit model; RunWithFault forces it.
+func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error) {
+	if faultIdx < 0 || faultIdx >= t.Len() {
+		return nil, fmt.Errorf("ooosim: fault index %d out of range [0,%d)", faultIdx, t.Len())
+	}
+	cfg = cfg.withDefaults()
+	cfg.CollectRecords = true
+
+	m := newMachine(cfg)
+	m.suppressFrom = faultIdx
+
+	decodes := make([]int64, 0, t.Len())
+	var detect int64
+	probe := cfg.Probe
+	m.cfg.Probe = func(i int, dec, issue, complete int64) {
+		decodes = append(decodes, dec)
+		if i == faultIdx {
+			detect = issue
+		}
+		if probe != nil {
+			probe(i, dec, issue, complete)
+		}
+	}
+
+	// Process the faulting instruction, then every younger instruction that
+	// would have entered the pipeline before the fault was detected —
+	// bounded by the reorder buffer capacity (nothing past a full ROB can
+	// have been renamed) and by free-register exhaustion (a decode stalled
+	// on an empty free list never enters the pipeline, because squashed
+	// instructions release nothing).
+	last := faultIdx
+	var preciseAt int64
+	for i := 0; i < t.Len(); i++ {
+		in := &t.Insns[i]
+		if i == faultIdx {
+			preciseAt = m.rob.LastCommit()
+		}
+		if i > faultIdx {
+			if i >= faultIdx+cfg.ROBSize || decodes[i-1] > detect {
+				break
+			}
+			if in.WritesReg() && m.tables[in.Dst.Class].FreeCount() == 0 {
+				break
+			}
+		}
+		m.step(i, in)
+		last = i
+	}
+
+	inflight := last - faultIdx + 1
+	rename.Rollback(m.tables, m.records[faultIdx:last+1])
+
+	for class, tb := range m.tables {
+		if err := tb.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("ooosim: post-rollback state of %v corrupt: %w", class, err)
+		}
+	}
+	return &FaultResult{
+		FaultIndex:   faultIdx,
+		InFlight:     inflight,
+		DetectCycle:  detect,
+		PreciseCycle: preciseAt,
+		Tables:       m.tables,
+	}, nil
+}

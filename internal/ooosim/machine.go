@@ -1,0 +1,684 @@
+package ooosim
+
+import (
+	"fmt"
+
+	"oovec/internal/bpred"
+	"oovec/internal/iq"
+	"oovec/internal/isa"
+	"oovec/internal/metrics"
+	"oovec/internal/rename"
+	"oovec/internal/rob"
+	"oovec/internal/sched"
+	"oovec/internal/trace"
+	"oovec/internal/vregfile"
+)
+
+// portFile is the vector register file port model: the paper's dedicated
+// per-register ports (vregfile.FlatFile), or — for the ablation showing why
+// the paper abandoned it — the reference machine's banked organisation.
+type portFile interface {
+	Acquire(reads []int, write int, earliest, dur int64) int64
+	Peek(reads []int, write int, earliest int64) int64
+	ConflictCycles() int64
+	Reset()
+}
+
+// Result bundles the measurements of one OOOVA run with the optional
+// reorder-buffer rename records (for precise-trap rollback demos).
+type Result struct {
+	Stats *metrics.RunStats
+	// Records holds one rename record per instruction when
+	// Config.CollectRecords is set (index-aligned with the trace).
+	Records []rename.Record
+	// Tables exposes the final rename tables (for rollback demos/tests).
+	Tables map[isa.RegClass]*rename.Table
+}
+
+// Run simulates the trace on the OOOVA and returns its measurements.
+func Run(t *trace.Trace, cfg Config) *Result {
+	m := newMachine(cfg)
+	for i := range t.Insns {
+		m.step(i, &t.Insns[i])
+	}
+	return m.finish(t)
+}
+
+// machine is the OOOVA simulation state.
+type machine struct {
+	cfg Config
+
+	tables map[isa.RegClass]*rename.Table
+
+	// Physical register value-availability timing.
+	aReady  []int64
+	sReady  []int64
+	vTiming []vregfile.Timing
+	mTiming []vregfile.Timing
+
+	// Memory tags (§6), indexed by physical register.
+	vTags, sTags, aTags *rename.TagFile
+
+	ports  portFile
+	fu1    *sched.Gap
+	fu2    *sched.Gap
+	msched *memScheduler
+
+	aQ, sQ, vQ *iq.Queue
+	mQ         *iq.MemQueue
+	rob        *rob.ROB
+	pred       *bpred.Predictor
+
+	readX, writeX int64
+
+	prevFetch    int64
+	nextFetchMin int64
+	prevDecode   int64
+	lastVLReady  int64
+	lastCycle    int64
+
+	eliminatedLoads    int64
+	eliminatedRequests int64
+	elidedStores       int64
+	elidedRequests     int64
+	spillPend          map[[2]uint64]int
+	stallRegs          int64
+	stallQueue         int64
+	stallROB           int64
+
+	// suppressFrom, when >= 0, marks the first instruction of a squashed
+	// window (fault injection): those instructions never commit, so their
+	// old physical registers are never released.
+	suppressFrom int
+
+	records []rename.Record
+}
+
+// newPortFile selects the register-file port model.
+func newPortFile(cfg Config) portFile {
+	if cfg.BankedPorts {
+		return vregfile.NewBankedFile(cfg.PhysVRegs)
+	}
+	return vregfile.NewFlatFile(cfg.PhysVRegs)
+}
+
+func newMachine(cfg Config) *machine {
+	cfg = cfg.withDefaults()
+	m := &machine{
+		cfg: cfg,
+		tables: map[isa.RegClass]*rename.Table{
+			isa.RegA: rename.MustNewTable(isa.RegA, cfg.PhysARegs),
+			isa.RegS: rename.MustNewTable(isa.RegS, cfg.PhysSRegs),
+			isa.RegV: rename.MustNewTable(isa.RegV, cfg.PhysVRegs),
+			isa.RegM: rename.MustNewTable(isa.RegM, cfg.PhysMRegs),
+		},
+		aReady:  make([]int64, cfg.PhysARegs),
+		sReady:  make([]int64, cfg.PhysSRegs),
+		vTiming: make([]vregfile.Timing, cfg.PhysVRegs),
+		mTiming: make([]vregfile.Timing, cfg.PhysMRegs),
+		vTags:   rename.NewTagFile(cfg.PhysVRegs),
+		sTags:   rename.NewTagFile(cfg.PhysSRegs),
+		aTags:   rename.NewTagFile(cfg.PhysARegs),
+		ports:   newPortFile(cfg),
+		fu1:     sched.NewGap(),
+		fu2:     sched.NewGap(),
+		msched:  newMemScheduler(cfg.QueueSlots),
+		aQ:      iq.NewQueue(cfg.QueueSlots),
+		sQ:      iq.NewQueue(cfg.QueueSlots),
+		vQ:      iq.NewQueue(cfg.QueueSlots),
+		mQ:      iq.NewMemQueue(cfg.QueueSlots),
+		rob:     rob.New(cfg.ROBSize, cfg.CommitWidth),
+		pred:    bpred.New(),
+		readX:   int64(isa.ReadXbar(isa.MachineOOO)),
+		writeX:  int64(isa.WriteXbar(isa.MachineOOO)),
+
+		prevFetch:    -1,
+		prevDecode:   -1,
+		suppressFrom: -1,
+		spillPend:    make(map[[2]uint64]int),
+	}
+	return m
+}
+
+func (m *machine) note(c int64) {
+	if c > m.lastCycle {
+		m.lastCycle = c
+	}
+}
+
+// usesVReg reports whether the instruction reads or writes a vector
+// register (the §6.2 criterion for renaming at the Dependence stage).
+func usesVReg(in *isa.Instruction) bool {
+	return in.Dst.Class == isa.RegV || in.Src1.Class == isa.RegV ||
+		in.Src2.Class == isa.RegV
+}
+
+// scalarPhysReady returns the readiness of a scalar/mask physical register.
+func (m *machine) scalarReadyFor(class isa.RegClass, phys int) int64 {
+	switch class {
+	case isa.RegA:
+		return m.aReady[phys]
+	case isa.RegS:
+		return m.sReady[phys]
+	}
+	return 0
+}
+
+// allocDst renames the destination register, returning the rename record
+// and the cycle the new physical register is available.
+func (m *machine) allocDst(in *isa.Instruction) (rename.Record, int64) {
+	tb := m.tables[in.Dst.Class]
+	np, op, rdy, ok := tb.Allocate(int(in.Dst.Idx))
+	if !ok {
+		// Guaranteed impossible for numPhysical > numLogical: every prior
+		// allocation's matching release has already been recorded.
+		panic(fmt.Sprintf("ooosim: %v free list empty", in.Dst.Class))
+	}
+	return rename.Record{
+		Class:     in.Dst.Class,
+		Logical:   int(in.Dst.Idx),
+		OldPhys:   op,
+		NewPhys:   np,
+		HasRename: true,
+	}, rdy
+}
+
+// step processes one dynamic instruction through the full pipeline.
+func (m *machine) step(idx int, in *isa.Instruction) {
+	cfg := &m.cfg
+	vl := int64(in.EffVL())
+	elim := cfg.LoadElim
+
+	// ---------------- Fetch ----------------
+	fetch := m.prevFetch + 1
+	if m.nextFetchMin > fetch {
+		fetch = m.nextFetchMin
+	}
+	m.prevFetch = fetch
+
+	// ---------------- Decode / Rename ----------------
+	dec := fetch + 1
+	if m.prevDecode+1 > dec {
+		dec = m.prevDecode + 1
+	}
+	if c := m.rob.AdmitConstraint(); c > dec {
+		m.stallROB += c - dec
+		dec = c
+	}
+	var qAdmit int64
+	switch in.Op.ExecUnit() {
+	case isa.UnitA, isa.UnitCtl:
+		qAdmit = m.aQ.AdmitConstraint()
+	case isa.UnitS:
+		qAdmit = m.sQ.AdmitConstraint()
+	case isa.UnitV:
+		qAdmit = m.vQ.AdmitConstraint()
+	case isa.UnitMem:
+		qAdmit = m.mQ.AdmitConstraint()
+	}
+	if qAdmit > dec {
+		m.stallQueue += qAdmit - dec
+		dec = qAdmit
+	}
+
+	// §6.2: with vector load elimination, instructions touching vector
+	// registers are renamed at the Dependence stage of the memory pipeline,
+	// not at decode.
+	vleDefer := elim == ElimSLEVLE && usesVReg(in)
+
+	// Look up source physical registers before any destination rename (a
+	// source naming the same architectural register reads the old mapping).
+	type srcOp struct {
+		class isa.RegClass
+		phys  int
+	}
+	var srcs []srcOp
+	var rbuf [4]isa.Reg
+	for _, r := range in.Reads(rbuf[:]) {
+		srcs = append(srcs, srcOp{r.Class, m.tables[r.Class].Lookup(int(r.Idx))})
+	}
+
+	// Destination rename (deferred for vector-register users under VLE).
+	var rec rename.Record
+	var dstReadyAt int64
+	writesReg := in.WritesReg()
+	deferredAlloc := vleDefer && writesReg && in.Dst.Class == isa.RegV
+	if writesReg && !deferredAlloc {
+		rec, dstReadyAt = m.allocDst(in)
+		if dstReadyAt > dec && !vleDefer {
+			m.stallRegs += dstReadyAt - dec
+			dec = dstReadyAt
+		}
+	}
+	m.prevDecode = dec
+
+	var issue, execStart, complete int64
+	switch in.Op.ExecUnit() {
+	case isa.UnitA, isa.UnitS:
+		ready := dec + 1
+		for _, s := range srcs {
+			if r := m.scalarReadyFor(s.class, s.phys); r > ready {
+				ready = r
+			}
+		}
+		if dstReadyAt > ready {
+			ready = dstReadyAt
+		}
+		q := m.aQ
+		if in.Op.ExecUnit() == isa.UnitS {
+			q = m.sQ
+		}
+		issue = q.Issue(dec+1, ready)
+		lat := int64(isa.ExecLatency(in.Op))
+		done := issue + lat
+		if writesReg {
+			switch in.Dst.Class {
+			case isa.RegA:
+				m.aReady[rec.NewPhys] = done
+				if elim != ElimNone {
+					m.aTags.Invalidate(rec.NewPhys)
+				}
+			case isa.RegS:
+				m.sReady[rec.NewPhys] = done
+				if elim != ElimNone {
+					m.sTags.Invalidate(rec.NewPhys)
+				}
+			}
+		}
+		if in.Op == isa.OpSetVL || in.Op == isa.OpSetVS {
+			m.lastVLReady = done
+		}
+		execStart, complete = issue, done
+
+	case isa.UnitCtl:
+		issue = m.aQ.Issue(dec+1, dec+1)
+		resolve := issue + 1
+		var mis bool
+		switch in.Op {
+		case isa.OpBranch:
+			mis = m.pred.ResolveBranch(in.PC, in.Taken, in.Addr)
+		case isa.OpJump:
+			mis = m.pred.ResolveJump(in.PC, in.Addr)
+		case isa.OpCall:
+			mis = m.pred.Call(in.PC, in.Addr)
+		case isa.OpReturn:
+			mis = m.pred.Return(in.Addr)
+		}
+		if mis {
+			m.nextFetchMin = resolve + cfg.MispredictPenalty
+		}
+		execStart, complete = issue, resolve
+
+	case isa.UnitV:
+		issue, execStart, complete = m.execVector(in, dec, vl, vleDefer, &rec)
+
+	case isa.UnitMem:
+		issue, execStart, complete = m.execMem(in, dec, vl, vleDefer, &rec)
+
+	default: // nop
+		issue, execStart, complete = dec+1, dec+1, dec+2
+	}
+
+	// ---------------- Commit ----------------
+	readyC := complete
+	if cfg.Commit == rob.PolicyEarly {
+		readyC = execStart
+	}
+	commit := m.rob.Commit(readyC)
+	if rec.HasRename && !(m.suppressFrom >= 0 && idx >= m.suppressFrom) {
+		m.tables[rec.Class].Release(rec.OldPhys, commit)
+	}
+	if cfg.CollectRecords {
+		m.records = append(m.records, rec)
+	}
+	m.note(complete)
+	m.note(commit)
+
+	if cfg.Probe != nil {
+		cfg.Probe(idx, dec, issue, complete)
+	}
+}
+
+// execVector handles vector computation instructions.
+func (m *machine) execVector(in *isa.Instruction, dec, vl int64, vleDefer bool, rec *rename.Record) (issue, execStart, complete int64) {
+	cfg := &m.cfg
+	enterQ := dec + 1
+	if vleDefer {
+		// All vector-register users flow in order through the memory
+		// pipeline's three stages and rename at the Dependence stage.
+		depT := m.mQ.Advance(dec + 1)
+		enterQ = depT + 1
+	}
+	var dstReadyAt int64
+	if vleDefer && in.WritesReg() && in.Dst.Class == isa.RegV {
+		*rec, dstReadyAt = m.allocDst(in)
+	}
+
+	ready := enterQ
+	if m.lastVLReady > ready {
+		ready = m.lastVLReady
+	}
+	if dstReadyAt > ready {
+		ready = dstReadyAt
+	}
+	var vReads []int
+	var rbuf [4]isa.Reg
+	for _, r := range in.Reads(rbuf[:]) {
+		switch r.Class {
+		case isa.RegV:
+			p := m.tables[isa.RegV].Lookup(int(r.Idx))
+			vReads = append(vReads, p)
+			tm := m.vTiming[p]
+			if cfg.ChainLoads {
+				tm.FromMem = false // ablation: pretend loads chain
+			}
+			if t := tm.ReadyFor(true); t > ready {
+				ready = t
+			}
+		case isa.RegA, isa.RegS:
+			p := m.tables[r.Class].Lookup(int(r.Idx))
+			if t := m.scalarReadyFor(r.Class, p); t > ready {
+				ready = t
+			}
+		case isa.RegM:
+			p := m.tables[isa.RegM].Lookup(0)
+			if t := m.mTiming[p].ReadyFor(true); t > ready {
+				ready = t
+			}
+		}
+	}
+	issue = m.vQ.Issue(enterQ, ready)
+
+	// Coordinate the functional unit and the register-file ports on a
+	// common start cycle. Unit occupancy includes the vector startup dead
+	// time.
+	occ := vl + int64(isa.VectorStartup)
+	vWrite := -1
+	if in.Dst.Class == isa.RegV {
+		vWrite = rec.NewPhys
+	}
+	start := issue + m.readX
+	var fu *sched.Gap
+	for {
+		if in.Op.NeedsFU2() {
+			fu = m.fu2
+		} else if m.fu1.Peek(start, occ) <= m.fu2.Peek(start, occ) {
+			fu = m.fu1
+		} else {
+			fu = m.fu2
+		}
+		s2 := fu.Peek(start, occ)
+		if p := m.ports.Peek(vReads, vWrite, s2); p > s2 {
+			start = p
+			continue
+		}
+		start = s2
+		break
+	}
+	fu.Allocate(start, occ)
+	m.ports.Acquire(vReads, vWrite, start, occ)
+
+	lat := int64(isa.ExecLatency(in.Op)) + int64(isa.VectorStartup)
+	tm := vregfile.Timing{
+		ChainStart: start + lat + m.writeX,
+		Complete:   start + lat + m.writeX + vl - 1,
+	}
+	switch in.Dst.Class {
+	case isa.RegV:
+		m.vTiming[rec.NewPhys] = tm
+		if cfg.LoadElim != ElimNone {
+			m.vTags.Invalidate(rec.NewPhys)
+		}
+	case isa.RegM:
+		m.mTiming[rec.NewPhys] = tm
+	case isa.RegS:
+		m.sReady[rec.NewPhys] = tm.Complete
+		if cfg.LoadElim != ElimNone {
+			m.sTags.Invalidate(rec.NewPhys)
+		}
+	}
+	return issue, start, tm.Complete
+}
+
+// execMem handles all memory instructions, including the §6 elimination.
+func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec *rename.Record) (issue, execStart, complete int64) {
+	cfg := &m.cfg
+	elim := cfg.LoadElim
+	depT := m.mQ.Advance(dec + 1)
+	rstart, rend := in.MemRange()
+	isStore := in.Op.IsStore()
+	isVector := in.Op.IsVector()
+	taggable := in.Op != isa.OpVGather && in.Op != isa.OpVScatter
+	occ := vl // bus occupancy: startup dead time + one request per element
+	if isVector {
+		occ += int64(isa.VectorStartup)
+	}
+
+	tag := rename.Tag{Start: rstart, End: rend, VL: uint16(vl), VS: in.VS,
+		Sz: isa.ElemBytes, Valid: true}
+	if !isVector {
+		tag.VL, tag.VS = 1, 0
+	}
+
+	// ---- Vector load elimination (§6.1) ----
+	if in.Op == isa.OpVLoad && elim == ElimSLEVLE {
+		if match := m.vTags.FindExact(tag); match >= 0 {
+			old := m.tables[isa.RegV].AliasTo(int(in.Dst.Idx), match)
+			*rec = rename.Record{Class: isa.RegV, Logical: int(in.Dst.Idx),
+				OldPhys: old, NewPhys: match, HasRename: true}
+			m.eliminatedLoads++
+			m.eliminatedRequests += vl
+			// The load completes in "the time it takes to do the rename".
+			m.msched.recordEliminated(rstart, rend, depT)
+			m.mQ.Admit(depT)
+			return depT, depT, depT + 1
+		}
+	}
+	// ---- Scalar load elimination (SLE) ----
+	if !isVector && in.Op.IsLoad() && elim != ElimNone {
+		tf := m.sTags
+		if in.Dst.Class == isa.RegA {
+			tf = m.aTags
+		}
+		if match := tf.FindExact(tag); match >= 0 {
+			// The value is copied register-to-register; the rename table is
+			// not affected (§6.1). Completion is the copy latency.
+			srcReady := m.scalarReadyFor(in.Dst.Class, match)
+			done := depT + 1
+			if srcReady > done {
+				done = srcReady
+			}
+			if in.Dst.Class == isa.RegA {
+				m.aReady[rec.NewPhys] = done
+				m.aTags.Set(rec.NewPhys, tag)
+			} else {
+				m.sReady[rec.NewPhys] = done
+				m.sTags.Set(rec.NewPhys, tag)
+			}
+			m.eliminatedLoads++
+			m.eliminatedRequests++
+			m.msched.recordEliminated(rstart, rend, depT)
+			m.mQ.Admit(depT)
+			return depT, depT, done
+		}
+	}
+
+	// ---- Normal memory access ----
+	// Deferred vector rename (§6.2) for non-eliminated vector ops.
+	var dstReadyAt int64
+	if vleDefer && in.WritesReg() && in.Dst.Class == isa.RegV {
+		*rec, dstReadyAt = m.allocDst(in)
+	}
+
+	ready := depT
+	if dstReadyAt > ready {
+		ready = dstReadyAt
+	}
+	// Vector references execute under the architected VL/VS.
+	if isVector && m.lastVLReady > ready {
+		ready = m.lastVLReady
+	}
+	// Store data / gather-scatter index operands.
+	var rbuf [4]isa.Reg
+	for _, r := range in.Reads(rbuf[:]) {
+		switch r.Class {
+		case isa.RegV:
+			p := m.tables[isa.RegV].Lookup(int(r.Idx))
+			// Stores chain from functional units (data streamed as produced).
+			if t := m.vTiming[p].ReadyFor(isStore); t > ready {
+				ready = t
+			}
+			if isStore {
+				// Reading the data register occupies its read port.
+				ready = m.ports.Acquire([]int{p}, -1, ready, vl)
+			}
+		case isa.RegA, isa.RegS:
+			p := m.tables[r.Class].Lookup(int(r.Idx))
+			if t := m.scalarReadyFor(r.Class, p); t > ready {
+				ready = t
+			}
+		}
+	}
+	// Dead-spill-store elision (§6 future work) kills an exact-slot
+	// predecessor BEFORE disambiguation, so the dying store is not forced
+	// onto the bus by this store's own conflict scan.
+	elide := cfg.ElideDeadSpillStores && cfg.Commit != rob.PolicyLate &&
+		isStore && in.Spill && taggable
+	if elide {
+		if old, ok := m.spillPend[[2]uint64{rstart, rend}]; ok {
+			if req, elided := m.msched.tryCancel(old); elided {
+				m.elidedStores++
+				m.elidedRequests += req
+			}
+		}
+	}
+	// Dynamic memory disambiguation (Dependence stage outcome).
+	if c := m.msched.conflictConstraint(rstart, rend, isStore); c > ready {
+		ready = c
+	}
+	// §5: with late commit, stores execute only at the head of the reorder
+	// buffer.
+	if isStore && cfg.Commit == rob.PolicyLate {
+		if c := m.rob.LastCommit(); c > ready {
+			ready = c
+		}
+	}
+
+	if in.Op.IsLoad() {
+		busStart := m.msched.placeLoad(ready, occ, vl, rstart, rend)
+		m.mQ.Admit(busStart)
+		if isVector {
+			dataAt := busStart + int64(isa.VectorStartup) + cfg.MemLatency
+			wStart := m.ports.Acquire(nil, rec.NewPhys, dataAt, vl)
+			tm := vregfile.Timing{
+				ChainStart: wStart + m.writeX,
+				Complete:   wStart + m.writeX + vl - 1,
+				FromMem:    true,
+			}
+			m.vTiming[rec.NewPhys] = tm
+			if elim != ElimNone {
+				if taggable {
+					m.vTags.Set(rec.NewPhys, tag)
+				} else {
+					m.vTags.Invalidate(rec.NewPhys)
+				}
+			}
+			return busStart, busStart, tm.Complete
+		}
+		done := busStart + cfg.ScalarMemLatency + 1
+		if in.Dst.Class == isa.RegA {
+			m.aReady[rec.NewPhys] = done
+			if elim != ElimNone {
+				m.aTags.Set(rec.NewPhys, tag)
+			}
+		} else {
+			m.sReady[rec.NewPhys] = done
+			if elim != ElimNone {
+				m.sTags.Set(rec.NewPhys, tag)
+			}
+		}
+		return busStart, busStart, done
+	}
+
+	// Stores: "do not result in observed latency". Under early commit the
+	// bus slot is placed lazily in ready order (see memScheduler). Under
+	// late commit the store reaches the head of the reorder buffer, hands
+	// its data to the store unit, and commits; the requests then stream
+	// out (the slot is placed at once so younger conflicting accesses see
+	// the real bus occupancy).
+	var busStart, storeDone int64
+	if cfg.Commit == rob.PolicyLate {
+		busStart = m.msched.placeStoreNow(ready, occ, vl, rstart, rend)
+		storeDone = ready
+	} else if elide {
+		// Hold the spill in the store buffer; if a later spill overwrites
+		// exactly this slot first, the buffered store dies without ever
+		// issuing requests.
+		m.spillPend[[2]uint64{rstart, rend}] = m.msched.deferElidableStore(ready, occ, vl, rstart, rend)
+		busStart = ready
+		storeDone = ready + occ
+	} else {
+		m.msched.deferStore(ready, occ, vl, rstart, rend)
+		busStart = ready
+		storeDone = ready + occ
+	}
+	m.mQ.Admit(busStart)
+	if elim != ElimNone {
+		// Tag the stored register (it mirrors the stored-to memory) and
+		// conservatively invalidate every overlapping tag elsewhere.
+		ownV, ownS, ownA := -1, -1, -1
+		if data := in.Src1; data.Class != isa.RegNone && !cfg.NoStoreTags {
+			p := m.tables[data.Class].Lookup(int(data.Idx))
+			if taggable {
+				switch data.Class {
+				case isa.RegV:
+					m.vTags.Set(p, tag)
+					ownV = p
+				case isa.RegS:
+					m.sTags.Set(p, tag)
+					ownS = p
+				case isa.RegA:
+					m.aTags.Set(p, tag)
+					ownA = p
+				}
+			}
+		}
+		if cfg.ExactInvalidation {
+			// Unsafe ablation: only kill tags covering exactly this range.
+			m.vTags.InvalidateExact(rstart, rend, ownV)
+			m.sTags.InvalidateExact(rstart, rend, ownS)
+			m.aTags.InvalidateExact(rstart, rend, ownA)
+		} else {
+			m.vTags.InvalidateOverlap(rstart, rend, ownV)
+			m.sTags.InvalidateOverlap(rstart, rend, ownS)
+			m.aTags.InvalidateOverlap(rstart, rend, ownA)
+		}
+	}
+	return busStart, busStart, storeDone
+}
+
+// finish assembles the run statistics.
+func (m *machine) finish(t *trace.Trace) *Result {
+	m.note(m.msched.finishAll())
+	total := m.lastCycle + 1
+	st := &metrics.RunStats{
+		Machine:                m.cfg.Name(),
+		Program:                t.Name,
+		Cycles:                 total,
+		Instructions:           int64(t.Len()),
+		MemPortBusy:            m.msched.bus.BusyCycles(),
+		MemRequests:            m.msched.requests,
+		VRegPortConflictCycles: m.ports.ConflictCycles(),
+		Mispredicts:            m.pred.Mispredictions(),
+		EliminatedLoads:        m.eliminatedLoads,
+		EliminatedRequests:     m.eliminatedRequests,
+		ElidedStores:           m.elidedStores,
+		ElidedRequests:         m.elidedRequests,
+		DecodeStallRegs:        m.stallRegs,
+		DecodeStallQueue:       m.stallQueue,
+		DecodeStallROB:         m.stallROB,
+	}
+	st.States = metrics.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(),
+		m.msched.bus.Intervals(), total)
+	return &Result{Stats: st, Records: m.records, Tables: m.tables}
+}

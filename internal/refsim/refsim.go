@@ -1,0 +1,303 @@
+// Package refsim simulates the reference architecture of the paper: an
+// in-order vector machine modelled after the Convex C3400 (§2.1).
+//
+// Machine structure:
+//
+//   - A scalar unit executing all instructions involving A and S registers,
+//     issuing at most one instruction per cycle.
+//   - A vector unit with two computation units: FU2 (general purpose,
+//     executes everything) and FU1 (restricted: everything except multiply,
+//     divide and square root), both fully pipelined.
+//   - One memory unit (MEM) sharing a single address bus for all scalar and
+//     vector transactions.
+//   - Eight vector registers of 128 × 64-bit elements, grouped in banks of
+//     two registers sharing two read ports and one write port.
+//   - Chaining from functional units to other functional units and to the
+//     store unit; memory loads are NOT chained into functional units.
+//
+// The simulator is trace-driven and interval-timed: instructions are
+// processed in program order; each one computes its earliest feasible issue
+// cycle from operand readiness (with chaining), register hazards (the
+// machine has no renaming, so WAW and WAR stall), port conflicts and unit
+// occupancy. In-order issue is enforced by a blocking decode: instruction
+// i+1 never issues before instruction i.
+package refsim
+
+import (
+	"oovec/internal/isa"
+	"oovec/internal/metrics"
+	"oovec/internal/sched"
+	"oovec/internal/trace"
+	"oovec/internal/vregfile"
+)
+
+// Config parameterises the reference machine.
+type Config struct {
+	// MemLatency is the main-memory latency in cycles (the paper sweeps
+	// 1..100; default 50).
+	MemLatency int64
+	// ScalarMemLatency is the latency of scalar references. Vector
+	// machines of this class cached scalar data (the paper: data caches
+	// were not used in vector processors "except to cache scalar data"),
+	// so scalar references see a short cache latency rather than main
+	// memory. Default 6.
+	ScalarMemLatency int64
+	// TakenBranchPenalty is the fetch-bubble charged for taken branches
+	// (the in-order machine has no branch prediction). Default 2.
+	TakenBranchPenalty int64
+	// Probe, when non-nil, is called for every instruction with its index,
+	// issue cycle and completion cycle. Used by tests.
+	Probe func(i int, issue, complete int64)
+}
+
+// DefaultConfig returns the paper's reference configuration.
+func DefaultConfig() Config {
+	return Config{MemLatency: 50, ScalarMemLatency: 6, TakenBranchPenalty: 2}
+}
+
+// vregState is the hazard-tracking state of one logical vector register.
+type vregState struct {
+	timing        vregfile.Timing
+	lastReadStart int64 // most recent consumer's issue cycle (WAR)
+	hasValue      bool
+}
+
+// Run simulates the trace on the reference machine and returns its
+// measurements.
+func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
+	if cfg.MemLatency <= 0 {
+		cfg.MemLatency = 50
+	}
+	if cfg.ScalarMemLatency <= 0 {
+		cfg.ScalarMemLatency = 6
+	}
+	readX := int64(isa.ReadXbar(isa.MachineRef))
+	writeX := int64(isa.WriteXbar(isa.MachineRef))
+
+	fu1 := sched.NewMonotonic()
+	fu2 := sched.NewMonotonic()
+	bus := sched.NewMonotonic()
+	ports := vregfile.NewBankedFile(isa.NumLogicalV)
+
+	var aReady [isa.NumLogicalA]int64
+	var sReady [isa.NumLogicalS]int64
+	var vregs [isa.NumLogicalV]vregState
+	var maskT vregfile.Timing
+	maskHasValue := false
+
+	var prevIssue int64 = -1
+	var lastVLTime int64 // completion of the last SetVL/SetVS
+	var bubble int64     // extra delay for the next instruction (taken branch)
+	var lastCycle int64
+	var memRequests int64
+
+	note := func(c int64) {
+		if c > lastCycle {
+			lastCycle = c
+		}
+	}
+
+	// scalarReady returns when a scalar operand can be read.
+	scalarReady := func(r isa.Reg) int64 {
+		switch r.Class {
+		case isa.RegA:
+			return aReady[r.Idx]
+		case isa.RegS:
+			return sReady[r.Idx]
+		}
+		return 0
+	}
+
+	const vstart = int64(isa.VectorStartup)
+	for i := range t.Insns {
+		in := &t.Insns[i]
+		vl := int64(in.EffVL())
+		occ := vl // unit occupancy: startup dead time + one cycle per element
+		if in.Op.IsVector() {
+			occ += vstart
+		}
+
+		// In-order single issue: one instruction per cycle, plus any branch
+		// bubble from the previous instruction.
+		cand := prevIssue + 1 + bubble
+		bubble = 0
+
+		// Operand readiness.
+		var vReads []int
+		consumerChainable := in.Op.ExecUnit() == isa.UnitV || in.Op.IsStore()
+		operand := func(r isa.Reg) {
+			switch r.Class {
+			case isa.RegA, isa.RegS:
+				if rdy := scalarReady(r); rdy > cand {
+					cand = rdy
+				}
+			case isa.RegV:
+				st := &vregs[r.Idx]
+				if st.hasValue {
+					if rdy := st.timing.ReadyFor(consumerChainable); rdy > cand {
+						cand = rdy
+					}
+				}
+				vReads = append(vReads, int(r.Idx))
+			case isa.RegM:
+				if maskHasValue {
+					if rdy := maskT.ReadyFor(consumerChainable); rdy > cand {
+						cand = rdy
+					}
+				}
+			}
+		}
+		var rbuf [4]isa.Reg
+		for _, r := range in.Reads(rbuf[:]) {
+			operand(r)
+		}
+
+		// Vector instructions execute under the architected VL/VS, so they
+		// serialise behind the last SetVL/SetVS.
+		if in.Op.IsVector() && lastVLTime > cand {
+			cand = lastVLTime
+		}
+
+		// Register hazards on the destination (no renaming): WAW waits for
+		// the previous value's last element; WAR waits for the most recent
+		// reader to have started (it then stays one element ahead).
+		vWrite := -1
+		if in.WritesReg() {
+			switch in.Dst.Class {
+			case isa.RegV:
+				st := &vregs[in.Dst.Idx]
+				if st.hasValue && st.timing.Complete+1 > cand {
+					cand = st.timing.Complete + 1 // WAW
+				}
+				if st.lastReadStart+1 > cand {
+					cand = st.lastReadStart + 1 // WAR
+				}
+				vWrite = int(in.Dst.Idx)
+			case isa.RegM:
+				if maskHasValue && maskT.Complete+1 > cand {
+					cand = maskT.Complete + 1
+				}
+			}
+		}
+
+		var issue int64
+		switch in.Op.ExecUnit() {
+		case isa.UnitV:
+			// Pick the functional unit: FU2-only ops go to FU2; flexible
+			// ops go to whichever frees first (FU1 preferred on ties).
+			fu := fu1
+			if in.Op.NeedsFU2() || fu2.NextFree() < fu1.NextFree() {
+				fu = fu2
+			}
+			if in.Op.NeedsFU2() {
+				fu = fu2
+			}
+			if nf := fu.NextFree(); nf > cand {
+				cand = nf
+			}
+			// Reading operands costs the crossbar traversal.
+			cand += readX
+			issue = ports.Acquire(vReads, vWrite, cand, occ)
+			fu.Allocate(issue, occ)
+			lat := int64(isa.ExecLatency(in.Op)) + vstart
+			tm := vregfile.Timing{
+				ChainStart: issue + lat + writeX,
+				Complete:   issue + lat + writeX + vl - 1,
+			}
+			if in.Dst.Class == isa.RegV {
+				st := &vregs[in.Dst.Idx]
+				st.timing, st.hasValue = tm, true
+			} else if in.Dst.Class == isa.RegM {
+				maskT, maskHasValue = tm, true
+			} else if in.Dst.Class == isa.RegS {
+				// Reductions deliver a scalar.
+				sReady[in.Dst.Idx] = tm.Complete
+			}
+			note(tm.Complete)
+
+		case isa.UnitMem:
+			if nf := bus.NextFree(); nf > cand {
+				cand = nf
+			}
+			var issuePorts int64 = cand
+			if in.Op.IsVector() {
+				issuePorts = ports.Acquire(vReads, vWrite, cand, occ)
+			}
+			issue = bus.Allocate(issuePorts, occ)
+			memRequests += vl
+			if in.Op.IsLoad() {
+				if in.Op.IsVector() {
+					tm := vregfile.Timing{
+						ChainStart: issue + vstart + cfg.MemLatency + writeX,
+						Complete:   issue + vstart + cfg.MemLatency + writeX + vl - 1,
+						FromMem:    true,
+					}
+					st := &vregs[in.Dst.Idx]
+					st.timing, st.hasValue = tm, true
+					note(tm.Complete)
+				} else {
+					rdy := issue + cfg.ScalarMemLatency + 1
+					if in.Dst.Class == isa.RegA {
+						aReady[in.Dst.Idx] = rdy
+					} else {
+						sReady[in.Dst.Idx] = rdy
+					}
+					note(rdy)
+				}
+			} else {
+				// Stores: no observed latency; done when last request issued.
+				note(issue + occ)
+			}
+
+		case isa.UnitA, isa.UnitS:
+			issue = cand
+			lat := int64(isa.ExecLatency(in.Op))
+			done := issue + lat
+			if in.Dst.Class == isa.RegA {
+				aReady[in.Dst.Idx] = done
+			} else if in.Dst.Class == isa.RegS {
+				sReady[in.Dst.Idx] = done
+			}
+			if in.Op == isa.OpSetVL || in.Op == isa.OpSetVS {
+				lastVLTime = done
+			}
+			note(done)
+
+		case isa.UnitCtl:
+			issue = cand
+			if in.Taken {
+				bubble = cfg.TakenBranchPenalty
+			}
+			note(issue + 1)
+
+		default: // OpNop
+			issue = cand
+			note(issue + 1)
+		}
+
+		// Record reader starts for WAR tracking.
+		for _, vr := range vReads {
+			if issue > vregs[vr].lastReadStart {
+				vregs[vr].lastReadStart = issue
+			}
+		}
+		prevIssue = issue
+
+		if cfg.Probe != nil {
+			cfg.Probe(i, issue, lastCycle)
+		}
+	}
+
+	total := lastCycle + 1
+	st := &metrics.RunStats{
+		Machine:                "REF",
+		Program:                t.Name,
+		Cycles:                 total,
+		Instructions:           int64(t.Len()),
+		MemPortBusy:            bus.BusyCycles(),
+		MemRequests:            memRequests,
+		VRegPortConflictCycles: ports.ConflictCycles(),
+	}
+	st.States = metrics.StateBreakdown(fu2.Intervals(), fu1.Intervals(), bus.Intervals(), total)
+	return st
+}

@@ -1,0 +1,127 @@
+package rename
+
+// Memory tags for dynamic load elimination (§6.1).
+//
+// A tag is associated with each physical register and records the memory
+// region whose contents the register currently mirrors. For vector
+// registers the tag is the 6-tuple (@1, @2, vl, vs, sz, v): the virtual
+// address range, the vector length, stride and access granularity used when
+// the tag was created, and a validity bit. Scalar registers use the same
+// structure with VL=1 and VS=0 (the paper's 4-tuple).
+//
+// Tag life cycle:
+//
+//   - a load sets the tag of its destination physical register;
+//   - a store sets the tag of the physical register being stored (this is
+//     what makes spill store → reload pairs eliminable);
+//   - every store invalidates all existing tags whose address ranges
+//     overlap the store's range (conservatively), except the tag the store
+//     itself just wrote;
+//   - a later load whose tag matches an existing tag exactly is redundant:
+//     its destination is renamed to the matching physical register.
+
+// Tag describes the memory image aliased by one physical register.
+type Tag struct {
+	// Start and End delimit the byte range [Start, End] touched.
+	Start, End uint64
+	// VL and VS are the vector length and stride at tag creation.
+	VL uint16
+	VS int32
+	// Sz is the access granularity in bytes.
+	Sz uint8
+	// Valid is the validity bit.
+	Valid bool
+}
+
+// Matches reports an exact match as §6.1 requires: "an exact match requires
+// all tag fields to be identical".
+func (t Tag) Matches(o Tag) bool {
+	return t.Valid && o.Valid &&
+		t.Start == o.Start && t.End == o.End &&
+		t.VL == o.VL && t.VS == o.VS && t.Sz == o.Sz
+}
+
+// Overlaps reports whether the tag's range intersects [start, end].
+func (t Tag) Overlaps(start, end uint64) bool {
+	return t.Valid && t.Start <= end && start <= t.End
+}
+
+// TagFile holds the tags of one register class's physical registers.
+type TagFile struct {
+	tags []Tag
+
+	matches       int64
+	invalidations int64
+}
+
+// NewTagFile returns a tag file for n physical registers, all invalid.
+func NewTagFile(n int) *TagFile {
+	return &TagFile{tags: make([]Tag, n)}
+}
+
+// Grow extends the file to at least n registers.
+func (f *TagFile) Grow(n int) {
+	for len(f.tags) < n {
+		f.tags = append(f.tags, Tag{})
+	}
+}
+
+// Set installs a tag on phys.
+func (f *TagFile) Set(phys int, t Tag) { f.tags[phys] = t }
+
+// Get returns the tag of phys.
+func (f *TagFile) Get(phys int) Tag { return f.tags[phys] }
+
+// Invalidate clears the tag of phys (e.g. the register was overwritten by a
+// functional-unit result, which no longer mirrors memory).
+func (f *TagFile) Invalidate(phys int) { f.tags[phys].Valid = false }
+
+// InvalidateOverlap clears every tag overlapping [start, end], except the
+// register `except` (pass -1 for none). This is the conservative
+// invalidation a store performs.
+func (f *TagFile) InvalidateOverlap(start, end uint64, except int) {
+	for p := range f.tags {
+		if p == except {
+			continue
+		}
+		if f.tags[p].Overlaps(start, end) {
+			f.tags[p].Valid = false
+			f.invalidations++
+		}
+	}
+}
+
+// InvalidateExact clears only tags whose range equals [start, end] exactly,
+// except `except`. This is the UNSAFE ablation policy (a partially
+// overlapping store leaves stale tags); the simulator uses it only to
+// quantify what the §6.1 conservative policy costs.
+func (f *TagFile) InvalidateExact(start, end uint64, except int) {
+	for p := range f.tags {
+		if p == except {
+			continue
+		}
+		if f.tags[p].Valid && f.tags[p].Start == start && f.tags[p].End == end {
+			f.tags[p].Valid = false
+			f.invalidations++
+		}
+	}
+}
+
+// FindExact returns the physical register whose tag exactly matches t, or
+// -1. When several match (possible after aliasing), the lowest-numbered one
+// is returned, keeping the simulator deterministic.
+func (f *TagFile) FindExact(t Tag) int {
+	for p := range f.tags {
+		if f.tags[p].Matches(t) {
+			f.matches++
+			return p
+		}
+	}
+	return -1
+}
+
+// Matches returns the number of successful FindExact lookups.
+func (f *TagFile) Matches() int64 { return f.matches }
+
+// Invalidations returns the number of tags killed by overlap invalidation.
+func (f *TagFile) Invalidations() int64 { return f.invalidations }

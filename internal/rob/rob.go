@@ -1,0 +1,112 @@
+// Package rob models the OOOVA reorder buffer's timing behaviour: a
+// 64-entry FIFO that instructions enter at decode and leave at commit, in
+// strict program order, with up to four commits per cycle (§2.2).
+//
+// Two commit policies exist (§2.2 "Commit Strategy" and §5):
+//
+//   - Early: a reorder-buffer slot is marked ready to commit when the
+//     instruction *begins* execution; physical registers are released as
+//     soon as the slot reaches the head. Fast, but imprecise on exceptions.
+//
+//   - Late: a slot is ready only when the instruction has *fully
+//     completed*; additionally, stores execute only at the head of the
+//     buffer. This recovers precise architectural state at any instruction
+//     boundary, enabling precise traps and virtual memory.
+//
+// The functional contents of ROB entries (the rename records used for
+// rollback) live in package rename; this package computes commit cycles.
+package rob
+
+import "oovec/internal/sched"
+
+// Paper parameters.
+const (
+	// DefaultSize is the paper's reorder buffer capacity.
+	DefaultSize = 64
+	// DefaultWidth is the paper's maximum commits per cycle.
+	DefaultWidth = 4
+)
+
+// Policy selects the commit strategy.
+type Policy uint8
+
+const (
+	// PolicyEarly releases state when execution begins (§2.2).
+	PolicyEarly Policy = iota
+	// PolicyLate commits only after completion and holds stores to the
+	// head of the buffer (§5, precise traps).
+	PolicyLate
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyLate {
+		return "late"
+	}
+	return "early"
+}
+
+// ROB computes commit times for an in-order, width-limited commit stage.
+type ROB struct {
+	size   int
+	width  int
+	window *sched.RingWindow
+	recent []int64 // ring buffer of the last `width` commit times
+	ri     int
+	filled int
+	last   int64
+}
+
+// New returns a ROB with the given capacity and commit width.
+func New(size, width int) *ROB {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	return &ROB{
+		size:   size,
+		width:  width,
+		window: sched.NewRingWindow(size),
+		recent: make([]int64, width),
+	}
+}
+
+// AdmitConstraint returns the earliest cycle a new instruction may be
+// allocated a slot: immediately if the buffer has spare capacity, otherwise
+// the commit cycle of the oldest in-flight instruction.
+func (r *ROB) AdmitConstraint() int64 { return r.window.FreeAt() }
+
+// Commit records the next instruction's commit given the cycle it becomes
+// ready to commit, enforcing program order and the commit width, and books
+// its slot occupancy. It returns the commit cycle.
+func (r *ROB) Commit(ready int64) int64 {
+	c := ready + 1 // committing takes a cycle after readiness
+	if c < r.last {
+		c = r.last // program order: never commit before an older instruction
+	}
+	if r.filled >= r.width {
+		// At most `width` commits per cycle: the instruction `width` back
+		// must have committed strictly earlier.
+		if min := r.recent[r.ri] + 1; c < min {
+			c = min
+		}
+	}
+	r.recent[r.ri] = c
+	r.ri = (r.ri + 1) % r.width
+	if r.filled < r.width {
+		r.filled++
+	}
+	r.last = c
+	r.window.Admit(c)
+	return c
+}
+
+// LastCommit returns the most recent commit cycle (the cycle at which the
+// previous instruction left the buffer — i.e. when the next one reaches the
+// head).
+func (r *ROB) LastCommit() int64 { return r.last }
+
+// Size returns the capacity.
+func (r *ROB) Size() int { return r.size }

@@ -1,0 +1,121 @@
+package rob
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitInOrder(t *testing.T) {
+	r := New(64, 4)
+	c1 := r.Commit(100)
+	c2 := r.Commit(50) // ready earlier, but must not commit before c1
+	if c1 != 101 {
+		t.Errorf("c1 = %d, want 101", c1)
+	}
+	if c2 < c1 {
+		t.Errorf("c2 = %d before c1 = %d", c2, c1)
+	}
+}
+
+func TestCommitWidthFourPerCycle(t *testing.T) {
+	r := New(64, 4)
+	// Five instructions all ready at cycle 9: commits at 10,10,10,10,11.
+	var commits []int64
+	for i := 0; i < 5; i++ {
+		commits = append(commits, r.Commit(9))
+	}
+	for i := 0; i < 4; i++ {
+		if commits[i] != 10 {
+			t.Errorf("commit[%d] = %d, want 10", i, commits[i])
+		}
+	}
+	if commits[4] != 11 {
+		t.Errorf("commit[4] = %d, want 11 (width 4)", commits[4])
+	}
+}
+
+func TestAdmitConstraintWhenFull(t *testing.T) {
+	r := New(4, 4)
+	if r.AdmitConstraint() != 0 {
+		t.Error("empty ROB must admit at once")
+	}
+	for i := 0; i < 4; i++ {
+		r.Commit(int64(100 + i))
+	}
+	// ROB of 4 is full; the next admission waits for the first commit (101).
+	if got := r.AdmitConstraint(); got != 101 {
+		t.Errorf("AdmitConstraint = %d, want 101", got)
+	}
+}
+
+func TestLastCommitTracksHead(t *testing.T) {
+	r := New(64, 4)
+	r.Commit(10)
+	r.Commit(20)
+	if r.LastCommit() != 21 {
+		t.Errorf("LastCommit = %d, want 21", r.LastCommit())
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	r := New(0, 0)
+	if r.Size() != 64 {
+		t.Errorf("default size = %d, want 64", r.Size())
+	}
+	if DefaultSize != 64 || DefaultWidth != 4 {
+		t.Error("paper constants changed")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyEarly.String() != "early" || PolicyLate.String() != "late" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestPropertyCommitsMonotonicAndWidthBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(4)
+		r := New(64, width)
+		var commits []int64
+		ready := int64(0)
+		for i := 0; i < 300; i++ {
+			ready += int64(rng.Intn(3))
+			commits = append(commits, r.Commit(ready))
+		}
+		perCycle := map[int64]int{}
+		for i, c := range commits {
+			if i > 0 && c < commits[i-1] {
+				return false // out of order
+			}
+			perCycle[c]++
+			if perCycle[c] > width {
+				return false // width exceeded
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCommitAfterReady(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(8, 2)
+		ready := int64(0)
+		for i := 0; i < 200; i++ {
+			ready += int64(rng.Intn(4))
+			if c := r.Commit(ready); c <= ready {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

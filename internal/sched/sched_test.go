@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonotonicSerialises(t *testing.T) {
+	m := NewMonotonic()
+	if got := m.Allocate(0, 10); got != 0 {
+		t.Errorf("first = %d", got)
+	}
+	if got := m.Allocate(5, 10); got != 10 {
+		t.Errorf("second = %d, want 10", got)
+	}
+	if got := m.Allocate(100, 5); got != 100 {
+		t.Errorf("third = %d, want 100", got)
+	}
+	if m.BusyCycles() != 25 {
+		t.Errorf("busy = %d", m.BusyCycles())
+	}
+	if m.NextFree() != 105 {
+		t.Errorf("nextFree = %d", m.NextFree())
+	}
+}
+
+func TestMonotonicMergesAdjacentIntervals(t *testing.T) {
+	m := NewMonotonic()
+	m.Allocate(0, 10)
+	m.Allocate(0, 10) // lands at 10, adjacent
+	ivs := m.Intervals()
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 20}) {
+		t.Errorf("intervals = %v, want single [0,20)", ivs)
+	}
+}
+
+func TestGapBackfills(t *testing.T) {
+	g := NewGap()
+	if got := g.Allocate(100, 10); got != 100 {
+		t.Errorf("first = %d", got)
+	}
+	// A later request that is ready earlier fits before the booked interval.
+	if got := g.Allocate(0, 50); got != 0 {
+		t.Errorf("backfill = %d, want 0", got)
+	}
+	// Too big for the hole [50,100): goes after.
+	if got := g.Allocate(0, 60); got != 110 {
+		t.Errorf("oversized = %d, want 110", got)
+	}
+	// Exactly fits the hole [50,100).
+	if got := g.Allocate(0, 50); got != 50 {
+		t.Errorf("exact fit = %d, want 50", got)
+	}
+}
+
+func TestGapRespectsEarliest(t *testing.T) {
+	g := NewGap()
+	g.Allocate(10, 10) // [10,20)
+	if got := g.Allocate(5, 5); got != 5 {
+		t.Errorf("hole before = %d, want 5", got)
+	}
+	if got := g.Allocate(12, 5); got != 20 {
+		t.Errorf("mid-interval request = %d, want 20", got)
+	}
+}
+
+func TestGapMerging(t *testing.T) {
+	g := NewGap()
+	g.Allocate(0, 10)  // [0,10)
+	g.Allocate(20, 10) // [20,30)
+	g.Allocate(10, 10) // exactly fills the hole: all three merge
+	ivs := g.Intervals()
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 30}) {
+		t.Errorf("intervals = %v, want single [0,30)", ivs)
+	}
+	if g.BusyCycles() != 30 {
+		t.Errorf("busy = %d", g.BusyCycles())
+	}
+}
+
+func TestGapZeroOrNegativeDur(t *testing.T) {
+	g := NewGap()
+	start := g.Allocate(5, 0) // clamps to 1
+	if start != 5 {
+		t.Errorf("start = %d", start)
+	}
+	if g.BusyCycles() != 1 {
+		t.Errorf("busy = %d, want 1", g.BusyCycles())
+	}
+}
+
+func TestPropertyGapIntervalsDisjointSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGap()
+		var total int64
+		for i := 0; i < 400; i++ {
+			dur := int64(1 + r.Intn(16))
+			g.Allocate(int64(r.Intn(2000)), dur)
+			total += dur
+		}
+		ivs := g.Intervals()
+		var sum int64
+		for i, iv := range ivs {
+			if iv.End <= iv.Start {
+				return false
+			}
+			if i > 0 && ivs[i-1].End >= iv.Start {
+				return false // overlapping or unmerged-adjacent
+			}
+			sum += iv.Len()
+		}
+		return sum == total && g.BusyCycles() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGapNeverBeforeEarliest(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewGap()
+		for i := 0; i < 300; i++ {
+			earliest := int64(r.Intn(1000))
+			start := g.Allocate(earliest, int64(1+r.Intn(8)))
+			if start < earliest {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMonotonicEqualsGapWhenRequestsOrdered(t *testing.T) {
+	// When each request's earliest time is at or past the previous
+	// reservation's end, backfilling never helps, so both disciplines agree.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, g := NewMonotonic(), NewGap()
+		clock := int64(0)
+		for i := 0; i < 200; i++ {
+			clock += int64(r.Intn(5))
+			dur := int64(1 + r.Intn(8))
+			sm := m.Allocate(clock, dur)
+			sg := g.Allocate(clock, dur)
+			if sm != sg {
+				return false
+			}
+			clock = sm + dur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingWindowCapacity(t *testing.T) {
+	w := NewRingWindow(2)
+	if w.FreeAt() != 0 {
+		t.Error("empty window should admit immediately")
+	}
+	w.Admit(100)
+	if w.FreeAt() != 0 {
+		t.Error("one of two slots used; should admit immediately")
+	}
+	w.Admit(50)
+	if got := w.FreeAt(); got != 100 {
+		t.Errorf("full window FreeAt = %d, want departure of oldest (100)", got)
+	}
+	w.Admit(200) // replaces oldest
+	if got := w.FreeAt(); got != 50 {
+		t.Errorf("FreeAt = %d, want 50", got)
+	}
+}
+
+func TestRingWindowUnbounded(t *testing.T) {
+	w := NewRingWindow(0)
+	for i := 0; i < 100; i++ {
+		w.Admit(int64(i))
+	}
+	if w.FreeAt() != 0 {
+		t.Error("unbounded window must never block")
+	}
+}
+
+func TestRingWindowReset(t *testing.T) {
+	w := NewRingWindow(1)
+	w.Admit(99)
+	w.Reset()
+	if w.FreeAt() != 0 {
+		t.Error("reset window should admit immediately")
+	}
+}
+
+func TestAllocatorInterfaceCompliance(t *testing.T) {
+	var _ Allocator = NewMonotonic()
+	var _ Allocator = NewGap()
+	for _, a := range []Allocator{NewMonotonic(), NewGap()} {
+		a.Allocate(0, 5)
+		a.Reset()
+		if a.BusyCycles() != 0 || len(a.Intervals()) != 0 {
+			t.Errorf("%T: reset did not clear", a)
+		}
+	}
+}

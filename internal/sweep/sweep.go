@@ -1,0 +1,103 @@
+// Package sweep runs parameter grids over the two simulators and exports
+// the measurements as CSV — the raw-data complement to the paper-shaped
+// tables of package experiments, intended for downstream plotting.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+	"oovec/internal/trace"
+)
+
+// Point is one measurement of one configuration on one program.
+type Point struct {
+	Program     string
+	Machine     string // "REF" or "OOOVA"
+	Latency     int64
+	VRegs       int // 0 for REF
+	QueueSlots  int // 0 for REF
+	Commit      string
+	Elim        string
+	Cycles      int64
+	MemRequests int64
+	PortIdlePct float64
+	Mispredicts int64
+	Eliminated  int64
+}
+
+// RefGrid runs the reference machine across memory latencies.
+func RefGrid(t *trace.Trace, latencies []int64) []Point {
+	pts := make([]Point, 0, len(latencies))
+	for _, lat := range latencies {
+		cfg := refsim.DefaultConfig()
+		cfg.MemLatency = lat
+		st := refsim.Run(t, cfg)
+		pts = append(pts, Point{
+			Program: t.Name, Machine: "REF", Latency: lat,
+			Cycles: st.Cycles, MemRequests: st.MemRequests,
+			PortIdlePct: st.MemPortIdlePct(),
+		})
+	}
+	return pts
+}
+
+// OOOGrid runs the OOOVA over the cross product of register counts and
+// latencies, with all other parameters taken from base.
+func OOOGrid(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64) []Point {
+	pts := make([]Point, 0, len(vregs)*len(latencies))
+	for _, regs := range vregs {
+		for _, lat := range latencies {
+			cfg := base
+			cfg.PhysVRegs = regs
+			cfg.MemLatency = lat
+			st := ooosim.Run(t, cfg).Stats
+			resolved := cfg
+			if resolved.QueueSlots == 0 {
+				resolved.QueueSlots = ooosim.DefaultConfig().QueueSlots
+			}
+			pts = append(pts, Point{
+				Program: t.Name, Machine: "OOOVA", Latency: lat,
+				VRegs: regs, QueueSlots: resolved.QueueSlots,
+				Commit: cfg.Commit.String(), Elim: cfg.LoadElim.String(),
+				Cycles: st.Cycles, MemRequests: st.MemRequests,
+				PortIdlePct: st.MemPortIdlePct(),
+				Mispredicts: st.Mispredicts, Eliminated: st.EliminatedLoads,
+			})
+		}
+	}
+	return pts
+}
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{
+	"program", "machine", "latency", "vregs", "queue_slots", "commit",
+	"elim", "cycles", "mem_requests", "port_idle_pct", "mispredicts",
+	"eliminated_loads",
+}
+
+// WriteCSV writes the points with a header row.
+func WriteCSV(w io.Writer, pts []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			p.Program, p.Machine,
+			fmt.Sprint(p.Latency), fmt.Sprint(p.VRegs), fmt.Sprint(p.QueueSlots),
+			p.Commit, p.Elim,
+			fmt.Sprint(p.Cycles), fmt.Sprint(p.MemRequests),
+			fmt.Sprintf("%.2f", p.PortIdlePct),
+			fmt.Sprint(p.Mispredicts), fmt.Sprint(p.Eliminated),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

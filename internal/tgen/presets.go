@@ -1,0 +1,136 @@
+package tgen
+
+// The ten benchmark presets, tuned to Table 2 ("Basic operation counts for
+// the Perfect Club and Specfp92 programs") and Table 3 ("Vector memory
+// spill operations") of the paper.
+//
+// Provenance of the numbers:
+//
+//   - Suite, scalar-M and vector-M instruction counts are legible in the
+//     available text of Table 2 and are reproduced exactly.
+//   - Average vector lengths: Table 2's VL column is garbled except for
+//     swm256 (127). The paper's prose pins the rest qualitatively: dyfesm,
+//     trfd and flo52 "have relatively small vector lengths" (§4.1), tomcatv
+//     is a long-vector code, and the remaining values are reconstructed
+//     from the authors' companion characterisation study ("Quantitative
+//     analysis of vector code", Espasa et al. 1995) to the nearest
+//     plausible value. Sanity check: every program must remain >= 70%
+//     vectorised (the paper's selection criterion), which all these values
+//     satisfy.
+//   - Spill-traffic percentages: Table 3 is garbled except for headline
+//     facts — "over 69% of the memory traffic in bdna is due to spills",
+//     swm256 has 2839M load ops vs 315M spill-load ops (~11%), and "in
+//     some of the benchmarks relatively few of the loads and stores are due
+//     to spills". Non-legible entries are set to moderate values (8-25%),
+//     with trfd/dyfesm given a strong *scalar* spill bias to reproduce
+//     their outlier behaviour in Figures 11-13 (§6.3 explains it by scalar
+//     data bypassing enabling loop unrolling).
+//   - InterIterDep for trfd/dyfesm implements §5's explanation of their
+//     late-commit collapse: "The main loop in trfd has a memory dependence
+//     between the last vector store of iteration i and the first vector
+//     load of iteration i+1 (both are to the same address)".
+//   - HugeBasicBlocks for bdna implements §4.2: "an extremely large main
+//     loop, which generates a sequence of basic blocks with more than 800
+//     vector instructions".
+
+// Presets returns the ten benchmark presets in the paper's Table 2 order.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name: "swm256", Suite: "Spec",
+			PaperScalarM: 6.2, PaperVectorM: 74.5,
+			AvgVL:           127, // legible in Table 2
+			SpillTrafficPct: 11,
+			StridedFrac:     0.05,
+		},
+		{
+			Name: "hydro2d", Suite: "Spec",
+			PaperScalarM: 41.5, PaperVectorM: 39.2,
+			AvgVL:           112,
+			SpillTrafficPct: 9,
+			StridedFrac:     0.10,
+		},
+		{
+			Name: "arc2d", Suite: "Perfect",
+			PaperScalarM: 63.3, PaperVectorM: 42.9,
+			AvgVL:           88,
+			SpillTrafficPct: 15,
+			StridedFrac:     0.25,
+		},
+		{
+			Name: "flo52", Suite: "Perfect",
+			PaperScalarM: 37.7, PaperVectorM: 22.8,
+			AvgVL:           56, // "relatively small vector lengths" (§4.1)
+			SpillTrafficPct: 11,
+			StridedFrac:     0.15,
+		},
+		{
+			Name: "nasa7", Suite: "Spec",
+			PaperScalarM: 152.4, PaperVectorM: 67.3,
+			AvgVL:           92,
+			SpillTrafficPct: 18,
+			GatherFrac:      0.12, // the kernels include indexed accesses
+			StridedFrac:     0.20,
+		},
+		{
+			Name: "su2cor", Suite: "Spec",
+			PaperScalarM: 152.6, PaperVectorM: 26.8,
+			AvgVL:           97,
+			SpillTrafficPct: 12,
+			StridedFrac:     0.10,
+		},
+		{
+			Name: "tomcatv", Suite: "Spec",
+			PaperScalarM: 125.8, PaperVectorM: 7.2,
+			AvgVL:           125,
+			SpillTrafficPct: 8,
+			StridedFrac:     0.05,
+		},
+		{
+			Name: "bdna", Suite: "Perfect",
+			PaperScalarM: 239.0, PaperVectorM: 19.6,
+			AvgVL:           107,
+			SpillTrafficPct: 69, // "over 69% of the memory traffic" (§6)
+			HugeBasicBlocks: true,
+			StridedFrac:     0.10,
+		},
+		{
+			Name: "trfd", Suite: "Perfect",
+			PaperScalarM: 352.2, PaperVectorM: 49.5,
+			AvgVL:           38, // "relatively small vector lengths"
+			SpillTrafficPct: 25,
+			ScalarSpillBias: 0.55,
+			InterIterDep:    true,
+			StridedFrac:     0.10,
+		},
+		{
+			Name: "dyfesm", Suite: "Perfect",
+			PaperScalarM: 236.1, PaperVectorM: 33.0,
+			AvgVL:           27, // "relatively small vector lengths"
+			SpillTrafficPct: 20,
+			ScalarSpillBias: 0.55,
+			InterIterDep:    true,
+			StridedFrac:     0.10,
+		},
+	}
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// Names returns the preset names in Table 2 order.
+func Names() []string {
+	ps := Presets()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

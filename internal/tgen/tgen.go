@@ -1,0 +1,587 @@
+// Package tgen generates synthetic benchmark traces that statistically
+// mirror the ten Perfect Club / Specfp92 programs of the paper's evaluation
+// (Table 2 and Table 3).
+//
+// The paper's traces came from real executables instrumented with the Dixie
+// tool on a Convex C3480; we do not have those binaries or the machine, so
+// each benchmark is replaced by a parameterised loop-nest generator tuned to
+// the program's published statistics: scalar/vector instruction mix,
+// percentage of vectorization, average vector length, spill-traffic
+// fraction, and the structural features the paper calls out by name —
+// trfd/dyfesm's inter-iteration store→load dependence (§5), bdna's enormous
+// basic blocks and 69% spill traffic (§6, Table 3), nasa7's indexed
+// accesses. Every architectural experiment in the paper measures responses
+// to these statistics, so preserving them preserves the experiments'
+// behaviour. Dynamic instruction counts are scaled down ~2000× (ratios
+// preserved) to keep simulation laptop-fast.
+//
+// Generation is deterministic: the RNG is seeded from the preset name.
+package tgen
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"oovec/internal/isa"
+	"oovec/internal/trace"
+)
+
+// Preset describes one synthetic benchmark. The paper-derived fields are
+// documented against their Table 2 / Table 3 sources in presets.go.
+type Preset struct {
+	// Name and Suite as in Table 2.
+	Name  string
+	Suite string
+	// PaperScalarM / PaperVectorM are Table 2's dynamic instruction counts
+	// in millions (scalar and vector).
+	PaperScalarM float64
+	PaperVectorM float64
+	// AvgVL is the target average vector length (Table 2 column 7).
+	AvgVL int
+	// SpillTrafficPct is the target percentage of memory element traffic
+	// due to spill code (Table 3).
+	SpillTrafficPct float64
+	// ScalarSpillBias skews spill traffic toward scalar registers
+	// (trfd/dyfesm; drives the SLE results of Figure 11).
+	ScalarSpillBias float64
+	// InterIterDep inserts a store→load dependence between consecutive
+	// iterations of the main loop (trfd/dyfesm; §5's late-commit collapse).
+	InterIterDep bool
+	// HugeBasicBlocks generates bdna-style basic blocks with hundreds of
+	// vector instructions and high register pressure.
+	HugeBasicBlocks bool
+	// GatherFrac is the fraction of vector loads that are indexed.
+	GatherFrac float64
+	// StridedFrac is the fraction of vector references with non-unit stride.
+	StridedFrac float64
+	// Insns is the target dynamic instruction count of the trace.
+	Insns int
+}
+
+// ScalarVectorRatio returns the paper's scalar:vector instruction ratio.
+func (p Preset) ScalarVectorRatio() float64 {
+	if p.PaperVectorM == 0 {
+		return 1
+	}
+	return p.PaperScalarM / p.PaperVectorM
+}
+
+// Generate builds the synthetic trace for the preset.
+func Generate(p Preset) *trace.Trace {
+	if p.Insns <= 0 {
+		p.Insns = DefaultInsns
+	}
+	h := fnv.New64a()
+	h.Write([]byte(p.Name))
+	g := &generator{
+		p:     p,
+		r:     rand.New(rand.NewSource(int64(h.Sum64()))),
+		b:     trace.NewBuilder(p.Name),
+		ratio: p.ScalarVectorRatio(),
+	}
+	g.run()
+	tr := g.b.Build()
+	tr.Suite = p.Suite
+	return tr
+}
+
+// DefaultInsns is the default dynamic trace length.
+const DefaultInsns = 40000
+
+// Memory layout of the synthetic address space.
+const (
+	arrayBase  = uint64(0x0100_0000) // streamed array data
+	arrayLimit = uint64(0x4000_0000)
+	spillBase  = uint64(0x0090_0000) // compiler spill slots
+	spillSlots = 64
+	scalarBase = uint64(0x0080_0000) // scalar globals / spill area
+	indexBase  = uint64(0x5000_0000) // gather/scatter index regions
+)
+
+type generator struct {
+	p     Preset
+	r     *rand.Rand
+	b     *trace.Builder
+	ratio float64
+
+	// Running counters used by the feedback controllers that steer the
+	// trace toward its statistical targets.
+	scalarCount int64
+	vectorCount int64
+	memOps      int64 // element traffic
+	spillOps    int64 // element traffic from spill code
+
+	arrayCursor  uint64
+	loopID       int
+	nests        int
+	curStride    int32
+	scalarCursor int
+}
+
+// run emits loop nests until the instruction budget is exhausted.
+func (g *generator) run() {
+	for g.emitted() < g.p.Insns {
+		switch {
+		case g.p.HugeBasicBlocks:
+			g.emitHugeBlockLoop()
+		case g.p.InterIterDep && g.nests%2 == 0:
+			// trfd/dyfesm interleave their recurrence loop with ordinary
+			// vectorised nests.
+			g.emitDepLoop()
+		default:
+			g.emitVectorLoop()
+		}
+		g.nests++
+		// Scalar-dominated inter-loop section (setup, reductions, calls).
+		g.emitScalarSection()
+	}
+}
+
+func (g *generator) emitted() int {
+	return int(g.scalarCount + g.vectorCount)
+}
+
+// balanceScalar emits scalar instructions until the running scalar:vector
+// ratio reaches the target. Returns after at most max instructions per call
+// to keep code interleaved rather than clumped.
+func (g *generator) balanceScalar(max int) {
+	for i := 0; i < max; i++ {
+		if float64(g.scalarCount) >= g.ratio*float64(g.vectorCount) {
+			return
+		}
+		g.emitScalarFiller()
+	}
+}
+
+// emitScalarFiller emits one plausible scalar instruction, occasionally a
+// scalar memory access or a scalar spill pair. Registers rotate so that a
+// value is reused roughly eight instructions after it is defined — the
+// instruction-level parallelism compiled scalar code actually exhibits —
+// rather than forming one long serial chain.
+func (g *generator) emitScalarFiller() {
+	c := g.scalarCursor
+	g.scalarCursor++
+	dstA := isa.A(c % 8)
+	s1A := isa.A((c + 3) % 8)
+	s2A := isa.A((c + 5) % 8)
+	dstS := isa.S(c % 8)
+	s1S := isa.S((c + 3) % 8)
+	s2S := isa.S((c + 5) % 8)
+
+	roll := g.r.Float64()
+	needSpill := g.spillFracBelowTarget()
+	switch {
+	case needSpill && g.r.Float64() < g.p.ScalarSpillBias:
+		// Scalar spill store + reload pair (drives SLE, Figure 11).
+		slot := scalarBase + uint64(g.r.Intn(128))*8
+		g.b.ScalarSpillStore(s1S, slot)
+		g.b.ScalarSpillLoad(dstS, slot)
+		g.scalarCount += 2
+		g.memOps += 2
+		g.spillOps += 2
+	case roll < 0.50:
+		g.b.Scalar(isa.OpAAdd, dstA, s1A, s2A)
+		g.scalarCount++
+	case roll < 0.68:
+		g.b.Scalar(isa.OpSAdd, dstS, s1S, s2S)
+		g.scalarCount++
+	case roll < 0.76:
+		g.b.Scalar(isa.OpSMul, dstS, s1S, s2S)
+		g.scalarCount++
+	case roll < 0.82:
+		g.b.ScalarLoad(isa.OpSLoad, dstS, scalarBase+uint64(g.r.Intn(512))*8)
+		g.scalarCount++
+		g.memOps++
+	case roll < 0.88:
+		g.b.ScalarStore(isa.OpSStore, s1S, scalarBase+uint64(4096+g.r.Intn(512))*8)
+		g.scalarCount++
+		g.memOps++
+	case roll < 0.94:
+		g.b.ScalarLoad(isa.OpALoad, dstA, scalarBase+uint64(1024+g.r.Intn(256))*8)
+		g.scalarCount++
+		g.memOps++
+	default:
+		g.b.Scalar(isa.OpAMove, dstA, s1A, isa.NoReg)
+		g.scalarCount++
+	}
+}
+
+// spillFracBelowTarget reports whether the running spill fraction of memory
+// traffic is below the preset target.
+func (g *generator) spillFracBelowTarget() bool {
+	if g.p.SpillTrafficPct <= 0 || g.memOps == 0 {
+		return false
+	}
+	return 100*float64(g.spillOps)/float64(g.memOps) < g.p.SpillTrafficPct
+}
+
+// pickVL samples a loop's vector length around the preset average.
+func (g *generator) pickVL() int {
+	avg := g.p.AvgVL
+	if avg >= 120 {
+		// Long-vector codes run at full machine length with a short tail.
+		if g.r.Float64() < 0.9 {
+			return isa.MaxVL
+		}
+		return 32 + g.r.Intn(96)
+	}
+	spread := avg / 2
+	vl := avg - spread + g.r.Intn(2*spread+1)
+	if vl < 4 {
+		vl = 4
+	}
+	if vl > isa.MaxVL {
+		vl = isa.MaxVL
+	}
+	return vl
+}
+
+// pickStride samples a memory stride.
+func (g *generator) pickStride() int32 {
+	if g.r.Float64() >= g.p.StridedFrac {
+		return isa.ElemBytes
+	}
+	strides := []int32{16, 32, 64, 128, 1024, -8}
+	return strides[g.r.Intn(len(strides))]
+}
+
+// nextArray reserves a fresh array region for a streaming access pattern.
+func (g *generator) nextArray() uint64 {
+	g.arrayCursor += 0x40000
+	return arrayBase + g.arrayCursor%(arrayLimit-arrayBase)
+}
+
+// emitVectorLoop emits one vectorised loop nest.
+func (g *generator) emitVectorLoop() {
+	g.loopID++
+	vl := g.pickVL()
+	iters := 4 + g.r.Intn(12)
+	nLoads := 1 + g.r.Intn(3)
+	nOps := 2 + g.r.Intn(4)
+	nStores := 1 + g.r.Intn(2)
+	if g.ratio < 0.2 {
+		// Highly vectorised programs (swm256): bigger loop bodies so the
+		// mandatory loop-control scalars stay a small fraction.
+		iters = 14 + g.r.Intn(10)
+		nLoads = 2 + g.r.Intn(3)
+		nOps = 6 + g.r.Intn(6)
+		nStores = 1 + g.r.Intn(3)
+	}
+	stride := g.pickStride()
+	loopPC := uint64(0x1000 + g.loopID*0x400)
+
+	srcA, srcB, dst := g.nextArray(), g.nextArray(), g.nextArray()
+
+	g.b.SetVL(vl, isa.A(0))
+	g.scalarCount++
+	if stride != g.curStride {
+		g.b.SetVS(stride, isa.A(1))
+		g.scalarCount++
+		g.curStride = stride
+	}
+
+	row := uint64(0)
+	var prevSpillSlot, prevScalarSlot uint64
+	for it := 0; it < iters; it++ {
+		g.b.SetPC(loopPC)
+		vreg := 0
+		take := func() isa.Reg { r := isa.V(vreg % 8); vreg++; return r }
+
+		loaded := make([]isa.Reg, 0, 4)
+		for l := 0; l < nLoads; l++ {
+			d := take()
+			base := srcA
+			if l%2 == 1 {
+				base = srcB
+			}
+			if g.r.Float64() < g.p.GatherFrac {
+				g.b.Gather(d, isa.V((vreg+3)%8), indexBase+row)
+			} else {
+				g.b.VLoad(d, base+row)
+			}
+			loaded = append(loaded, d)
+			g.vectorCount++
+			g.memOps += int64(vl)
+		}
+
+		prev := loaded[0]
+		var lastResult isa.Reg
+		for c := 0; c < nOps; c++ {
+			d := take()
+			src2 := loaded[c%len(loaded)]
+			op := g.pickVectorOp(c)
+			if op == isa.OpVSMul || op == isa.OpVSAdd {
+				g.b.Vector(op, d, prev, isa.S(g.r.Intn(8)))
+			} else {
+				g.b.Vector(op, d, prev, src2)
+			}
+			prev, lastResult = d, d
+			g.vectorCount++
+		}
+
+		// Spill traffic (drives Table 3 / Figures 11-13): store a live value
+		// to a compiler slot now, and reload the value spilled by the
+		// *previous* iteration — compiled spill code reloads far from the
+		// store, so the reload's memory disambiguation sees a long-settled
+		// store.
+		if g.spillFracBelowTarget() && g.r.Float64() < 0.8 {
+			slot := spillBase + uint64((g.loopID*7+it)%spillSlots)*0x2000 + 0x1000
+			g.b.SpillStore(lastResult, slot)
+			g.vectorCount++
+			g.memOps += int64(vl)
+			g.spillOps += int64(vl)
+			if prevSpillSlot != 0 {
+				reload := take()
+				g.b.SpillLoad(reload, prevSpillSlot)
+				g.vectorCount++
+				g.memOps += int64(vl)
+				g.spillOps += int64(vl)
+				d := take()
+				g.b.Vector(isa.OpVAdd, d, reload, lastResult)
+				g.vectorCount++
+				lastResult = d
+			}
+			prevSpillSlot = slot
+		}
+
+		for s := 0; s < nStores; s++ {
+			g.b.VStore(lastResult, dst+row+uint64(s)*0x8000)
+			g.vectorCount++
+			g.memOps += int64(vl)
+		}
+
+		// Loop-control scalar work and the back edge. Vectorised loop
+		// bodies carry only their own control scalars (address updates and
+		// scalar spills); the bulk of a program's scalar work lives in the
+		// scalar phases between loop nests. Nearly fully vectorised
+		// programs fold the address update into the loop branch.
+		if g.ratio >= 0.15 {
+			g.b.Scalar(isa.OpAAdd, isa.A(it%8), isa.A((it+3)%8), isa.A((it+5)%8))
+			g.scalarCount++
+		}
+		if g.p.ScalarSpillBias > 0 && g.spillFracBelowTarget() {
+			// trfd/dyfesm keep scalar spill traffic around their loop
+			// iterations (the §6.3 "unrolling" limiter that SLE removes).
+			slot := scalarBase + uint64((g.loopID*5+it)%96)*8
+			g.b.ScalarSpillStore(isa.S(it%8), slot)
+			g.scalarCount++
+			g.memOps++
+			g.spillOps++
+			if prevScalarSlot != 0 {
+				g.b.ScalarSpillLoad(isa.S((it+2)%8), prevScalarSlot)
+				g.scalarCount++
+				g.memOps++
+				g.spillOps++
+			}
+			prevScalarSlot = slot
+		}
+		g.b.SetPC(loopPC + 0x3f0)
+		g.b.Branch(loopPC, it != iters-1)
+		g.scalarCount++
+
+		row += uint64(vl) * uint64(abs32(stride))
+	}
+}
+
+// emitDepLoop emits the trfd/dyfesm-style loop nest: a short loop-carried
+// recurrence through memory — "a memory dependence between the last vector
+// store of iteration i and the first vector load of iteration i+1 (both are
+// to the same address)" (§5) — surrounded by independent streaming work.
+// The out-of-order machine hides the independent work in the shadow of the
+// recurrence; the in-order machine serialises everything, which is why
+// these programs show the paper's highest OOOVA speedups — and why they
+// collapse under late commit, when the recurrence store must wait for the
+// head of the reorder buffer.
+func (g *generator) emitDepLoop() {
+	g.loopID++
+	vl := g.pickVL()
+	iters := 6 + g.r.Intn(8)
+	loopPC := uint64(0x1000 + g.loopID*0x400)
+	srcA, srcB, dst := g.nextArray(), g.nextArray(), g.nextArray()
+	depSlot := spillBase + uint64(g.loopID%spillSlots)*0x2000
+
+	g.b.SetVL(vl, isa.A(0))
+	g.scalarCount++
+	if g.curStride != isa.ElemBytes {
+		g.b.SetVS(isa.ElemBytes, isa.A(1))
+		g.scalarCount++
+		g.curStride = isa.ElemBytes
+	}
+
+	row := uint64(0)
+	var prevScalarSlot uint64
+	for it := 0; it < iters; it++ {
+		g.b.SetPC(loopPC)
+
+		// The recurrence, exactly as §5 describes it: a producer, two
+		// intervening register-only instructions, then the store back to
+		// the slot the next iteration's first load reads. Under early
+		// commit the store chains from the producer; under late commit it
+		// waits at the head of the reorder buffer behind the intervening
+		// instructions' completions — which is the whole cost of precise
+		// traps on these programs. The loop carries no other memory
+		// traffic, so the recurrence, not the address bus, sets its pace.
+		g.b.VLoad(isa.V(0), depSlot)
+		g.vectorCount++
+		g.memOps += int64(vl)
+		g.b.Vector(isa.OpVSAdd, isa.V(1), isa.V(0), isa.S(0)) // producer
+		g.vectorCount++
+		g.b.Vector(isa.OpVMul, isa.V(3), isa.V(1), isa.V(7)) // intervening
+		g.vectorCount++
+		g.b.Vector(isa.OpVAdd, isa.V(4), isa.V(3), isa.V(7)) // intervening
+		g.vectorCount++
+		g.b.VStore(isa.V(1), depSlot)
+		g.vectorCount++
+		g.memOps += int64(vl)
+		_ = srcA
+		_ = srcB
+		_ = dst
+
+		g.b.Scalar(isa.OpAAdd, isa.A(it%8), isa.A((it+3)%8), isa.A((it+5)%8))
+		g.scalarCount++
+		if g.p.ScalarSpillBias > 0 && g.spillFracBelowTarget() {
+			slot := scalarBase + uint64((g.loopID*5+it)%96)*8
+			g.b.ScalarSpillStore(isa.S(it%8), slot)
+			g.scalarCount++
+			g.memOps++
+			g.spillOps++
+			if prevScalarSlot != 0 {
+				g.b.ScalarSpillLoad(isa.S((it+2)%8), prevScalarSlot)
+				g.scalarCount++
+				g.memOps++
+				g.spillOps++
+			}
+			prevScalarSlot = slot
+		}
+		g.b.SetPC(loopPC + 0x3f0)
+		g.b.Branch(loopPC, it != iters-1)
+		g.scalarCount++
+
+		row += uint64(vl) * isa.ElemBytes
+	}
+}
+
+// pickVectorOp chooses a computation opcode with a realistic mix: adds
+// dominate, multiplies common, divides rare.
+func (g *generator) pickVectorOp(pos int) isa.Op {
+	roll := g.r.Float64()
+	switch {
+	case roll < 0.45:
+		return isa.OpVAdd
+	case roll < 0.70:
+		return isa.OpVMul
+	case roll < 0.78:
+		return isa.OpVSMul
+	case roll < 0.86:
+		return isa.OpVSAdd
+	case roll < 0.92:
+		return isa.OpVLogic
+	case roll < 0.97:
+		return isa.OpVShift
+	default:
+		return isa.OpVDiv
+	}
+}
+
+// emitHugeBlockLoop emits a bdna-style loop: a single enormous basic block
+// with hundreds of vector instructions and pervasive spilling.
+func (g *generator) emitHugeBlockLoop() {
+	g.loopID++
+	vl := g.pickVL()
+	g.b.SetVL(vl, isa.A(0))
+	g.scalarCount++
+	blockLen := 150 + g.r.Intn(120) // vector instructions per block
+	iters := 2 + g.r.Intn(3)
+	loopPC := uint64(0x40000 + g.loopID*0x4000)
+	src := g.nextArray()
+
+	var prevSpillSlot uint64
+	for it := 0; it < iters; it++ {
+		g.b.SetPC(loopPC)
+		vreg := 0
+		live := isa.V(0)
+		for n := 0; n < blockLen; n++ {
+			d := isa.V(vreg % 8)
+			vreg++
+			switch {
+			case n%9 == 0:
+				g.b.VLoad(d, src+uint64(n)*0x2000+uint64(it)*0x100000)
+				g.vectorCount++
+				g.memOps += int64(vl)
+			case n%3 == 1 && g.spillFracBelowTarget():
+				// Register pressure forces a spill of a live value; a value
+				// spilled earlier in the block is reloaded for its next use.
+				slot := spillBase + uint64(n%spillSlots)*0x2000
+				g.b.SpillStore(live, slot)
+				g.vectorCount++
+				g.memOps += int64(vl)
+				g.spillOps += int64(vl)
+				if prevSpillSlot == 0 {
+					prevSpillSlot = slot
+				}
+				g.b.SpillLoad(d, prevSpillSlot)
+				g.vectorCount++
+				g.memOps += int64(vl)
+				g.spillOps += int64(vl)
+				prevSpillSlot = slot
+			case n%9 == 8:
+				g.b.VStore(live, src+0x800000+uint64(n)*0x2000+uint64(it)*0x100000)
+				g.vectorCount++
+				g.memOps += int64(vl)
+			default:
+				op := g.pickVectorOp(n)
+				if op == isa.OpVSMul || op == isa.OpVSAdd {
+					g.b.Vector(op, d, live, isa.S(g.r.Intn(8)))
+				} else {
+					g.b.Vector(op, d, live, isa.V((vreg+2)%8))
+				}
+				g.vectorCount++
+				live = d
+			}
+			if n%8 == 7 {
+				// Scalar code interleaves inside the block (it does not end
+				// the basic block).
+				g.balanceScalar(120)
+			}
+		}
+		g.b.SetPC(loopPC + 0x3ff0)
+		g.b.Branch(loopPC, it != iters-1)
+		g.scalarCount++
+	}
+}
+
+// emitScalarSection emits the scalar-only region between loop nests.
+func (g *generator) emitScalarSection() {
+	// Unconditional scalar glue only for scalar-leaning programs; highly
+	// vectorised codes go straight to the next loop nest.
+	if g.ratio >= 0.2 {
+		n := 4 + g.r.Intn(12)
+		for i := 0; i < n; i++ {
+			g.emitScalarFiller()
+		}
+	}
+	// Occasional call/return pair around a "subroutine".
+	if g.ratio >= 0.2 && g.r.Intn(3) == 0 {
+		pc := g.b.PC()
+		target := pc + 0x10000
+		g.b.Call(target)
+		g.scalarCount++
+		g.b.SetPC(target)
+		for i := 0; i < 3; i++ {
+			g.emitScalarFiller()
+		}
+		g.b.Return(pc + 4)
+		g.scalarCount++
+		g.b.SetPC(pc + 4)
+	}
+	// Catch all the way up to the target ratio before the next loop nest
+	// (scalar-dominated programs spend most of their time here).
+	g.balanceScalar(100000)
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,220 @@
+package tgen
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"oovec/internal/trace"
+)
+
+func TestAllPresetsGenerateValidTraces(t *testing.T) {
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tr := Generate(p)
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Name != p.Name || tr.Suite != p.Suite {
+				t.Errorf("metadata %q/%q", tr.Name, tr.Suite)
+			}
+			target := p.Insns
+			if target == 0 {
+				target = DefaultInsns
+			}
+			if tr.Len() < target/2 || tr.Len() > target*2 {
+				t.Errorf("length %d far from target %d", tr.Len(), target)
+			}
+		})
+	}
+}
+
+func TestPresetStatisticsMatchTargets(t *testing.T) {
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			tr := Generate(p)
+			s := tr.ComputeStats()
+
+			// Scalar:vector instruction ratio within 15% (relative) of
+			// Table 2, with a small absolute floor for the nearly fully
+			// vectorised programs where loop-control scalars set a floor.
+			gotRatio := float64(s.ScalarInsns) / float64(s.VectorInsns)
+			wantRatio := p.ScalarVectorRatio()
+			tol := 0.15 * wantRatio
+			if tol < 0.04 {
+				tol = 0.04
+			}
+			if math.Abs(gotRatio-wantRatio) > tol {
+				t.Errorf("scalar:vector ratio = %.2f, want %.2f (Table 2)", gotRatio, wantRatio)
+			}
+
+			// Average vector length within 20% of target.
+			if rel := math.Abs(s.AvgVL()-float64(p.AvgVL)) / float64(p.AvgVL); rel > 0.20 {
+				t.Errorf("avg VL = %.1f, want ~%d", s.AvgVL(), p.AvgVL)
+			}
+
+			// Spill traffic within 10 percentage points of Table 3.
+			if d := math.Abs(s.SpillTrafficPct() - p.SpillTrafficPct); d > 10 {
+				t.Errorf("spill traffic = %.1f%%, want ~%.0f%%", s.SpillTrafficPct(), p.SpillTrafficPct)
+			}
+		})
+	}
+}
+
+func TestAllPresetsSeventyPercentVectorized(t *testing.T) {
+	// The paper selected programs with at least 70% vectorization.
+	for _, p := range Presets() {
+		tr := Generate(p)
+		s := tr.ComputeStats()
+		if got := s.PctVectorization(); got < 70 {
+			t.Errorf("%s: vectorization %.1f%% < 70%%", p.Name, got)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	p, _ := PresetByName("hydro2d")
+	a := Generate(p)
+	b := Generate(p)
+	if !reflect.DeepEqual(a.Insns, b.Insns) {
+		t.Error("two generations of the same preset differ")
+	}
+}
+
+func TestDifferentPresetsDiffer(t *testing.T) {
+	a, _ := PresetByName("swm256")
+	b, _ := PresetByName("trfd")
+	ta, tb := Generate(a), Generate(b)
+	if reflect.DeepEqual(ta.Insns, tb.Insns) {
+		t.Error("different presets generated identical traces")
+	}
+}
+
+func TestBdnaSpillHeavyAndHugeBlocks(t *testing.T) {
+	p, ok := PresetByName("bdna")
+	if !ok || !p.HugeBasicBlocks {
+		t.Fatal("bdna preset must use huge basic blocks")
+	}
+	tr := Generate(p)
+	s := tr.ComputeStats()
+	if s.SpillTrafficPct() < 55 {
+		t.Errorf("bdna spill traffic = %.1f%%, want >= 55%% (paper: 69%%)", s.SpillTrafficPct())
+	}
+	// Basic blocks (branch-free runs) must be large.
+	maxRun, run := 0, 0
+	for i := range tr.Insns {
+		if tr.Insns[i].Op.IsBranch() {
+			if run > maxRun {
+				maxRun = run
+			}
+			run = 0
+		} else {
+			run++
+		}
+	}
+	if maxRun < 150 {
+		t.Errorf("largest basic block = %d instructions, want bdna-style blocks >= 150", maxRun)
+	}
+}
+
+func TestTrfdInterIterationDependence(t *testing.T) {
+	p, ok := PresetByName("trfd")
+	if !ok || !p.InterIterDep {
+		t.Fatal("trfd preset must carry the inter-iteration dependence")
+	}
+	tr := Generate(p)
+	// Find a store whose address is reloaded by a later (non-spill) load
+	// before any other store to it — the §5 pattern.
+	type access struct {
+		idx   int
+		store bool
+	}
+	lastStore := map[uint64]int{}
+	found := false
+	for i := range tr.Insns {
+		in := &tr.Insns[i]
+		if !in.Op.IsVector() || !in.Op.IsMem() || in.Spill {
+			continue
+		}
+		if in.Op.IsStore() {
+			lastStore[in.Addr] = i
+		} else if j, ok := lastStore[in.Addr]; ok && j < i {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no store→load same-address dependence found in trfd trace")
+	}
+}
+
+func TestTrfdAndDyfesmShortVectors(t *testing.T) {
+	for _, name := range []string{"trfd", "dyfesm", "flo52"} {
+		p, _ := PresetByName(name)
+		tr := Generate(p)
+		s := tr.ComputeStats()
+		if s.AvgVL() > 70 {
+			t.Errorf("%s avg VL = %.1f, want short vectors", name, s.AvgVL())
+		}
+	}
+	long, _ := PresetByName("swm256")
+	s := Generate(long).ComputeStats()
+	if s.AvgVL() < 100 {
+		t.Errorf("swm256 avg VL = %.1f, want ~127", s.AvgVL())
+	}
+}
+
+func TestNasa7HasGathers(t *testing.T) {
+	p, _ := PresetByName("nasa7")
+	tr := Generate(p)
+	gathers := 0
+	for i := range tr.Insns {
+		if tr.Insns[i].Op.String() == "v.gth" {
+			gathers++
+		}
+	}
+	if gathers == 0 {
+		t.Error("nasa7 must contain indexed accesses")
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	if _, ok := PresetByName("nonesuch"); ok {
+		t.Error("unknown preset found")
+	}
+	if len(Names()) != 10 {
+		t.Errorf("presets = %d, want the paper's 10", len(Names()))
+	}
+	if Names()[0] != "swm256" || Names()[9] != "dyfesm" {
+		t.Error("preset order must follow Table 2")
+	}
+}
+
+func TestCustomInsnsBudget(t *testing.T) {
+	p, _ := PresetByName("swm256")
+	p.Insns = 5000
+	tr := Generate(p)
+	if tr.Len() < 2500 || tr.Len() > 10000 {
+		t.Errorf("length %d far from 5000", tr.Len())
+	}
+}
+
+func TestTracesRoundTripThroughIO(t *testing.T) {
+	p, _ := PresetByName("flo52")
+	p.Insns = 3000
+	tr := Generate(p)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Insns, tr.Insns) {
+		t.Error("preset trace did not survive serialisation")
+	}
+}

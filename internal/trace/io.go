@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"oovec/internal/isa"
+)
+
+// Binary trace format, analogous in spirit to Dixie's compact traces:
+//
+//	magic   "OVTR"           4 bytes
+//	version uvarint          (currently 1)
+//	name    uvarint len + bytes
+//	suite   uvarint len + bytes
+//	count   uvarint
+//	count × instruction records
+//
+// Each instruction record is a flag byte followed by only the fields the
+// flags say are present, all varint-encoded. This keeps scalar-heavy traces
+// around 4–6 bytes per instruction.
+
+const magic = "OVTR"
+const formatVersion = 1
+
+// Flag bits for the per-instruction record.
+const (
+	flagDst uint8 = 1 << iota
+	flagSrc1
+	flagSrc2
+	flagVec   // VL and VS present
+	flagAddr  // Addr present
+	flagTaken // branch taken
+	flagSpill
+)
+
+// Write serialises the trace to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := putUvarint(formatVersion); err != nil {
+		return err
+	}
+	if err := putString(t.Name); err != nil {
+		return err
+	}
+	if err := putString(t.Suite); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Insns))); err != nil {
+		return err
+	}
+	prevPC := uint64(0)
+	for i := range t.Insns {
+		in := &t.Insns[i]
+		var flags uint8
+		if in.Dst.Class != isa.RegNone {
+			flags |= flagDst
+		}
+		if in.Src1.Class != isa.RegNone {
+			flags |= flagSrc1
+		}
+		if in.Src2.Class != isa.RegNone {
+			flags |= flagSrc2
+		}
+		if in.Op.IsVector() {
+			flags |= flagVec
+		}
+		if in.Addr != 0 || in.Op.IsMem() || in.Op.IsBranch() {
+			flags |= flagAddr
+		}
+		if in.Taken {
+			flags |= flagTaken
+		}
+		if in.Spill {
+			flags |= flagSpill
+		}
+		if err := bw.WriteByte(byte(in.Op)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		// PC is delta-encoded against the previous instruction.
+		if err := putVarint(int64(in.PC) - int64(prevPC)); err != nil {
+			return err
+		}
+		prevPC = in.PC
+		if flags&flagDst != 0 {
+			if err := bw.WriteByte(packReg(in.Dst)); err != nil {
+				return err
+			}
+		}
+		if flags&flagSrc1 != 0 {
+			if err := bw.WriteByte(packReg(in.Src1)); err != nil {
+				return err
+			}
+		}
+		if flags&flagSrc2 != 0 {
+			if err := bw.WriteByte(packReg(in.Src2)); err != nil {
+				return err
+			}
+		}
+		if flags&flagVec != 0 {
+			if err := putUvarint(uint64(in.VL)); err != nil {
+				return err
+			}
+			if err := putVarint(int64(in.VS)); err != nil {
+				return err
+			}
+		}
+		if flags&flagAddr != 0 {
+			if err := putUvarint(in.Addr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic (not an OVTR trace)")
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	getString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	t := &Trace{}
+	if t.Name, err = getString(); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	if t.Suite, err = getString(); err != nil {
+		return nil, fmt.Errorf("trace: reading suite: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("trace: unreasonable instruction count %d", count)
+	}
+	t.Insns = make([]isa.Instruction, 0, count)
+	prevPC := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: insn %d: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: insn %d: %w", i, err)
+		}
+		var in isa.Instruction
+		in.Op = isa.Op(op)
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: insn %d pc: %w", i, err)
+		}
+		in.PC = uint64(int64(prevPC) + dpc)
+		prevPC = in.PC
+		if flags&flagDst != 0 {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			in.Dst = unpackReg(b)
+		}
+		if flags&flagSrc1 != 0 {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			in.Src1 = unpackReg(b)
+		}
+		if flags&flagSrc2 != 0 {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			in.Src2 = unpackReg(b)
+		}
+		if flags&flagVec != 0 {
+			vl, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			in.VL = uint16(vl)
+			vs, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			in.VS = int32(vs)
+		}
+		if flags&flagAddr != 0 {
+			if in.Addr, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		in.Taken = flags&flagTaken != 0
+		in.Spill = flags&flagSpill != 0
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: insn %d: %w", i, err)
+		}
+		t.Insns = append(t.Insns, in)
+	}
+	return t, nil
+}
+
+// packReg encodes a register in one byte: class in the top 3 bits, index in
+// the low 5.
+func packReg(r isa.Reg) byte {
+	return byte(r.Class)<<5 | (r.Idx & 0x1f)
+}
+
+func unpackReg(b byte) isa.Reg {
+	return isa.Reg{Class: isa.RegClass(b >> 5), Idx: b & 0x1f}
+}

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"oovec/internal/isa"
+)
+
+func daxpyTrace(iters, vl int) *Trace {
+	b := NewBuilder("daxpy")
+	b.SetVL(vl, isa.A(0))
+	base := uint64(0x10000)
+	for i := 0; i < iters; i++ {
+		off := uint64(i * vl * isa.ElemBytes)
+		b.SetPC(0x100)
+		b.VLoad(isa.V(0), base+off)
+		b.VLoad(isa.V(1), base+0x100000+off)
+		b.Vector(isa.OpVSMul, isa.V(2), isa.V(0), isa.S(0))
+		b.Vector(isa.OpVAdd, isa.V(3), isa.V(2), isa.V(1))
+		b.VStore(isa.V(3), base+0x100000+off)
+		b.Scalar(isa.OpAAdd, isa.A(1), isa.A(1), isa.A(2))
+		b.Branch(0x100, i != iters-1)
+	}
+	return b.Build()
+}
+
+func TestBuilderProducesValidTrace(t *testing.T) {
+	tr := daxpyTrace(10, 64)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1+10*7 {
+		t.Errorf("Len = %d, want %d", tr.Len(), 1+10*7)
+	}
+}
+
+func TestBuilderTracksVL(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetVL(33, isa.A(0))
+	b.Vector(isa.OpVAdd, isa.V(0), isa.V(1), isa.V(2))
+	tr := b.Build()
+	if got := tr.At(1).VL; got != 33 {
+		t.Errorf("VL = %d, want 33", got)
+	}
+	if b.VL() != 33 {
+		t.Errorf("builder VL = %d", b.VL())
+	}
+}
+
+func TestBuilderClampsVL(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetVL(1000, isa.A(0))
+	if b.VL() != isa.MaxVL {
+		t.Errorf("VL = %d, want clamp to %d", b.VL(), isa.MaxVL)
+	}
+	b.SetVL(0, isa.A(0))
+	if b.VL() != 1 {
+		t.Errorf("VL = %d, want clamp to 1", b.VL())
+	}
+}
+
+func TestBuilderPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic from invalid instruction")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Raw(isa.Instruction{Op: isa.Op(250)})
+	b.Build()
+}
+
+func TestStatsDaxpy(t *testing.T) {
+	tr := daxpyTrace(10, 64)
+	s := tr.ComputeStats()
+	// Per iteration: 2 vloads + 1 vstore + 2 vector ops = 5 vector insns;
+	// 1 scalar add + 1 branch = 2 scalar; plus the initial setvl.
+	if s.VectorInsns != 50 {
+		t.Errorf("VectorInsns = %d, want 50", s.VectorInsns)
+	}
+	if s.ScalarInsns != 21 {
+		t.Errorf("ScalarInsns = %d, want 21", s.ScalarInsns)
+	}
+	if s.VectorOps != 50*64 {
+		t.Errorf("VectorOps = %d, want %d", s.VectorOps, 50*64)
+	}
+	if s.VectorLoads != 20 || s.VectorStores != 10 {
+		t.Errorf("loads/stores = %d/%d, want 20/10", s.VectorLoads, s.VectorStores)
+	}
+	if s.LoadOps != 20*64 || s.StoreOps != 10*64 {
+		t.Errorf("load/store ops = %d/%d", s.LoadOps, s.StoreOps)
+	}
+	if s.Branches != 10 {
+		t.Errorf("Branches = %d, want 10", s.Branches)
+	}
+	if got := s.AvgVL(); got != 64 {
+		t.Errorf("AvgVL = %v, want 64", got)
+	}
+	wantPct := 100 * float64(50*64) / float64(21+50*64)
+	if got := s.PctVectorization(); got != wantPct {
+		t.Errorf("PctVectorization = %v, want %v", got, wantPct)
+	}
+}
+
+func TestStatsSpillAccounting(t *testing.T) {
+	b := NewBuilder("spilly")
+	b.SetVL(32, isa.A(0))
+	b.VLoad(isa.V(0), 0x1000)
+	b.SpillStore(isa.V(0), 0x9000)
+	b.SpillLoad(isa.V(1), 0x9000)
+	b.VStore(isa.V(1), 0x2000)
+	b.ScalarSpillStore(isa.S(0), 0x9400)
+	b.ScalarSpillLoad(isa.S(1), 0x9400)
+	tr := b.Build()
+	s := tr.ComputeStats()
+	if s.SpillLoadOps != 32+1 {
+		t.Errorf("SpillLoadOps = %d, want 33", s.SpillLoadOps)
+	}
+	if s.SpillStoreOps != 32+1 {
+		t.Errorf("SpillStoreOps = %d, want 33", s.SpillStoreOps)
+	}
+	// Total traffic: loads 32+32+1, stores 32+32+1 = 130; spill 66.
+	wantPct := 100 * 66.0 / 130.0
+	if got := s.SpillTrafficPct(); got != wantPct {
+		t.Errorf("SpillTrafficPct = %v, want %v", got, wantPct)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var tr Trace
+	s := tr.ComputeStats()
+	if s.PctVectorization() != 0 || s.AvgVL() != 0 || s.SpillTrafficPct() != 0 {
+		t.Error("empty-trace derived stats should be 0")
+	}
+}
+
+func TestRoundTripDaxpy(t *testing.T) {
+	tr := daxpyTrace(25, 100)
+	tr.Suite = "Synthetic"
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Suite != tr.Suite {
+		t.Errorf("metadata: got %q/%q", got.Name, got.Suite)
+	}
+	if !reflect.DeepEqual(got.Insns, tr.Insns) {
+		t.Fatalf("instructions differ after round trip (%d vs %d)", len(got.Insns), len(tr.Insns))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("expected error on empty input")
+	}
+	// Truncated: valid header, then cut off mid-stream.
+	tr := daxpyTrace(5, 16)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("expected error on truncated trace")
+	}
+}
+
+func TestReadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("OVTR")
+	buf.WriteByte(99) // version uvarint
+	if _, err := Read(&buf); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+// randomTrace builds a random, valid trace for property tests.
+func randomTrace(r *rand.Rand, n int) *Trace {
+	b := NewBuilder("prop")
+	b.SetVL(1+r.Intn(isa.MaxVL), isa.A(0))
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0:
+			b.SetVL(1+r.Intn(isa.MaxVL), isa.A(r.Intn(8)))
+		case 1:
+			b.Scalar(isa.OpSAdd, isa.S(r.Intn(8)), isa.S(r.Intn(8)), isa.S(r.Intn(8)))
+		case 2:
+			b.VLoad(isa.V(r.Intn(8)), uint64(r.Intn(1<<24)))
+		case 3:
+			b.VStore(isa.V(r.Intn(8)), uint64(r.Intn(1<<24)))
+		case 4:
+			b.Vector(isa.OpVMul, isa.V(r.Intn(8)), isa.V(r.Intn(8)), isa.V(r.Intn(8)))
+		case 5:
+			b.Branch(uint64(r.Intn(1<<16)), r.Intn(2) == 0)
+		case 6:
+			b.SpillLoad(isa.V(r.Intn(8)), uint64(r.Intn(1<<24)))
+		case 7:
+			b.Gather(isa.V(r.Intn(8)), isa.V(r.Intn(8)), uint64(r.Intn(1<<24)))
+		}
+	}
+	return b.Build()
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, 50+r.Intn(200))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(got.Insns, tr.Insns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStatsMatchManualCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, 100)
+		s := tr.ComputeStats()
+		var vecOps, vecInsns int64
+		for i := range tr.Insns {
+			if tr.Insns[i].Op.IsVector() {
+				vecInsns++
+				vecOps += int64(tr.Insns[i].EffVL())
+			}
+		}
+		return s.VectorInsns == vecInsns && s.VectorOps == vecOps &&
+			s.ScalarInsns+s.VectorInsns == int64(tr.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingIsCompact(t *testing.T) {
+	tr := daxpyTrace(1000, 128)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perInsn := float64(buf.Len()) / float64(tr.Len())
+	if perInsn > 12 {
+		t.Errorf("encoding too fat: %.1f bytes/insn", perInsn)
+	}
+}

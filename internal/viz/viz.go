@@ -1,0 +1,245 @@
+// Package viz renders text charts for the experiment results: horizontal
+// bar charts (Figures 4, 6, 11–13), grouped bars, multi-series line charts
+// (Figures 5, 8, 9) and stacked composition bars (Figures 3, 7). Pure
+// text, deterministic, no dependencies — suitable for terminals, logs and
+// golden tests.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	// Name labels the series in legends.
+	Name string
+	// Values are the data points (aligned with the chart's labels or xs).
+	Values []float64
+	// Glyph is the character used to draw the series (optional; picked
+	// from a default palette when zero).
+	Glyph rune
+}
+
+var defaultGlyphs = []rune{'#', 'o', '+', 'x', '*', '@', '%', '~'}
+
+func glyphFor(s Series, i int) rune {
+	if s.Glyph != 0 {
+		return s.Glyph
+	}
+	return defaultGlyphs[i%len(defaultGlyphs)]
+}
+
+// BarRow is one labelled value of a bar chart.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// HBar renders a horizontal bar chart. Bars are scaled to `width`
+// characters at the maximum value.
+func HBar(title string, rows []BarRow, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, r := range rows {
+		if r.Value > max {
+			max = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for _, r := range rows {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(r.Value / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %8.2f\n", labelW, r.Label, width,
+			strings.Repeat("#", n), r.Value)
+	}
+	return b.String()
+}
+
+// Grouped renders one bar per (label, series) pair, grouping series under
+// each label — the Figure 6 "REF vs OOOVA" layout.
+func Grouped(title string, labels []string, series []Series, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for li, l := range labels {
+		for si, s := range series {
+			v := 0.0
+			if li < len(s.Values) {
+				v = s.Values[li]
+			}
+			n := 0
+			if max > 0 {
+				n = int(math.Round(v / max * float64(width)))
+			}
+			lbl := ""
+			if si == 0 {
+				lbl = l
+			}
+			fmt.Fprintf(&b, "%-*s %-*s |%-*s %8.2f\n", labelW, lbl, nameW, s.Name,
+				width, strings.Repeat(string(glyphFor(s, si)), n), v)
+		}
+	}
+	return b.String()
+}
+
+// Lines renders series over shared x positions on a w×h character grid,
+// with a y-axis scale and a legend — the Figure 5/8/9 curve layout.
+func Lines(title string, xs []float64, series []Series, w, h int) string {
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	xlo, xhi := xs[0], xs[len(xs)-1]
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	plot := func(x, y float64, g rune) {
+		c := int(math.Round((x - xlo) / (xhi - xlo) * float64(w-1)))
+		r := int(math.Round((hi - y) / (hi - lo) * float64(h-1)))
+		if c >= 0 && c < w && r >= 0 && r < h {
+			grid[r][c] = g
+		}
+	}
+	for si, s := range series {
+		g := glyphFor(s, si)
+		// Linear interpolation between consecutive points for continuity.
+		for i := 0; i+1 < len(xs) && i+1 < len(s.Values); i++ {
+			steps := w / max(1, len(xs)-1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(xs[i]+f*(xs[i+1]-xs[i]), s.Values[i]+f*(s.Values[i+1]-s.Values[i]), g)
+			}
+		}
+		if len(s.Values) == 1 {
+			plot(xs[0], s.Values[0], g)
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for r := 0; r < h; r++ {
+		y := hi - (hi-lo)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", y, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-*g%*g\n", "", w/2, xlo, w-w/2, xhi)
+	b.WriteString("legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c=%s", glyphFor(s, si), s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Stacked renders one composition bar per label: each part occupies a share
+// of the bar proportional to its value — the Figure 3/7 stacked-state
+// layout. parts names the components; data[label][part] are the values.
+func Stacked(title string, labels []string, parts []string, data [][]float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for li, l := range labels {
+		var total float64
+		for _, v := range data[li] {
+			total += v
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, l)
+		used := 0
+		for pi, v := range data[li] {
+			n := 0
+			if total > 0 {
+				n = int(math.Round(v / total * float64(width)))
+			}
+			if used+n > width {
+				n = width - used
+			}
+			b.WriteString(strings.Repeat(string(defaultGlyphs[pi%len(defaultGlyphs)]), n))
+			used += n
+		}
+		b.WriteString(strings.Repeat(" ", width-used))
+		fmt.Fprintf(&b, "| total %.0f\n", total)
+	}
+	b.WriteString("legend:")
+	for pi, p := range parts {
+		fmt.Fprintf(&b, "  %c=%s", defaultGlyphs[pi%len(defaultGlyphs)], p)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHBarScalesToMax(t *testing.T) {
+	out := HBar("idle", []BarRow{
+		{Label: "swm256", Value: 50},
+		{Label: "trfd", Value: 25},
+	}, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "idle" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	if full != 40 {
+		t.Errorf("max bar = %d chars, want 40", full)
+	}
+	if half != 20 {
+		t.Errorf("half bar = %d chars, want 20", half)
+	}
+	if !strings.Contains(lines[1], "50.00") {
+		t.Error("value annotation missing")
+	}
+}
+
+func TestHBarZeroValues(t *testing.T) {
+	out := HBar("", []BarRow{{Label: "a", Value: 0}, {Label: "b", Value: 0}}, 20)
+	if strings.Contains(out, "#") {
+		t.Error("zero values should draw no bars")
+	}
+}
+
+func TestGroupedAlignsSeries(t *testing.T) {
+	out := Grouped("fig6", []string{"swm256", "trfd"}, []Series{
+		{Name: "REF", Values: []float64{50, 53}},
+		{Name: "OOOVA", Values: []float64{8, 33}},
+	}, 30)
+	if !strings.Contains(out, "REF") || !strings.Contains(out, "OOOVA") {
+		t.Error("series names missing")
+	}
+	// Each label contributes two bar rows.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+4 {
+		t.Errorf("lines = %d, want 5", len(lines))
+	}
+	// Different glyphs per series.
+	if strings.Count(out, "#") == 0 || strings.Count(out, "o") == 0 {
+		t.Error("expected distinct glyphs for the two series")
+	}
+}
+
+func TestGroupedShortSeriesTolerated(t *testing.T) {
+	out := Grouped("", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{1}}, // missing second value
+	}, 10)
+	if !strings.Contains(out, "b") {
+		t.Error("label with missing value dropped")
+	}
+}
+
+func TestLinesContainsLegendAndAxis(t *testing.T) {
+	out := Lines("fig5", []float64{9, 16, 32, 64}, []Series{
+		{Name: "early", Values: []float64{1.2, 1.8, 1.9, 1.9}},
+		{Name: "late", Values: []float64{0.7, 1.6, 1.8, 1.8}},
+	}, 40, 10)
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "early") || !strings.Contains(out, "late") {
+		t.Error("series names missing from legend")
+	}
+	if !strings.Contains(out, "+----") {
+		t.Error("x axis missing")
+	}
+	// Highest value appears near the top row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "1.90") {
+		t.Errorf("top scale = %q, want 1.90", lines[1])
+	}
+}
+
+func TestLinesFlatSeries(t *testing.T) {
+	// Constant series must not divide by zero.
+	out := Lines("", []float64{1, 2}, []Series{{Name: "c", Values: []float64{5, 5}}}, 20, 5)
+	if !strings.Contains(out, "c") {
+		t.Error("flat series lost")
+	}
+}
+
+func TestLinesSinglePoint(t *testing.T) {
+	out := Lines("", []float64{10}, []Series{{Name: "p", Values: []float64{3}}}, 20, 5)
+	if !strings.Contains(out, "#") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestStackedProportions(t *testing.T) {
+	out := Stacked("fig7", []string{"ref", "ooo"},
+		[]string{"idle", "busy"},
+		[][]float64{{75, 25}, {25, 75}}, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bar := func(line string) string {
+		return line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+	}
+	// ref row: 30 idle glyphs + 10 busy glyphs.
+	if got := strings.Count(bar(lines[1]), "#"); got != 30 {
+		t.Errorf("ref idle share = %d chars, want 30", got)
+	}
+	if got := strings.Count(bar(lines[2]), "o"); got != 30 {
+		t.Errorf("ooo busy share = %d chars, want 30", got)
+	}
+	if !strings.Contains(lines[len(lines)-1], "idle") {
+		t.Error("legend missing")
+	}
+}
+
+func TestStackedRoundingNeverOverflows(t *testing.T) {
+	// Many tiny parts whose rounded widths could exceed the bar.
+	parts := make([]string, 8)
+	vals := make([]float64, 8)
+	for i := range parts {
+		parts[i] = "p"
+		vals[i] = 1
+	}
+	out := Stacked("", []string{"x"}, parts, [][]float64{vals}, 21)
+	line := strings.Split(out, "\n")[0]
+	inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+	if len(inner) != 21 {
+		t.Errorf("bar width = %d, want exactly 21", len(inner))
+	}
+}
+
+func TestDefaultWidths(t *testing.T) {
+	if !strings.Contains(HBar("t", []BarRow{{Label: "a", Value: 1}}, 0), "#") {
+		t.Error("default width broken")
+	}
+	if len(Lines("t", []float64{0, 1}, []Series{{Name: "s", Values: []float64{0, 1}}}, 0, 0)) == 0 {
+		t.Error("default line dims broken")
+	}
+}

@@ -1,0 +1,234 @@
+// Package vregfile models vector register file port structures and the
+// element-level timing used for chaining.
+//
+// Two port organisations appear in the paper:
+//
+//   - The reference C3400 file: the eight vector registers are grouped in
+//     pairs ("banks"); each bank shares two read ports and one write port.
+//     The Convex compiler scheduled code to avoid port conflicts; dynamic
+//     execution can still hit them, and the simulator charges stalls.
+//
+//   - The OOOVA file: renaming shuffles compiler-scheduled port assignments,
+//     so the paper gives every physical register one dedicated read port and
+//     one dedicated write port. Conflicts then only arise when two in-flight
+//     instructions want the *same* physical register's port simultaneously.
+//
+// Both organisations implement PortFile: given the registers an instruction
+// reads and writes, its earliest possible issue cycle, and the number of
+// cycles it will occupy the ports (its vector length), the file returns the
+// earliest conflict-free start cycle and books the ports.
+package vregfile
+
+// PortFile is a vector register file port model.
+type PortFile interface {
+	// Acquire books one read port for every register in reads and the write
+	// port for write (pass write < 0 for none) for dur consecutive cycles
+	// starting no earlier than earliest. It returns the chosen start cycle.
+	Acquire(reads []int, write int, earliest, dur int64) int64
+	// ConflictCycles returns the cumulative number of cycles instructions
+	// were delayed by port conflicts.
+	ConflictCycles() int64
+	// Reset clears all port state.
+	Reset()
+}
+
+// RegsPerBank is the C3400 grouping: pairs of vector registers share ports.
+const RegsPerBank = 2
+
+// ReadPortsPerBank and WritePortsPerBank are the per-bank port counts.
+const (
+	ReadPortsPerBank  = 2
+	WritePortsPerBank = 1
+)
+
+// BankedFile is the reference machine's register file organisation.
+type BankedFile struct {
+	readFree  [][ReadPortsPerBank]int64 // per bank, per port: next free cycle
+	writeFree []int64                   // per bank: next free cycle
+	conflicts int64
+}
+
+// NewBankedFile returns a banked file for n vector registers (n must be a
+// multiple of RegsPerBank).
+func NewBankedFile(n int) *BankedFile {
+	banks := (n + RegsPerBank - 1) / RegsPerBank
+	return &BankedFile{
+		readFree:  make([][ReadPortsPerBank]int64, banks),
+		writeFree: make([]int64, banks),
+	}
+}
+
+// portClaim identifies one read port of one bank.
+type portClaim struct {
+	bank, port int
+}
+
+// plan assigns each read to the least-busy available port of its bank and
+// returns the earliest feasible start plus the chosen ports. With at most a
+// handful of reads, a simple claim list suffices.
+func (f *BankedFile) plan(reads []int, write int, earliest int64) (int64, []portClaim) {
+	start := earliest
+	var claims []portClaim
+	claimed := map[portClaim]bool{}
+	for _, r := range reads {
+		bank := r / RegsPerBank
+		// Pick the unclaimed port with the earliest free time.
+		best, bestFree := -1, int64(1)<<62
+		for p := 0; p < ReadPortsPerBank; p++ {
+			if claimed[portClaim{bank, p}] {
+				continue
+			}
+			if f.readFree[bank][p] < bestFree {
+				best, bestFree = p, f.readFree[bank][p]
+			}
+		}
+		if best < 0 {
+			// More than two reads from one bank in a single instruction
+			// cannot happen with two-source instructions; be safe anyway.
+			best, bestFree = 0, f.readFree[bank][0]
+		}
+		claimed[portClaim{bank, best}] = true
+		claims = append(claims, portClaim{bank, best})
+		if bestFree > start {
+			start = bestFree
+		}
+	}
+	if write >= 0 {
+		bank := write / RegsPerBank
+		if f.writeFree[bank] > start {
+			start = f.writeFree[bank]
+		}
+	}
+	return start, claims
+}
+
+// Peek returns the start Acquire would choose, without booking.
+func (f *BankedFile) Peek(reads []int, write int, earliest int64) int64 {
+	start, _ := f.plan(reads, write, earliest)
+	return start
+}
+
+// Acquire implements PortFile. Reads from the same bank compete for that
+// bank's two read ports; the write competes for the bank's single write port.
+func (f *BankedFile) Acquire(reads []int, write int, earliest, dur int64) int64 {
+	if dur <= 0 {
+		dur = 1
+	}
+	start, claims := f.plan(reads, write, earliest)
+	if start > earliest {
+		f.conflicts += start - earliest
+	}
+	for _, c := range claims {
+		f.readFree[c.bank][c.port] = start + dur
+	}
+	if write >= 0 {
+		f.writeFree[write/RegsPerBank] = start + dur
+	}
+	return start
+}
+
+// ConflictCycles implements PortFile.
+func (f *BankedFile) ConflictCycles() int64 { return f.conflicts }
+
+// Reset implements PortFile.
+func (f *BankedFile) Reset() {
+	for i := range f.readFree {
+		f.readFree[i] = [ReadPortsPerBank]int64{}
+	}
+	for i := range f.writeFree {
+		f.writeFree[i] = 0
+	}
+	f.conflicts = 0
+}
+
+// FlatFile is the OOOVA organisation: every (physical) register has one
+// dedicated read port and one dedicated write port.
+type FlatFile struct {
+	readFree  []int64
+	writeFree []int64
+	conflicts int64
+}
+
+// NewFlatFile returns a flat file for n physical registers.
+func NewFlatFile(n int) *FlatFile {
+	return &FlatFile{
+		readFree:  make([]int64, n),
+		writeFree: make([]int64, n),
+	}
+}
+
+// Grow extends the file to accommodate at least n registers.
+func (f *FlatFile) Grow(n int) {
+	for len(f.readFree) < n {
+		f.readFree = append(f.readFree, 0)
+		f.writeFree = append(f.writeFree, 0)
+	}
+}
+
+// Peek returns the start Acquire would choose, without booking the ports.
+func (f *FlatFile) Peek(reads []int, write int, earliest int64) int64 {
+	start := earliest
+	for _, r := range reads {
+		if f.readFree[r] > start {
+			start = f.readFree[r]
+		}
+	}
+	if write >= 0 && f.writeFree[write] > start {
+		start = f.writeFree[write]
+	}
+	return start
+}
+
+// Acquire implements PortFile.
+func (f *FlatFile) Acquire(reads []int, write int, earliest, dur int64) int64 {
+	if dur <= 0 {
+		dur = 1
+	}
+	start := f.Peek(reads, write, earliest)
+	if start > earliest {
+		f.conflicts += start - earliest
+	}
+	for _, r := range reads {
+		f.readFree[r] = start + dur
+	}
+	if write >= 0 {
+		f.writeFree[write] = start + dur
+	}
+	return start
+}
+
+// ConflictCycles implements PortFile.
+func (f *FlatFile) ConflictCycles() int64 { return f.conflicts }
+
+// Reset implements PortFile.
+func (f *FlatFile) Reset() {
+	for i := range f.readFree {
+		f.readFree[i] = 0
+		f.writeFree[i] = 0
+	}
+	f.conflicts = 0
+}
+
+// Timing records when a register's value becomes available, at element
+// granularity, for chaining decisions.
+type Timing struct {
+	// ChainStart is the cycle the first element is written — the point a
+	// chained consumer may begin reading.
+	ChainStart int64
+	// Complete is the cycle the last element is written.
+	Complete int64
+	// FromMem marks values produced by memory loads. Neither machine chains
+	// loads into functional units: consumers of FromMem values wait for
+	// Complete.
+	FromMem bool
+}
+
+// ReadyFor returns the cycle at which a consumer may begin reading the value:
+// ChainStart+1 if chaining is permitted (producer was a functional unit and
+// the consumer is chainable), else Complete.
+func (t Timing) ReadyFor(chainable bool) int64 {
+	if chainable && !t.FromMem {
+		return t.ChainStart + 1
+	}
+	return t.Complete
+}

@@ -1,0 +1,109 @@
+package oovec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tr, err := GenerateBenchmark("flo52")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RunReference(tr, DefaultReferenceConfig())
+	ooo := RunOOOVA(tr, DefaultOOOVAConfig())
+	if sp := Speedup(ref, ooo.Stats); sp <= 1.0 {
+		t.Errorf("speedup = %.2f, want > 1", sp)
+	}
+	if ideal := IdealSpeedup(ref.Cycles, tr); ideal <= Speedup(ref, ooo.Stats) {
+		t.Errorf("IDEAL %.2f not above measured", ideal)
+	}
+}
+
+func TestFacadeUnknownBenchmark(t *testing.T) {
+	if _, err := GenerateBenchmark("nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeBenchmarkList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 10 {
+		t.Fatalf("benchmarks = %d, want 10", len(names))
+	}
+	if _, ok := BenchmarkPresetByName(names[0]); !ok {
+		t.Error("preset lookup failed")
+	}
+}
+
+func TestFacadeTraceBuilderAndIO(t *testing.T) {
+	b := NewTraceBuilder("kernel")
+	b.SetVL(64, A(0))
+	b.VLoad(V(0), 0x10000)
+	b.Vector(OpVSMul, V(1), V(0), S(0))
+	b.VStore(V(1), 0x20000)
+	tr := b.Build()
+	if tr.Len() != 4 {
+		t.Fatalf("trace len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Error("round trip lost instructions")
+	}
+}
+
+func TestFacadeLoadElimination(t *testing.T) {
+	b := NewTraceBuilder("spill")
+	b.SetVL(64, A(0))
+	b.Vector(OpVAdd, V(1), V(0), V(2))
+	b.SpillStore(V(1), 0x900000)
+	b.SpillLoad(V(3), 0x900000)
+	tr := b.Build()
+	cfg := DefaultOOOVAConfig()
+	cfg.Commit = CommitLate
+	cfg.LoadElim = ElimSLEVLE
+	res := RunOOOVA(tr, cfg)
+	if res.Stats.EliminatedLoads != 1 {
+		t.Errorf("eliminated = %d, want 1", res.Stats.EliminatedLoads)
+	}
+}
+
+func TestFacadeFaultInjection(t *testing.T) {
+	tr, _ := GenerateBenchmark("flo52")
+	cfg := DefaultOOOVAConfig()
+	cfg.Commit = CommitLate
+	res, err := RunOOOVAWithFault(tr, cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InFlight < 1 {
+		t.Error("no in-flight instructions rolled back")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) != 13 {
+		t.Errorf("experiments = %d, want 13", len(Experiments()))
+	}
+	s := NewSuite(SuiteOpts{Insns: 2000, Names: []string{"tomcatv"}})
+	out, err := RunExperiment(s, "fig6")
+	if err != nil || len(out) == 0 {
+		t.Errorf("fig6: %v (%d bytes)", err, len(out))
+	}
+}
+
+func TestFacadeCustomPreset(t *testing.T) {
+	p, _ := BenchmarkPresetByName("trfd")
+	p.Insns = 2000
+	tr := GeneratePreset(p)
+	if tr.Len() < 1000 {
+		t.Errorf("custom preset trace too small: %d", tr.Len())
+	}
+}
