@@ -296,6 +296,30 @@ func BenchmarkExtensionSpillStoreElision(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------- engine
+
+// suiteWork drives a representative slice of the experiment workload: two
+// register-sweep figures (150 distinct OOOVA runs + 10 REF runs — Fig5 and
+// Fig9 share their early-commit grid through the suite's run cache).
+func suiteWork(b *testing.B, parallelism int) {
+	for i := 0; i < b.N; i++ {
+		s := NewSuite(SuiteOpts{Insns: benchInsns, Parallelism: parallelism})
+		res := experiments.Fig5(s)
+		res9 := experiments.Fig9(s)
+		if len(res.Names) == 0 || len(res9.Names) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSuiteSerial is the single-worker baseline for the experiment
+// engine; compare with BenchmarkSuiteParallel for the fan-out speedup.
+func BenchmarkSuiteSerial(b *testing.B) { suiteWork(b, 1) }
+
+// BenchmarkSuiteParallel runs the same workload with one worker per core.
+// Output is byte-identical to serial (see experiments.TestParallelOutputIdentical).
+func BenchmarkSuiteParallel(b *testing.B) { suiteWork(b, 0) }
+
 // ---------------------------------------------------------------- raw speed
 
 func BenchmarkSimulatorRefThroughput(b *testing.B) {
@@ -316,6 +340,20 @@ func BenchmarkSimulatorOOOThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ooosim.Run(tr, ooosim.DefaultConfig())
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
+}
+
+// BenchmarkSimulatorOOOReuse measures the steady-state throughput of a
+// reused Machine (explicit Reset instead of per-run construction).
+func BenchmarkSimulatorOOOReuse(b *testing.B) {
+	p, _ := tgen.PresetByName("hydro2d")
+	p.Insns = 20000
+	tr := tgen.Generate(p)
+	m := ooosim.NewMachine(ooosim.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(tr)
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"oovec"
+	"oovec/internal/engine"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		commit  = flag.String("commit", "early", "commit policy: early | late (OOOVA)")
 		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
 		insns   = flag.Int("insns", 0, "override benchmark instruction budget")
+		jobs    = flag.Int("j", 0, "parallel workers for the OOOVA-vs-REF comparison (0 = one per core, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -68,12 +70,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ovsim: unknown elimination mode %q\n", *elim)
 			os.Exit(1)
 		}
-		res := oovec.RunOOOVA(tr, cfg)
+		// The OOOVA run and the reference comparison run are independent;
+		// fan them across the worker pool.
+		var res *oovec.OOOVAResult
+		var ref *oovec.RunStats
+		engine.Map(*jobs, 2, func(i int) {
+			if i == 0 {
+				res = oovec.RunOOOVA(tr, cfg)
+			} else {
+				refCfg := oovec.DefaultReferenceConfig()
+				refCfg.MemLatency = *latency
+				ref = oovec.RunReference(tr, refCfg)
+			}
+		})
 		printStats(res.Stats)
-		// Compare against the reference at the same latency.
-		refCfg := oovec.DefaultReferenceConfig()
-		refCfg.MemLatency = *latency
-		ref := oovec.RunReference(tr, refCfg)
 		fmt.Printf("%-28s %.3f\n", "speedup over REF:", oovec.Speedup(ref, res.Stats))
 		fmt.Printf("%-28s %.3f\n", "IDEAL speedup bound:", oovec.IdealSpeedup(ref.Cycles, tr))
 	default:

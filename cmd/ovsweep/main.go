@@ -30,6 +30,7 @@ func main() {
 		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
 		insns   = flag.Int("insns", 0, "instruction budget override")
 		out     = flag.String("o", "", "output CSV path (default stdout)")
+		jobs    = flag.Int("j", 0, "parallel simulation workers (0 = one per core, 1 = serial); CSV output is identical for every value")
 	)
 	flag.Parse()
 
@@ -71,10 +72,10 @@ func main() {
 		}
 		tr := tgen.Generate(p)
 		if *machine == "ref" || *machine == "both" {
-			pts = append(pts, sweep.RefGrid(tr, lats64)...)
+			pts = append(pts, sweep.RefGridWorkers(tr, lats64, *jobs)...)
 		}
 		if *machine == "ooo" || *machine == "both" {
-			pts = append(pts, sweep.OOOGrid(tr, base, regs, lats64)...)
+			pts = append(pts, sweep.OOOGridWorkers(tr, base, regs, lats64, *jobs)...)
 		}
 	}
 

@@ -1,0 +1,3 @@
+module oovec
+
+go 1.24

@@ -140,6 +140,16 @@ func (p *Predictor) Lookups() int64 { return p.lookups }
 // Mispredictions returns the number of mispredicted control transfers.
 func (p *Predictor) Mispredictions() int64 { return p.mispredict }
 
+// Reset restores the empty-predictor state (weakly not-taken counters,
+// empty return stack) for machine reuse.
+func (p *Predictor) Reset() {
+	for i := range p.btb {
+		p.btb[i] = btbEntry{ctr: 1}
+	}
+	p.top = 0
+	p.lookups, p.mispredict = 0, 0
+}
+
 // MissRate returns the fraction of resolutions that mispredicted.
 func (p *Predictor) MissRate() float64 {
 	if p.lookups == 0 {

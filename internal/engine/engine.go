@@ -1,0 +1,90 @@
+// Package engine provides the worker-pool primitive that fans the
+// repository's embarrassingly parallel simulation workloads — experiment
+// drivers (Tables 2–3, Figures 3–13), parameter-grid sweeps — across CPU
+// cores.
+//
+// The design keeps determinism trivial: Map runs fn(i) for every index of a
+// task list, and callers make fn(i) write its result into slot i of a
+// preallocated slice. Assembly of the final output then happens serially in
+// index order, so rendered tables, figures and CSV files are byte-identical
+// to a serial run regardless of worker count or scheduling.
+//
+// Tasks share immutable inputs (generated traces are never mutated by the
+// simulators) and must not write shared state without synchronisation;
+// caches shared between tasks (the experiment Suite's trace and
+// reference-run caches) serialise internally.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a -j style parallelism request: values <= 0 select
+// runtime.GOMAXPROCS(0) (one worker per available core); anything else is
+// returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n), using at most `workers` concurrent
+// goroutines (workers <= 0 selects one per core). Indices are claimed from
+// a shared counter, so long and short tasks balance automatically. Map
+// returns when every call has finished.
+//
+// A panic inside fn stops the dispatch of further indices and is re-raised
+// on the caller's goroutine once in-flight tasks have drained, matching the
+// serial behaviour closely enough for error reporting.
+func Map(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any // written once under the panicked CAS; read after Wait
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) || panicked.Load() {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if panicked.CompareAndSwap(false, true) {
+							panicVal = r
+						}
+					}
+				}()
+				fn(int(i))
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}

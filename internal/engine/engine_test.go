@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		Map(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	called := false
+	Map(4, 0, func(int) { called = true })
+	if called {
+		t.Error("Map(_, 0, fn) called fn")
+	}
+}
+
+func TestMapSerialOrder(t *testing.T) {
+	var order []int
+	Map(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Map out of order: %v", order)
+		}
+	}
+}
+
+func TestMapDeterministicSlots(t *testing.T) {
+	// Results written by index must be identical for any worker count.
+	const n = 64
+	want := make([]int, n)
+	Map(1, n, func(i int) { want[i] = i * i })
+	for _, workers := range []int{2, 4, 0} {
+		got := make([]int, n)
+		Map(workers, n, func(i int) { got[i] = i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			Map(workers, 100, func(i int) {
+				if i == 17 {
+					panic("boom")
+				}
+			})
+			t.Errorf("workers=%d: Map returned without panicking", workers)
+		}()
+	}
+}

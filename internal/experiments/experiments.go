@@ -6,13 +6,21 @@
 // method producing the paper-style text table. The drivers are used by
 // cmd/ovbench, by the benchmark suite in the repository root, and by
 // EXPERIMENTS.md generation.
+//
+// Every driver fans its independent (benchmark × configuration) simulations
+// across a worker pool (package engine); Opts.Parallelism selects the worker
+// count. Results are computed into index-addressed slots and assembled
+// serially, so rendered output is byte-identical to a serial run for any
+// worker count.
 package experiments
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"oovec/internal/engine"
 	"oovec/internal/isa"
 	"oovec/internal/metrics"
 	"oovec/internal/ooosim"
@@ -29,14 +37,65 @@ type Opts struct {
 	Insns int
 	// Names restricts the benchmark set (nil = all ten).
 	Names []string
+	// Parallelism is the number of workers the drivers fan simulations
+	// across: 0 selects one worker per core (GOMAXPROCS), 1 forces serial
+	// execution. Output is byte-identical for every value.
+	Parallelism int
 }
 
 // Suite caches generated traces and reference runs across experiments.
+// All methods are safe for concurrent use: each cache entry is generated
+// exactly once (concurrent requesters block until it is ready) and traces
+// are immutable once built.
 type Suite struct {
-	opts    Opts
-	names   []string
-	traces  map[string]*trace.Trace
-	refRuns map[string]map[int64]*metrics.RunStats // name -> latency -> run
+	opts  Opts
+	names []string
+
+	mu      sync.Mutex
+	traces  map[string]*slot[*trace.Trace]
+	refRuns map[refKey]*slot[*metrics.RunStats]
+	oooRuns map[oooKey]*slot[*metrics.RunStats]
+}
+
+type refKey struct {
+	name    string
+	latency int64
+}
+
+// oooKey identifies one OOOVA run. The configuration is keyed by its
+// rendered form: Config holds a func field (Probe), so it cannot be a map
+// key itself, and rendering tracks future Config fields automatically.
+type oooKey struct {
+	name string
+	cfg  string
+}
+
+// slot is a once-filled cache cell shared by the trace, reference-run and
+// OOOVA-run caches.
+type slot[T any] struct {
+	once sync.Once
+	val  T
+	// panicVal records a fill panic so every waiter re-raises the true
+	// cause instead of observing a zero value.
+	panicVal any
+}
+
+// runOnce executes fn under the slot's once, recording and re-raising any
+// panic for both the first caller and every later waiter.
+func (s *slot[T]) runOnce(fn func() T) T {
+	s.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicVal = r
+				panic(r)
+			}
+		}()
+		s.val = fn()
+	})
+	if s.panicVal != nil {
+		panic(s.panicVal)
+	}
+	return s.val
 }
 
 // NewSuite builds a suite over the selected benchmarks.
@@ -48,51 +107,84 @@ func NewSuite(opts Opts) *Suite {
 	return &Suite{
 		opts:    opts,
 		names:   names,
-		traces:  make(map[string]*trace.Trace),
-		refRuns: make(map[string]map[int64]*metrics.RunStats),
+		traces:  make(map[string]*slot[*trace.Trace]),
+		refRuns: make(map[refKey]*slot[*metrics.RunStats]),
+		oooRuns: make(map[oooKey]*slot[*metrics.RunStats]),
 	}
 }
 
 // Names returns the benchmark names in Table 2 order.
 func (s *Suite) Names() []string { return s.names }
 
+// Workers returns the resolved worker count the suite fans out across.
+func (s *Suite) Workers() int { return engine.Workers(s.opts.Parallelism) }
+
+// parallel runs fn(i) for i in [0, n) across the suite's workers.
+func (s *Suite) parallel(n int, fn func(i int)) {
+	engine.Map(s.opts.Parallelism, n, fn)
+}
+
 // Trace returns (generating and caching) the trace for a benchmark.
 func (s *Suite) Trace(name string) *trace.Trace {
-	if t, ok := s.traces[name]; ok {
-		return t
-	}
-	p, ok := tgen.PresetByName(name)
+	s.mu.Lock()
+	sl, ok := s.traces[name]
 	if !ok {
-		panic("experiments: unknown benchmark " + name)
+		sl = &slot[*trace.Trace]{}
+		s.traces[name] = sl
 	}
-	if s.opts.Insns > 0 {
-		p.Insns = s.opts.Insns
-	}
-	t := tgen.Generate(p)
-	s.traces[name] = t
-	return t
+	s.mu.Unlock()
+	return sl.runOnce(func() *trace.Trace {
+		p, ok := tgen.PresetByName(name)
+		if !ok {
+			panic("experiments: unknown benchmark " + name)
+		}
+		if s.opts.Insns > 0 {
+			p.Insns = s.opts.Insns
+		}
+		return tgen.Generate(p)
+	})
 }
 
 // Ref returns (running and caching) the reference machine result at the
 // given memory latency.
 func (s *Suite) Ref(name string, latency int64) *metrics.RunStats {
-	if m, ok := s.refRuns[name]; ok {
-		if r, ok := m[latency]; ok {
-			return r
-		}
-	} else {
-		s.refRuns[name] = make(map[int64]*metrics.RunStats)
+	key := refKey{name, latency}
+	s.mu.Lock()
+	sl, ok := s.refRuns[key]
+	if !ok {
+		sl = &slot[*metrics.RunStats]{}
+		s.refRuns[key] = sl
 	}
-	cfg := refsim.DefaultConfig()
-	cfg.MemLatency = latency
-	r := refsim.Run(s.Trace(name), cfg)
-	s.refRuns[name][latency] = r
-	return r
+	s.mu.Unlock()
+	return sl.runOnce(func() *metrics.RunStats {
+		cfg := refsim.DefaultConfig()
+		cfg.MemLatency = latency
+		return refsim.Run(s.Trace(name), cfg)
+	})
 }
 
-// OOO runs the OOOVA with the given configuration.
+// OOO returns (running and caching) the OOOVA result for a configuration.
+// Several drivers revisit the same grid point — Fig5 and Fig9 share the
+// early-commit register sweep, Fig11/Fig12 share their late-commit
+// baselines — so identical simulations run exactly once per suite.
+// Configurations carrying a Probe are not cacheable and run directly.
 func (s *Suite) OOO(name string, cfg ooosim.Config) *metrics.RunStats {
-	return ooosim.Run(s.Trace(name), cfg).Stats
+	if cfg.Probe != nil {
+		return ooosim.Run(s.Trace(name), cfg).Stats
+	}
+	// Key on the resolved configuration so zero fields and explicit
+	// defaults share a cache entry.
+	key := oooKey{name, fmt.Sprintf("%+v", cfg.WithDefaults())}
+	s.mu.Lock()
+	sl, ok := s.oooRuns[key]
+	if !ok {
+		sl = &slot[*metrics.RunStats]{}
+		s.oooRuns[key] = sl
+	}
+	s.mu.Unlock()
+	return sl.runOnce(func() *metrics.RunStats {
+		return ooosim.Run(s.Trace(name), cfg).Stats
+	})
 }
 
 // baseOOO returns the paper's headline OOOVA config at the given register
@@ -154,20 +246,21 @@ type Table2Result struct{ Rows []Table2Row }
 
 // Table2 computes operation counts for every benchmark.
 func Table2(s *Suite) *Table2Result {
-	res := &Table2Result{}
-	for _, name := range s.names {
+	rows := make([]Table2Row, len(s.names))
+	s.parallel(len(s.names), func(i int) {
+		name := s.names[i]
 		p, _ := tgen.PresetByName(name)
 		st := s.Trace(name).ComputeStats()
-		res.Rows = append(res.Rows, Table2Row{
+		rows[i] = Table2Row{
 			Name: name, Suite: p.Suite,
 			ScalarInsns: st.ScalarInsns, VectorInsns: st.VectorInsns,
 			VectorOps: st.VectorOps,
 			PctVect:   st.PctVectorization(), AvgVL: st.AvgVL(),
 			PaperScalarM: p.PaperScalarM, PaperVectorM: p.PaperVectorM,
 			PaperAvgVL: p.AvgVL,
-		})
-	}
-	return res
+		}
+	})
+	return &Table2Result{Rows: rows}
 }
 
 // Render produces the paper-style table.
@@ -199,19 +292,20 @@ type Table3Result struct{ Rows []Table3Row }
 
 // Table3 computes vector memory spill operations.
 func Table3(s *Suite) *Table3Result {
-	res := &Table3Result{}
-	for _, name := range s.names {
+	rows := make([]Table3Row, len(s.names))
+	s.parallel(len(s.names), func(i int) {
+		name := s.names[i]
 		p, _ := tgen.PresetByName(name)
 		st := s.Trace(name).ComputeStats()
-		res.Rows = append(res.Rows, Table3Row{
+		rows[i] = Table3Row{
 			Name:    name,
 			LoadOps: st.LoadOps, SpillLoadOps: st.SpillLoadOps,
 			StoreOps: st.StoreOps, SpillStoreOps: st.SpillStoreOps,
 			SpillTrafficPct: st.SpillTrafficPct(),
 			PaperSpillPct:   p.SpillTrafficPct,
-		})
-	}
-	return res
+		}
+	})
+	return &Table3Result{Rows: rows}
 }
 
 // Render produces the paper-style table.
@@ -249,10 +343,16 @@ func Fig3(s *Suite) *Fig3Result {
 		Latencies: Fig3Latencies,
 		Breakdown: map[string]map[int64]metrics.Breakdown{},
 	}
-	for _, name := range s.names {
+	nl := len(Fig3Latencies)
+	cells := make([]metrics.Breakdown, len(s.names)*nl)
+	s.parallel(len(cells), func(k int) {
+		name, lat := s.names[k/nl], Fig3Latencies[k%nl]
+		cells[k] = s.Ref(name, lat).States
+	})
+	for ni, name := range s.names {
 		res.Breakdown[name] = map[int64]metrics.Breakdown{}
-		for _, lat := range Fig3Latencies {
-			res.Breakdown[name][lat] = s.Ref(name, lat).States
+		for li, lat := range Fig3Latencies {
+			res.Breakdown[name][lat] = cells[ni*nl+li]
 		}
 	}
 	return res
@@ -301,10 +401,16 @@ func Fig4(s *Suite) *Fig4Result {
 		Latencies: Fig3Latencies,
 		IdlePct:   map[string]map[int64]float64{},
 	}
-	for _, name := range s.names {
+	nl := len(Fig3Latencies)
+	cells := make([]float64, len(s.names)*nl)
+	s.parallel(len(cells), func(k int) {
+		name, lat := s.names[k/nl], Fig3Latencies[k%nl]
+		cells[k] = s.Ref(name, lat).MemPortIdlePct()
+	})
+	for ni, name := range s.names {
 		res.IdlePct[name] = map[int64]float64{}
-		for _, lat := range Fig3Latencies {
-			res.IdlePct[name][lat] = s.Ref(name, lat).MemPortIdlePct()
+		for li, lat := range Fig3Latencies {
+			res.IdlePct[name][lat] = cells[ni*nl+li]
 		}
 	}
 	return res
@@ -355,16 +461,25 @@ func Fig5(s *Suite) *Fig5Result {
 		Speedup128: map[string]map[int]float64{},
 		Ideal:      map[string]float64{},
 	}
-	for _, name := range s.names {
+	nr := len(Fig5Regs)
+	type cell struct{ s16, s128 float64 }
+	cells := make([]cell, len(s.names)*nr)
+	s.parallel(len(cells), func(k int) {
+		name, regs := s.names[k/nr], Fig5Regs[k%nr]
 		ref := s.Ref(name, 50)
+		cfg := baseOOO(regs, 50)
+		s16 := metrics.Speedup(ref, s.OOO(name, cfg))
+		cfg.QueueSlots = 128
+		s128 := metrics.Speedup(ref, s.OOO(name, cfg))
+		cells[k] = cell{s16, s128}
+	})
+	for ni, name := range s.names {
 		res.Speedup16[name] = map[int]float64{}
 		res.Speedup128[name] = map[int]float64{}
-		res.Ideal[name] = metrics.IdealSpeedup(ref.Cycles, s.Trace(name))
-		for _, regs := range Fig5Regs {
-			cfg := baseOOO(regs, 50)
-			res.Speedup16[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
-			cfg.QueueSlots = 128
-			res.Speedup128[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
+		res.Ideal[name] = metrics.IdealSpeedup(s.Ref(name, 50).Cycles, s.Trace(name))
+		for ri, regs := range Fig5Regs {
+			res.Speedup16[name][regs] = cells[ni*nr+ri].s16
+			res.Speedup128[name][regs] = cells[ni*nr+ri].s128
 		}
 	}
 	return res
@@ -407,9 +522,18 @@ type Fig6Result struct {
 func Fig6(s *Suite) *Fig6Result {
 	res := &Fig6Result{Names: s.names,
 		RefIdle: map[string]float64{}, OOOIdle: map[string]float64{}}
-	for _, name := range s.names {
-		res.RefIdle[name] = s.Ref(name, 50).MemPortIdlePct()
-		res.OOOIdle[name] = s.OOO(name, baseOOO(16, 50)).MemPortIdlePct()
+	type cell struct{ ref, ooo float64 }
+	cells := make([]cell, len(s.names))
+	s.parallel(len(cells), func(i int) {
+		name := s.names[i]
+		cells[i] = cell{
+			s.Ref(name, 50).MemPortIdlePct(),
+			s.OOO(name, baseOOO(16, 50)).MemPortIdlePct(),
+		}
+	})
+	for i, name := range s.names {
+		res.RefIdle[name] = cells[i].ref
+		res.OOOIdle[name] = cells[i].ooo
 	}
 	return res
 }
@@ -438,9 +562,18 @@ type Fig7Result struct {
 func Fig7(s *Suite) *Fig7Result {
 	res := &Fig7Result{Names: s.names,
 		Ref: map[string]metrics.Breakdown{}, OOO: map[string]metrics.Breakdown{}}
-	for _, name := range s.names {
-		res.Ref[name] = s.Ref(name, 50).States
-		res.OOO[name] = s.OOO(name, baseOOO(16, 50)).States
+	type cell struct{ ref, ooo metrics.Breakdown }
+	cells := make([]cell, len(s.names))
+	s.parallel(len(cells), func(i int) {
+		name := s.names[i]
+		cells[i] = cell{
+			s.Ref(name, 50).States,
+			s.OOO(name, baseOOO(16, 50)).States,
+		}
+	})
+	for i, name := range s.names {
+		res.Ref[name] = cells[i].ref
+		res.OOO[name] = cells[i].ooo
 	}
 	return res
 }
@@ -484,13 +617,23 @@ func Fig8(s *Suite) *Fig8Result {
 		OOOCycles: map[string]map[int64]int64{},
 		Ideal:     map[string]int64{},
 	}
-	for _, name := range s.names {
+	nl := len(Fig8Latencies)
+	type cell struct{ ref, ooo int64 }
+	cells := make([]cell, len(s.names)*nl)
+	s.parallel(len(cells), func(k int) {
+		name, lat := s.names[k/nl], Fig8Latencies[k%nl]
+		cells[k] = cell{
+			s.Ref(name, lat).Cycles,
+			s.OOO(name, baseOOO(16, lat)).Cycles,
+		}
+	})
+	for ni, name := range s.names {
 		res.RefCycles[name] = map[int64]int64{}
 		res.OOOCycles[name] = map[int64]int64{}
 		res.Ideal[name] = metrics.IdealCycles(s.Trace(name))
-		for _, lat := range Fig8Latencies {
-			res.RefCycles[name][lat] = s.Ref(name, lat).Cycles
-			res.OOOCycles[name][lat] = s.OOO(name, baseOOO(16, lat)).Cycles
+		for li, lat := range Fig8Latencies {
+			res.RefCycles[name][lat] = cells[ni*nl+li].ref
+			res.OOOCycles[name][lat] = cells[ni*nl+li].ooo
 		}
 	}
 	return res
@@ -551,16 +694,25 @@ func Fig9(s *Suite) *Fig9Result {
 		Late:  map[string]map[int]float64{},
 		Ideal: map[string]float64{},
 	}
-	for _, name := range s.names {
+	nr := len(Fig5Regs)
+	type cell struct{ early, late float64 }
+	cells := make([]cell, len(s.names)*nr)
+	s.parallel(len(cells), func(k int) {
+		name, regs := s.names[k/nr], Fig5Regs[k%nr]
 		ref := s.Ref(name, 50)
+		cfg := baseOOO(regs, 50)
+		early := metrics.Speedup(ref, s.OOO(name, cfg))
+		cfg.Commit = rob.PolicyLate
+		late := metrics.Speedup(ref, s.OOO(name, cfg))
+		cells[k] = cell{early, late}
+	})
+	for ni, name := range s.names {
 		res.Early[name] = map[int]float64{}
 		res.Late[name] = map[int]float64{}
-		res.Ideal[name] = metrics.IdealSpeedup(ref.Cycles, s.Trace(name))
-		for _, regs := range Fig5Regs {
-			cfg := baseOOO(regs, 50)
-			res.Early[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
-			cfg.Commit = rob.PolicyLate
-			res.Late[name][regs] = metrics.Speedup(ref, s.OOO(name, cfg))
+		res.Ideal[name] = metrics.IdealSpeedup(s.Ref(name, 50).Cycles, s.Trace(name))
+		for ri, regs := range Fig5Regs {
+			res.Early[name][regs] = cells[ni*nr+ri].early
+			res.Late[name][regs] = cells[ni*nr+ri].late
 		}
 	}
 	return res
@@ -627,18 +779,28 @@ func elim(s *Suite, mode ooosim.ElimMode) *ElimResult {
 		Speedup:         map[string]map[int]float64{},
 		EliminatedLoads: map[string]map[int]int64{},
 	}
-	for _, name := range s.names {
+	nr := len(ElimRegs)
+	type cell struct {
+		speedup float64
+		elim    int64
+	}
+	cells := make([]cell, len(s.names)*nr)
+	s.parallel(len(cells), func(k int) {
+		name, regs := s.names[k/nr], ElimRegs[k%nr]
+		base := baseOOO(regs, 50)
+		base.Commit = rob.PolicyLate
+		baseRun := s.OOO(name, base)
+		cfg := base
+		cfg.LoadElim = mode
+		run := s.OOO(name, cfg)
+		cells[k] = cell{metrics.Speedup(baseRun, run), run.EliminatedLoads}
+	})
+	for ni, name := range s.names {
 		res.Speedup[name] = map[int]float64{}
 		res.EliminatedLoads[name] = map[int]int64{}
-		for _, regs := range ElimRegs {
-			base := baseOOO(regs, 50)
-			base.Commit = rob.PolicyLate
-			baseRun := s.OOO(name, base)
-			cfg := base
-			cfg.LoadElim = mode
-			run := s.OOO(name, cfg)
-			res.Speedup[name][regs] = metrics.Speedup(baseRun, run)
-			res.EliminatedLoads[name][regs] = run.EliminatedLoads
+		for ri, regs := range ElimRegs {
+			res.Speedup[name][regs] = cells[ni*nr+ri].speedup
+			res.EliminatedLoads[name][regs] = cells[ni*nr+ri].elim
 		}
 	}
 	return res
@@ -688,21 +850,23 @@ type Fig13Result struct {
 func Fig13(s *Suite) *Fig13Result {
 	res := &Fig13Result{Names: s.names,
 		SLE: map[string]float64{}, SLEVLE: map[string]float64{}}
-	for _, name := range s.names {
+	type cell struct{ sle, slevle float64 }
+	cells := make([]cell, len(s.names))
+	s.parallel(len(cells), func(i int) {
+		name := s.names[i]
 		base := baseOOO(32, 50)
 		base.Commit = rob.PolicyLate
 		baseRun := s.OOO(name, base)
-		for _, mode := range []ooosim.ElimMode{ooosim.ElimSLE, ooosim.ElimSLEVLE} {
-			cfg := base
-			cfg.LoadElim = mode
-			run := s.OOO(name, cfg)
-			ratio := metrics.TrafficReduction(baseRun, run)
-			if mode == ooosim.ElimSLE {
-				res.SLE[name] = ratio
-			} else {
-				res.SLEVLE[name] = ratio
-			}
-		}
+		cfg := base
+		cfg.LoadElim = ooosim.ElimSLE
+		sle := metrics.TrafficReduction(baseRun, s.OOO(name, cfg))
+		cfg.LoadElim = ooosim.ElimSLEVLE
+		slevle := metrics.TrafficReduction(baseRun, s.OOO(name, cfg))
+		cells[i] = cell{sle, slevle}
+	})
+	for i, name := range s.names {
+		res.SLE[name] = cells[i].sle
+		res.SLEVLE[name] = cells[i].slevle
 	}
 	return res
 }

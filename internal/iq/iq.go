@@ -59,6 +59,13 @@ func (q *Queue) Issue(enter, ready int64) int64 {
 // Issued returns the number of instructions issued.
 func (q *Queue) Issued() int64 { return q.issued }
 
+// Reset empties the queue for reuse, keeping its capacity.
+func (q *Queue) Reset() {
+	q.window.Reset()
+	q.slots.Reset()
+	q.issued = 0
+}
+
 // memEntry is the disambiguation record of one memory instruction.
 type memEntry struct {
 	start, end uint64
@@ -163,3 +170,13 @@ func (q *MemQueue) Admit(leaveAt int64) { q.window.Admit(leaveAt) }
 
 // Conflicts returns the number of accesses delayed by disambiguation.
 func (q *MemQueue) Conflicts() int64 { return q.conflicts }
+
+// Reset empties the queue and its front pipeline for reuse.
+func (q *MemQueue) Reset() {
+	q.window.Reset()
+	q.issueRF.Reset()
+	q.rangeSt.Reset()
+	q.depSt.Reset()
+	q.n = 0
+	q.conflicts = 0
+}

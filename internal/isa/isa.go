@@ -50,6 +50,10 @@ const (
 	RegM
 )
 
+// NumRegClasses is the number of RegClass values (RegNone included); it
+// sizes class-indexed lookup arrays on the simulator hot path.
+const NumRegClasses = int(RegM) + 1
+
 // String returns the conventional one-letter name of the class.
 func (c RegClass) String() string {
 	switch c {

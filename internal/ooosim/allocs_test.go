@@ -1,0 +1,74 @@
+//go:build !race
+
+// The allocation regression guards live behind !race because the race
+// detector instruments allocations and would trip the bounds.
+
+package ooosim
+
+import (
+	"testing"
+
+	"oovec/internal/refsim"
+	"oovec/internal/tgen"
+)
+
+// allocsTrace is a mixed scalar/vector workload of 8000 instructions.
+func allocsTrace() *tgen.Preset {
+	p, _ := tgen.PresetByName("hydro2d")
+	p.Insns = 8000
+	return &p
+}
+
+// TestRunAllocationBound guards the zero-allocation hot path: a full
+// OOOVA run over 8000 instructions must stay within a small constant
+// allocation budget (machine construction plus amortised interval-list
+// growth) — i.e. no per-instruction allocations. The seed simulator spent
+// roughly two allocations per instruction here.
+func TestRunAllocationBound(t *testing.T) {
+	tr := tgen.Generate(*allocsTrace())
+	cfg := DefaultConfig()
+	Run(tr, cfg) // warm up any lazy runtime state
+
+	const bound = 400 // ~0.05 allocs/insn; the seed needed ~2/insn
+	avg := testing.AllocsPerRun(5, func() {
+		Run(tr, cfg)
+	})
+	if avg > bound {
+		t.Errorf("ooosim.Run allocated %.0f times for %d insns, want <= %d",
+			avg, tr.Len(), bound)
+	}
+}
+
+// TestRefRunAllocationBound is the same guard for the reference simulator.
+func TestRefRunAllocationBound(t *testing.T) {
+	tr := tgen.Generate(*allocsTrace())
+	cfg := refsim.DefaultConfig()
+	refsim.Run(tr, cfg)
+
+	const bound = 200
+	avg := testing.AllocsPerRun(5, func() {
+		refsim.Run(tr, cfg)
+	})
+	if avg > bound {
+		t.Errorf("refsim.Run allocated %.0f times for %d insns, want <= %d",
+			avg, tr.Len(), bound)
+	}
+}
+
+// TestMachineReuseAllocationBound guards the Reset path: a reused machine
+// must allocate almost nothing beyond the interval bookkeeping.
+func TestMachineReuseAllocationBound(t *testing.T) {
+	tr := tgen.Generate(*allocsTrace())
+	cfg := DefaultConfig()
+	mm := NewMachine(cfg)
+	mm.Run(tr)
+
+	const bound = 300
+	avg := testing.AllocsPerRun(5, func() {
+		mm.Run(tr)
+	})
+	if avg > bound {
+		t.Errorf("reused Machine.Run allocated %.0f times for %d insns, want <= %d",
+			avg, tr.Len(), bound)
+	}
+}

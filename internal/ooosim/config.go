@@ -139,6 +139,12 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithDefaults returns the configuration with every zero field filled with
+// the paper's value — exactly what the simulator runs with. Callers that
+// record configurations (the sweep CSV writer) use it so reported
+// parameters cannot drift from the simulated ones.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills zero fields with the paper's values.
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()

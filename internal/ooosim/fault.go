@@ -86,9 +86,10 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 	}
 
 	inflight := last - faultIdx + 1
-	rename.Rollback(m.tables, m.records[faultIdx:last+1])
+	tables := m.tableMap()
+	rename.Rollback(tables, m.records[faultIdx:last+1])
 
-	for class, tb := range m.tables {
+	for class, tb := range tables {
 		if err := tb.CheckInvariants(); err != nil {
 			return nil, fmt.Errorf("ooosim: post-rollback state of %v corrupt: %w", class, err)
 		}
@@ -98,6 +99,6 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 		InFlight:     inflight,
 		DetectCycle:  detect,
 		PreciseCycle: preciseAt,
-		Tables:       m.tables,
+		Tables:       tables,
 	}, nil
 }

@@ -38,6 +38,56 @@ type Result struct {
 // Run simulates the trace on the OOOVA and returns its measurements.
 func Run(t *trace.Trace, cfg Config) *Result {
 	m := newMachine(cfg)
+	return m.run(t)
+}
+
+// Machine is a reusable OOOVA simulator instance. Unlike the one-shot Run,
+// a Machine amortises its internal state (rename tables, queues, allocator
+// storage) across runs: Reset restores the power-on state without
+// reallocating when the configuration's structural sizes are unchanged.
+//
+// A Machine is not safe for concurrent use; give each worker its own.
+type Machine struct {
+	m     *machine
+	dirty bool
+}
+
+// NewMachine builds a reusable machine for the configuration.
+func NewMachine(cfg Config) *Machine {
+	return &Machine{m: newMachine(cfg)}
+}
+
+// Run simulates the trace, resetting the machine first if it has already
+// run. The returned Result's Tables and Records alias machine state and are
+// invalidated by the next Run or Reset; callers that retain them (the
+// precise-trap demos) should use the package-level Run instead.
+func (mm *Machine) Run(t *trace.Trace) *Result {
+	if mm.dirty {
+		mm.Reset(mm.m.cfg)
+	}
+	mm.dirty = true
+	return mm.m.run(t)
+}
+
+// Reset restores the power-on state under a (possibly different)
+// configuration. State is reused when cfg keeps the same structural sizes
+// (register files, queues, ROB, port organisation); otherwise the machine
+// is rebuilt.
+func (mm *Machine) Reset(cfg Config) {
+	cfg = cfg.WithDefaults()
+	if mm.m.sameShape(cfg) {
+		mm.m.reset(cfg)
+	} else {
+		mm.m = newMachine(cfg)
+	}
+	mm.dirty = false
+}
+
+// run executes the whole trace and assembles the result.
+func (m *machine) run(t *trace.Trace) *Result {
+	if m.cfg.CollectRecords && cap(m.records) < t.Len() {
+		m.records = make([]rename.Record, 0, t.Len())
+	}
 	for i := range t.Insns {
 		m.step(i, &t.Insns[i])
 	}
@@ -48,7 +98,9 @@ func Run(t *trace.Trace, cfg Config) *Result {
 type machine struct {
 	cfg Config
 
-	tables map[isa.RegClass]*rename.Table
+	// tables is indexed by register class (RegNone unused); a flat array
+	// replaces a map lookup on every rename and operand lookup.
+	tables [isa.NumRegClasses]*rename.Table
 
 	// Physical register value-availability timing.
 	aReady  []int64
@@ -92,6 +144,20 @@ type machine struct {
 	suppressFrom int
 
 	records []rename.Record
+
+	// Per-instruction scratch buffers. Keeping them on the (heap-allocated)
+	// machine rather than on step's stack keeps the hot path free of
+	// escape-analysis allocations when the slices cross interface calls.
+	srcBuf   [4]srcOp
+	vReadBuf [4]int
+	portBuf  [1]int
+	regBuf   [4]isa.Reg
+}
+
+// srcOp is a resolved source operand (class + physical register).
+type srcOp struct {
+	class isa.RegClass
+	phys  int
 }
 
 // newPortFile selects the register-file port model.
@@ -103,15 +169,9 @@ func newPortFile(cfg Config) portFile {
 }
 
 func newMachine(cfg Config) *machine {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	m := &machine{
-		cfg: cfg,
-		tables: map[isa.RegClass]*rename.Table{
-			isa.RegA: rename.MustNewTable(isa.RegA, cfg.PhysARegs),
-			isa.RegS: rename.MustNewTable(isa.RegS, cfg.PhysSRegs),
-			isa.RegV: rename.MustNewTable(isa.RegV, cfg.PhysVRegs),
-			isa.RegM: rename.MustNewTable(isa.RegM, cfg.PhysMRegs),
-		},
+		cfg:     cfg,
 		aReady:  make([]int64, cfg.PhysARegs),
 		sReady:  make([]int64, cfg.PhysSRegs),
 		vTiming: make([]vregfile.Timing, cfg.PhysVRegs),
@@ -135,9 +195,86 @@ func newMachine(cfg Config) *machine {
 		prevFetch:    -1,
 		prevDecode:   -1,
 		suppressFrom: -1,
-		spillPend:    make(map[[2]uint64]int),
+	}
+	m.tables[isa.RegA] = rename.MustNewTable(isa.RegA, cfg.PhysARegs)
+	m.tables[isa.RegS] = rename.MustNewTable(isa.RegS, cfg.PhysSRegs)
+	m.tables[isa.RegV] = rename.MustNewTable(isa.RegV, cfg.PhysVRegs)
+	m.tables[isa.RegM] = rename.MustNewTable(isa.RegM, cfg.PhysMRegs)
+	if cfg.ElideDeadSpillStores {
+		m.spillPend = make(map[[2]uint64]int)
 	}
 	return m
+}
+
+// sameShape reports whether cfg keeps every structural size of the current
+// configuration, so reset can reuse the allocated state.
+func (m *machine) sameShape(cfg Config) bool {
+	c := &m.cfg
+	return cfg.PhysVRegs == c.PhysVRegs && cfg.PhysARegs == c.PhysARegs &&
+		cfg.PhysSRegs == c.PhysSRegs && cfg.PhysMRegs == c.PhysMRegs &&
+		cfg.QueueSlots == c.QueueSlots && cfg.ROBSize == c.ROBSize &&
+		cfg.CommitWidth == c.CommitWidth && cfg.BankedPorts == c.BankedPorts
+}
+
+// reset restores the power-on state in place; cfg must satisfy sameShape.
+func (m *machine) reset(cfg Config) {
+	m.cfg = cfg
+	for _, tb := range m.tables {
+		if tb != nil {
+			tb.Reset()
+		}
+	}
+	for i := range m.aReady {
+		m.aReady[i] = 0
+	}
+	for i := range m.sReady {
+		m.sReady[i] = 0
+	}
+	for i := range m.vTiming {
+		m.vTiming[i] = vregfile.Timing{}
+	}
+	for i := range m.mTiming {
+		m.mTiming[i] = vregfile.Timing{}
+	}
+	m.vTags.Reset()
+	m.sTags.Reset()
+	m.aTags.Reset()
+	m.ports.Reset()
+	m.fu1.Reset()
+	m.fu2.Reset()
+	m.msched.reset()
+	m.aQ.Reset()
+	m.sQ.Reset()
+	m.vQ.Reset()
+	m.mQ.Reset()
+	m.rob.Reset()
+	m.pred.Reset()
+
+	m.prevFetch, m.prevDecode = -1, -1
+	m.nextFetchMin, m.lastVLReady, m.lastCycle = 0, 0, 0
+	m.eliminatedLoads, m.eliminatedRequests = 0, 0
+	m.elidedStores, m.elidedRequests = 0, 0
+	m.stallRegs, m.stallQueue, m.stallROB = 0, 0, 0
+	m.suppressFrom = -1
+	m.records = m.records[:0]
+	if cfg.ElideDeadSpillStores {
+		if m.spillPend == nil {
+			m.spillPend = make(map[[2]uint64]int)
+		} else {
+			clear(m.spillPend)
+		}
+	}
+}
+
+// tableMap exposes the class-indexed tables in the public map form.
+func (m *machine) tableMap() map[isa.RegClass]*rename.Table {
+	tm := make(map[isa.RegClass]*rename.Table, 4)
+	for class, tb := range m.tables {
+		if tb != nil {
+			tm[isa.RegClass(class)] = tb
+		}
+	}
+	return tm
 }
 
 func (m *machine) note(c int64) {
@@ -228,13 +365,8 @@ func (m *machine) step(idx int, in *isa.Instruction) {
 
 	// Look up source physical registers before any destination rename (a
 	// source naming the same architectural register reads the old mapping).
-	type srcOp struct {
-		class isa.RegClass
-		phys  int
-	}
-	var srcs []srcOp
-	var rbuf [4]isa.Reg
-	for _, r := range in.Reads(rbuf[:]) {
+	srcs := m.srcBuf[:0]
+	for _, r := range in.Reads(m.regBuf[:]) {
 		srcs = append(srcs, srcOp{r.Class, m.tables[r.Class].Lookup(int(r.Idx))})
 	}
 
@@ -361,9 +493,8 @@ func (m *machine) execVector(in *isa.Instruction, dec, vl int64, vleDefer bool, 
 	if dstReadyAt > ready {
 		ready = dstReadyAt
 	}
-	var vReads []int
-	var rbuf [4]isa.Reg
-	for _, r := range in.Reads(rbuf[:]) {
+	vReads := m.vReadBuf[:0]
+	for _, r := range in.Reads(m.regBuf[:]) {
 		switch r.Class {
 		case isa.RegV:
 			p := m.tables[isa.RegV].Lookup(int(r.Idx))
@@ -519,8 +650,7 @@ func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec
 		ready = m.lastVLReady
 	}
 	// Store data / gather-scatter index operands.
-	var rbuf [4]isa.Reg
-	for _, r := range in.Reads(rbuf[:]) {
+	for _, r := range in.Reads(m.regBuf[:]) {
 		switch r.Class {
 		case isa.RegV:
 			p := m.tables[isa.RegV].Lookup(int(r.Idx))
@@ -530,7 +660,8 @@ func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec
 			}
 			if isStore {
 				// Reading the data register occupies its read port.
-				ready = m.ports.Acquire([]int{p}, -1, ready, vl)
+				m.portBuf[0] = p
+				ready = m.ports.Acquire(m.portBuf[:], -1, ready, vl)
 			}
 		case isa.RegA, isa.RegS:
 			p := m.tables[r.Class].Lookup(int(r.Idx))
@@ -680,5 +811,5 @@ func (m *machine) finish(t *trace.Trace) *Result {
 	}
 	st.States = metrics.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(),
 		m.msched.bus.Intervals(), total)
-	return &Result{Stats: st, Records: m.records, Tables: m.tables}
+	return &Result{Stats: st, Records: m.records, Tables: m.tableMap()}
 }

@@ -64,6 +64,15 @@ func newMemScheduler(queueSlots int) *memScheduler {
 	return &memScheduler{bus: sched.NewGap(), scanWin: w}
 }
 
+// reset restores the empty-scheduler state, reusing the pending-store
+// storage.
+func (s *memScheduler) reset() {
+	s.bus.Reset()
+	s.pend = s.pend[:0]
+	s.n = 0
+	s.requests, s.conflicts, s.lastEnd = 0, 0, 0
+}
+
 // note tracks the latest bus activity for end-of-run accounting.
 func (s *memScheduler) note(end int64) {
 	if end > s.lastEnd {

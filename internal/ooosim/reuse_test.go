@@ -1,0 +1,67 @@
+package ooosim
+
+import (
+	"reflect"
+	"testing"
+
+	"oovec/internal/rob"
+	"oovec/internal/tgen"
+)
+
+// TestMachineReuseMatchesFreshRuns runs several (benchmark, config) pairs
+// through one reused Machine and asserts every measurement matches a fresh
+// one-shot Run — the correctness contract of Reset.
+func TestMachineReuseMatchesFreshRuns(t *testing.T) {
+	late := DefaultConfig()
+	late.Commit = rob.PolicyLate
+	elim := late
+	elim.LoadElim = ElimSLEVLE
+	big := DefaultConfig()
+	big.PhysVRegs = 32 // different shape: forces a rebuild path
+	configs := []Config{DefaultConfig(), late, elim, big, DefaultConfig()}
+
+	var mm *Machine
+	for _, name := range []string{"swm256", "trfd", "bdna"} {
+		p, _ := tgen.PresetByName(name)
+		p.Insns = 2000
+		tr := tgen.Generate(p)
+		for ci, cfg := range configs {
+			want := Run(tr, cfg).Stats
+			if mm == nil {
+				mm = NewMachine(cfg)
+			} else {
+				mm.Reset(cfg)
+			}
+			got := mm.Run(tr).Stats
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s config %d: reused machine stats differ\ngot:  %+v\nwant: %+v",
+					name, ci, got, want)
+			}
+			// Back-to-back Run on a dirty machine must self-reset.
+			if again := mm.Run(tr).Stats; !reflect.DeepEqual(again, want) {
+				t.Errorf("%s config %d: second reused run differs", name, ci)
+			}
+		}
+	}
+}
+
+// TestMachineReuseWithRecords checks record collection across reuse: the
+// records slice must be rebuilt per run, not accumulated.
+func TestMachineReuseWithRecords(t *testing.T) {
+	p, _ := tgen.PresetByName("trfd")
+	p.Insns = 500
+	tr := tgen.Generate(p)
+	cfg := DefaultConfig()
+	cfg.CollectRecords = true
+
+	mm := NewMachine(cfg)
+	r1 := mm.Run(tr)
+	if len(r1.Records) != tr.Len() {
+		t.Fatalf("first run: %d records, want %d", len(r1.Records), tr.Len())
+	}
+	r2 := mm.Run(tr)
+	if len(r2.Records) != tr.Len() {
+		t.Fatalf("second run: %d records, want %d (records must not accumulate)",
+			len(r2.Records), tr.Len())
+	}
+}

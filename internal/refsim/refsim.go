@@ -109,6 +109,10 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 	}
 
 	const vstart = int64(isa.VectorStartup)
+	// Per-instruction scratch buffers, hoisted out of the loop so the hot
+	// path performs no per-instruction allocation.
+	var vReadsBuf [4]int
+	var rbuf [4]isa.Reg
 	for i := range t.Insns {
 		in := &t.Insns[i]
 		vl := int64(in.EffVL())
@@ -123,9 +127,9 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 		bubble = 0
 
 		// Operand readiness.
-		var vReads []int
+		vReads := vReadsBuf[:0]
 		consumerChainable := in.Op.ExecUnit() == isa.UnitV || in.Op.IsStore()
-		operand := func(r isa.Reg) {
+		for _, r := range in.Reads(rbuf[:]) {
 			switch r.Class {
 			case isa.RegA, isa.RegS:
 				if rdy := scalarReady(r); rdy > cand {
@@ -146,10 +150,6 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 					}
 				}
 			}
-		}
-		var rbuf [4]isa.Reg
-		for _, r := range in.Reads(rbuf[:]) {
-			operand(r)
 		}
 
 		// Vector instructions execute under the architected VL/VS, so they

@@ -22,14 +22,21 @@ type freeEntry struct {
 }
 
 // Table is the rename state of one register class.
+//
+// The free list is a fixed-capacity ring buffer: a simulation pops and
+// pushes one entry per renamed instruction, and a ring keeps that churn
+// allocation-free (a plain slice would reallocate its backing array every
+// NumPhysical operations).
 type Table struct {
 	Class       isa.RegClass
 	NumLogical  int
 	NumPhysical int
 
-	mapping []int // logical -> physical
-	refcnt  []int // physical -> number of mapping references
-	free    []freeEntry
+	mapping []int       // logical -> physical
+	refcnt  []int       // physical -> number of mapping references
+	free    []freeEntry // ring buffer of free registers
+	head    int         // ring index of the oldest free entry
+	count   int         // free entries currently in the ring
 }
 
 // NewTable builds a rename table with numPhysical registers. The first
@@ -52,15 +59,35 @@ func NewTable(class isa.RegClass, numPhysical int) (*Table, error) {
 		NumPhysical: numPhysical,
 		mapping:     make([]int, nl),
 		refcnt:      make([]int, numPhysical),
+		free:        make([]freeEntry, numPhysical),
 	}
-	for l := 0; l < nl; l++ {
+	t.Reset()
+	return t, nil
+}
+
+// Reset restores the initial rename state — identity mapping, every spare
+// register free at cycle 0 — without allocating, so machines can be reused
+// across runs.
+func (t *Table) Reset() {
+	for l := 0; l < t.NumLogical; l++ {
 		t.mapping[l] = l
+	}
+	for p := range t.refcnt {
+		t.refcnt[p] = 0
+	}
+	for l := 0; l < t.NumLogical; l++ {
 		t.refcnt[l] = 1
 	}
-	for p := nl; p < numPhysical; p++ {
-		t.free = append(t.free, freeEntry{Phys: p})
+	t.head, t.count = 0, 0
+	for p := t.NumLogical; p < t.NumPhysical; p++ {
+		t.push(freeEntry{Phys: p})
 	}
-	return t, nil
+}
+
+// push appends a free entry at the ring tail.
+func (t *Table) push(e freeEntry) {
+	t.free[(t.head+t.count)%len(t.free)] = e
+	t.count++
 }
 
 // MustNewTable is NewTable that panics on error (for fixed valid configs).
@@ -76,7 +103,7 @@ func MustNewTable(class isa.RegClass, numPhysical int) *Table {
 func (t *Table) Lookup(logical int) int { return t.mapping[logical] }
 
 // FreeCount returns the number of registers on the free list.
-func (t *Table) FreeCount() int { return len(t.free) }
+func (t *Table) FreeCount() int { return t.count }
 
 // Allocate renames logical to a fresh physical register, popping the free
 // list head. It returns the new physical register, the old mapping (to be
@@ -85,11 +112,12 @@ func (t *Table) FreeCount() int { return len(t.free) }
 // false when the free list is empty — the caller must model a stall and may
 // not retry until a Release occurs.
 func (t *Table) Allocate(logical int) (newPhys, oldPhys int, readyAt int64, ok bool) {
-	if len(t.free) == 0 {
+	if t.count == 0 {
 		return 0, 0, 0, false
 	}
-	e := t.free[0]
-	t.free = t.free[1:]
+	e := t.free[t.head]
+	t.head = (t.head + 1) % len(t.free)
+	t.count--
 	oldPhys = t.mapping[logical]
 	t.mapping[logical] = e.Phys
 	t.refcnt[e.Phys]++
@@ -106,7 +134,7 @@ func (t *Table) Release(phys int, at int64) {
 	}
 	t.refcnt[phys]--
 	if t.refcnt[phys] == 0 {
-		t.free = append(t.free, freeEntry{Phys: phys, ReadyAt: at})
+		t.push(freeEntry{Phys: phys, ReadyAt: at})
 	}
 }
 
@@ -117,11 +145,17 @@ func (t *Table) Release(phys int, at int64) {
 // at commit.
 func (t *Table) AliasTo(logical, phys int) (oldPhys int) {
 	if t.refcnt[phys] == 0 {
-		for i, e := range t.free {
-			if e.Phys == phys {
-				t.free = append(t.free[:i], t.free[i+1:]...)
-				break
+		// Remove phys from the ring, preserving availability order.
+		n := len(t.free)
+		for i := 0; i < t.count; i++ {
+			if t.free[(t.head+i)%n].Phys != phys {
+				continue
 			}
+			for j := i; j < t.count-1; j++ {
+				t.free[(t.head+j)%n] = t.free[(t.head+j+1)%n]
+			}
+			t.count--
+			break
 		}
 	}
 	oldPhys = t.mapping[logical]
@@ -151,8 +185,9 @@ func (t *Table) LiveRefs(phys int) int { return t.refcnt[phys] }
 // positive refcount, free-list registers have zero refcount, no register is
 // both free and mapped, and reference totals are consistent.
 func (t *Table) CheckInvariants() error {
-	onFree := make(map[int]bool, len(t.free))
-	for _, e := range t.free {
+	onFree := make(map[int]bool, t.count)
+	for i := 0; i < t.count; i++ {
+		e := t.free[(t.head+i)%len(t.free)]
 		if onFree[e.Phys] {
 			return fmt.Errorf("rename: %v physical %d on free list twice", t.Class, e.Phys)
 		}

@@ -66,6 +66,14 @@ func (f *TagFile) Grow(n int) {
 	}
 }
 
+// Reset invalidates every tag and clears the counters, reusing the storage.
+func (f *TagFile) Reset() {
+	for i := range f.tags {
+		f.tags[i] = Tag{}
+	}
+	f.matches, f.invalidations = 0, 0
+}
+
 // Set installs a tag on phys.
 func (f *TagFile) Set(phys int, t Tag) { f.tags[phys] = t }
 

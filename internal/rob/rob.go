@@ -110,3 +110,13 @@ func (r *ROB) LastCommit() int64 { return r.last }
 
 // Size returns the capacity.
 func (r *ROB) Size() int { return r.size }
+
+// Reset empties the buffer for reuse, keeping its capacity and width.
+func (r *ROB) Reset() {
+	r.window.Reset()
+	for i := range r.recent {
+		r.recent[i] = 0
+	}
+	r.ri, r.filled = 0, 0
+	r.last = 0
+}

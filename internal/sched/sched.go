@@ -84,8 +84,13 @@ func (m *Monotonic) BusyCycles() int64 { return m.busy }
 // Intervals implements Allocator.
 func (m *Monotonic) Intervals() []Interval { return m.iv }
 
-// Reset implements Allocator.
-func (m *Monotonic) Reset() { *m = Monotonic{} }
+// Reset implements Allocator. The interval storage is kept (and its
+// contents overwritten by later bookings), so slices returned by Intervals
+// before the Reset are invalidated.
+func (m *Monotonic) Reset() {
+	m.nextFree, m.busy = 0, 0
+	m.iv = m.iv[:0]
+}
 
 // Gap is an out-of-order allocator that keeps a sorted, disjoint list of
 // busy intervals and books the first hole large enough.
@@ -173,8 +178,13 @@ func (g *Gap) BusyCycles() int64 { return g.busy }
 // Intervals implements Allocator.
 func (g *Gap) Intervals() []Interval { return g.iv }
 
-// Reset implements Allocator.
-func (g *Gap) Reset() { *g = Gap{} }
+// Reset implements Allocator. The interval storage is kept (and its
+// contents overwritten by later bookings), so slices returned by Intervals
+// before the Reset are invalidated.
+func (g *Gap) Reset() {
+	g.iv = g.iv[:0]
+	g.busy = 0
+}
 
 // RingWindow tracks the departure times of the last N occupants of a
 // bounded structure (an issue queue, a reorder buffer). Entry i may only be

@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"oovec/internal/ooosim"
+	"oovec/internal/tgen"
+)
+
+// TestGridWorkersDeterministic asserts the parallel grids produce
+// byte-identical CSV output to the serial ones for any worker count.
+func TestGridWorkersDeterministic(t *testing.T) {
+	p, _ := tgen.PresetByName("swm256")
+	p.Insns = 1000
+	tr := tgen.Generate(p)
+
+	lats := []int64{1, 20, 50, 100}
+	regs := []int{9, 16, 32}
+	base := ooosim.DefaultConfig()
+
+	render := func(pts []Point) string {
+		var b bytes.Buffer
+		if err := WriteCSV(&b, pts); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return b.String()
+	}
+
+	wantRef := render(RefGrid(tr, lats))
+	wantOOO := render(OOOGrid(tr, base, regs, lats))
+	for _, workers := range []int{2, 4, 0} {
+		if got := render(RefGridWorkers(tr, lats, workers)); got != wantRef {
+			t.Errorf("RefGridWorkers(%d) CSV differs from serial", workers)
+		}
+		if got := render(OOOGridWorkers(tr, base, regs, lats, workers)); got != wantOOO {
+			t.Errorf("OOOGridWorkers(%d) CSV differs from serial", workers)
+		}
+	}
+}
+
+// TestOOOGridReportsResolvedConfig asserts CSV rows carry the parameters
+// the simulator actually resolved (a zero QueueSlots must surface as the
+// paper default, not 0).
+func TestOOOGridReportsResolvedConfig(t *testing.T) {
+	p, _ := tgen.PresetByName("trfd")
+	p.Insns = 500
+	tr := tgen.Generate(p)
+
+	base := ooosim.Config{} // all zero: every field takes the paper default
+	pts := OOOGrid(tr, base, []int{16}, []int64{50})
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	want := ooosim.DefaultConfig().QueueSlots
+	if pts[0].QueueSlots != want {
+		t.Errorf("QueueSlots = %d, want resolved default %d", pts[0].QueueSlots, want)
+	}
+	if pts[0].Commit != "early" {
+		t.Errorf("Commit = %q, want %q", pts[0].Commit, "early")
+	}
+}

@@ -1,6 +1,10 @@
 // Package sweep runs parameter grids over the two simulators and exports
 // the measurements as CSV — the raw-data complement to the paper-shaped
 // tables of package experiments, intended for downstream plotting.
+//
+// Grid points are independent simulations; the *Workers variants fan them
+// across a worker pool (package engine) while keeping the CSV row order —
+// and therefore the output bytes — identical to a serial run.
 package sweep
 
 import (
@@ -8,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"oovec/internal/engine"
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
 	"oovec/internal/trace"
@@ -29,46 +34,57 @@ type Point struct {
 	Eliminated  int64
 }
 
-// RefGrid runs the reference machine across memory latencies.
+// RefGrid runs the reference machine across memory latencies, serially.
 func RefGrid(t *trace.Trace, latencies []int64) []Point {
-	pts := make([]Point, 0, len(latencies))
-	for _, lat := range latencies {
+	return RefGridWorkers(t, latencies, 1)
+}
+
+// RefGridWorkers is RefGrid fanned across `workers` goroutines (<= 0 picks
+// one per core). The returned points are in the same order as RefGrid's.
+func RefGridWorkers(t *trace.Trace, latencies []int64, workers int) []Point {
+	pts := make([]Point, len(latencies))
+	engine.Map(workers, len(latencies), func(i int) {
 		cfg := refsim.DefaultConfig()
-		cfg.MemLatency = lat
+		cfg.MemLatency = latencies[i]
 		st := refsim.Run(t, cfg)
-		pts = append(pts, Point{
-			Program: t.Name, Machine: "REF", Latency: lat,
+		pts[i] = Point{
+			Program: t.Name, Machine: "REF", Latency: latencies[i],
 			Cycles: st.Cycles, MemRequests: st.MemRequests,
 			PortIdlePct: st.MemPortIdlePct(),
-		})
-	}
+		}
+	})
 	return pts
 }
 
 // OOOGrid runs the OOOVA over the cross product of register counts and
-// latencies, with all other parameters taken from base.
+// latencies, with all other parameters taken from base, serially.
 func OOOGrid(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64) []Point {
-	pts := make([]Point, 0, len(vregs)*len(latencies))
-	for _, regs := range vregs {
-		for _, lat := range latencies {
-			cfg := base
-			cfg.PhysVRegs = regs
-			cfg.MemLatency = lat
-			st := ooosim.Run(t, cfg).Stats
-			resolved := cfg
-			if resolved.QueueSlots == 0 {
-				resolved.QueueSlots = ooosim.DefaultConfig().QueueSlots
-			}
-			pts = append(pts, Point{
-				Program: t.Name, Machine: "OOOVA", Latency: lat,
-				VRegs: regs, QueueSlots: resolved.QueueSlots,
-				Commit: cfg.Commit.String(), Elim: cfg.LoadElim.String(),
-				Cycles: st.Cycles, MemRequests: st.MemRequests,
-				PortIdlePct: st.MemPortIdlePct(),
-				Mispredicts: st.Mispredicts, Eliminated: st.EliminatedLoads,
-			})
+	return OOOGridWorkers(t, base, vregs, latencies, 1)
+}
+
+// OOOGridWorkers is OOOGrid fanned across `workers` goroutines (<= 0 picks
+// one per core). The returned points are in the same order as OOOGrid's.
+func OOOGridWorkers(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64, workers int) []Point {
+	nl := len(latencies)
+	pts := make([]Point, len(vregs)*nl)
+	engine.Map(workers, len(pts), func(k int) {
+		regs, lat := vregs[k/nl], latencies[k%nl]
+		cfg := base
+		cfg.PhysVRegs = regs
+		cfg.MemLatency = lat
+		st := ooosim.Run(t, cfg).Stats
+		// Report the exact parameters the simulator resolved, so CSV rows
+		// cannot drift from what actually ran.
+		resolved := cfg.WithDefaults()
+		pts[k] = Point{
+			Program: t.Name, Machine: "OOOVA", Latency: lat,
+			VRegs: regs, QueueSlots: resolved.QueueSlots,
+			Commit: resolved.Commit.String(), Elim: resolved.LoadElim.String(),
+			Cycles: st.Cycles, MemRequests: st.MemRequests,
+			PortIdlePct: st.MemPortIdlePct(),
+			Mispredicts: st.Mispredicts, Eliminated: st.EliminatedLoads,
 		}
-	}
+	})
 	return pts
 }
 

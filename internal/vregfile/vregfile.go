@@ -46,6 +46,11 @@ type BankedFile struct {
 	readFree  [][ReadPortsPerBank]int64 // per bank, per port: next free cycle
 	writeFree []int64                   // per bank: next free cycle
 	conflicts int64
+
+	// claims is plan's scratch space (an instruction reads at most four
+	// registers); keeping it here keeps the per-instruction hot path
+	// allocation-free.
+	claims [4]portClaim
 }
 
 // NewBankedFile returns a banked file for n vector registers (n must be a
@@ -64,18 +69,25 @@ type portClaim struct {
 }
 
 // plan assigns each read to the least-busy available port of its bank and
-// returns the earliest feasible start plus the chosen ports. With at most a
-// handful of reads, a simple claim list suffices.
-func (f *BankedFile) plan(reads []int, write int, earliest int64) (int64, []portClaim) {
+// returns the earliest feasible start plus the number of port claims
+// recorded in f.claims. With at most a handful of reads, a linear scan over
+// the claims already made replaces a per-call map.
+func (f *BankedFile) plan(reads []int, write int, earliest int64) (int64, int) {
 	start := earliest
-	var claims []portClaim
-	claimed := map[portClaim]bool{}
+	n := 0
 	for _, r := range reads {
 		bank := r / RegsPerBank
 		// Pick the unclaimed port with the earliest free time.
 		best, bestFree := -1, int64(1)<<62
 		for p := 0; p < ReadPortsPerBank; p++ {
-			if claimed[portClaim{bank, p}] {
+			taken := false
+			for i := 0; i < n; i++ {
+				if f.claims[i].bank == bank && f.claims[i].port == p {
+					taken = true
+					break
+				}
+			}
+			if taken {
 				continue
 			}
 			if f.readFree[bank][p] < bestFree {
@@ -87,8 +99,13 @@ func (f *BankedFile) plan(reads []int, write int, earliest int64) (int64, []port
 			// cannot happen with two-source instructions; be safe anyway.
 			best, bestFree = 0, f.readFree[bank][0]
 		}
-		claimed[portClaim{bank, best}] = true
-		claims = append(claims, portClaim{bank, best})
+		if n == len(f.claims) {
+			// The ISA presents at most three reads per instruction; fail
+			// loudly rather than silently under-book ports.
+			panic("vregfile: more reads than claim slots")
+		}
+		f.claims[n] = portClaim{bank, best}
+		n++
 		if bestFree > start {
 			start = bestFree
 		}
@@ -99,7 +116,7 @@ func (f *BankedFile) plan(reads []int, write int, earliest int64) (int64, []port
 			start = f.writeFree[bank]
 		}
 	}
-	return start, claims
+	return start, n
 }
 
 // Peek returns the start Acquire would choose, without booking.
@@ -114,11 +131,11 @@ func (f *BankedFile) Acquire(reads []int, write int, earliest, dur int64) int64 
 	if dur <= 0 {
 		dur = 1
 	}
-	start, claims := f.plan(reads, write, earliest)
+	start, n := f.plan(reads, write, earliest)
 	if start > earliest {
 		f.conflicts += start - earliest
 	}
-	for _, c := range claims {
+	for _, c := range f.claims[:n] {
 		f.readFree[c.bank][c.port] = start + dur
 	}
 	if write >= 0 {

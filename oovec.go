@@ -23,7 +23,10 @@
 //	...
 //	tr := b.Build()
 //
-// The paper's experiments are exposed through an experiment Suite:
+// The paper's experiments are exposed through an experiment Suite. The
+// suite fans its independent simulations across a worker pool
+// (SuiteOpts.Parallelism: 0 = one worker per core, 1 = serial) with
+// byte-identical output for every worker count:
 //
 //	s := oovec.NewSuite(oovec.SuiteOpts{})
 //	out, _ := oovec.RunExperiment(s, "fig5")
@@ -205,6 +208,15 @@ func RunReference(t *Trace, cfg ReferenceConfig) *RunStats {
 func RunOOOVA(t *Trace, cfg OOOVAConfig) *OOOVAResult {
 	return ooosim.Run(t, cfg)
 }
+
+// OOOVAMachine is a reusable OOOVA simulator instance: Reset restores the
+// power-on state without reallocating, amortising construction across many
+// runs (hot sweep loops, worker pools). Not safe for concurrent use; give
+// each worker its own.
+type OOOVAMachine = ooosim.Machine
+
+// NewOOOVAMachine builds a reusable machine for the configuration.
+func NewOOOVAMachine(cfg OOOVAConfig) *OOOVAMachine { return ooosim.NewMachine(cfg) }
 
 // RunOOOVAWithFault simulates with a precise exception injected at the
 // given instruction index and returns the recovered precise state (§5).
