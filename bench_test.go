@@ -326,9 +326,27 @@ func BenchmarkSimulatorRefThroughput(b *testing.B) {
 	p, _ := tgen.PresetByName("hydro2d")
 	p.Insns = 20000
 	tr := tgen.Generate(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		refsim.Run(tr, refsim.DefaultConfig())
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
+}
+
+// BenchmarkSimulatorRefReuse measures the steady-state throughput and
+// bytes/op of a reused reference Machine; compare with
+// BenchmarkSimulatorRefThroughput for the per-run construction cost.
+func BenchmarkSimulatorRefReuse(b *testing.B) {
+	p, _ := tgen.PresetByName("hydro2d")
+	p.Insns = 20000
+	tr := tgen.Generate(p)
+	m := refsim.NewMachine(refsim.DefaultConfig())
+	m.Run(tr) // reach steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(tr)
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
 }
@@ -337,6 +355,7 @@ func BenchmarkSimulatorOOOThroughput(b *testing.B) {
 	p, _ := tgen.PresetByName("hydro2d")
 	p.Insns = 20000
 	tr := tgen.Generate(p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ooosim.Run(tr, ooosim.DefaultConfig())
@@ -344,13 +363,17 @@ func BenchmarkSimulatorOOOThroughput(b *testing.B) {
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minsns/s")
 }
 
-// BenchmarkSimulatorOOOReuse measures the steady-state throughput of a
-// reused Machine (explicit Reset instead of per-run construction).
+// BenchmarkSimulatorOOOReuse measures the steady-state throughput and
+// bytes/op of a reused Machine (explicit Reset instead of per-run
+// construction) — the pooled path the experiment drivers and sweep grids
+// run on.
 func BenchmarkSimulatorOOOReuse(b *testing.B) {
 	p, _ := tgen.PresetByName("hydro2d")
 	p.Insns = 20000
 	tr := tgen.Generate(p)
 	m := ooosim.NewMachine(ooosim.DefaultConfig())
+	m.Run(tr) // reach steady state before measuring
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Run(tr)

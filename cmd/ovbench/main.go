@@ -26,7 +26,7 @@ func main() {
 		names = flag.String("bench", "", "comma-separated benchmark subset (empty = all ten)")
 		out   = flag.String("out", "", "directory to write per-experiment text files")
 		plot  = flag.Bool("plot", false, "render text charts instead of tables (figures only)")
-		jobs  = flag.Int("j", 0, "parallel simulation workers (0 = one per core, 1 = serial); output is identical for every value")
+		jobs  = flag.Int("j", 0, "parallel simulation workers, each reusing pooled simulator machines (0 = one per core, 1 = serial); output is identical for every value")
 	)
 	flag.Parse()
 

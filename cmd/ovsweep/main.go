@@ -10,11 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"oovec"
+	"oovec/internal/cli"
+	"oovec/internal/isa"
 	"oovec/internal/ooosim"
 	"oovec/internal/sweep"
 	"oovec/internal/tgen"
@@ -30,17 +33,40 @@ func main() {
 		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
 		insns   = flag.Int("insns", 0, "instruction budget override")
 		out     = flag.String("o", "", "output CSV path (default stdout)")
-		jobs    = flag.Int("j", 0, "parallel simulation workers (0 = one per core, 1 = serial); CSV output is identical for every value")
+		jobs    = flag.Int("j", 0, "parallel simulation workers, each reusing pooled simulator machines (0 = one per core, 1 = serial); CSV output is identical for every value")
 	)
 	flag.Parse()
+
+	// Validate the machine selection up front: a typo used to fall through
+	// both grid `if`s and silently produce a header-only CSV with exit 0.
+	switch *machine {
+	case "ref", "ooo", "both":
+	default:
+		fatal(fmt.Errorf("unknown machine %q (ref | ooo | both)", *machine))
+	}
 
 	regs, err := parseInts(*regsF)
 	if err != nil {
 		fatal(err)
 	}
+	if *machine != "ref" { // -regs only drives the OOOVA grids
+		for _, r := range regs {
+			if r <= 0 {
+				fatal(fmt.Errorf("-regs values must be positive, got %d", r))
+			}
+			if r <= isa.NumLogicalV {
+				fatal(fmt.Errorf("-regs %d: the OOOVA needs more than %d physical vector registers (one per architectural register plus at least one for renaming)", r, isa.NumLogicalV))
+			}
+		}
+	}
 	lats64, err := parseInt64s(*latsF)
 	if err != nil {
 		fatal(err)
+	}
+	for _, l := range lats64 {
+		if l <= 0 {
+			fatal(fmt.Errorf("-lats values must be positive, got %d", l))
+		}
 	}
 
 	base := ooosim.DefaultConfig()
@@ -79,21 +105,21 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		if err := sweep.WriteCSV(os.Stdout, pts); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		return
 	}
-	if err := sweep.WriteCSV(w, pts); err != nil {
+	// cli.WriteFile reports Sync/Close errors: a full disk must not leave
+	// a silently truncated CSV behind an exit 0.
+	err = cli.WriteFile(*out, func(w io.Writer) error {
+		return sweep.WriteCSV(w, pts)
+	})
+	if err != nil {
 		fatal(err)
 	}
-	if *out != "" {
-		fmt.Printf("wrote %d points to %s\n", len(pts), *out)
-	}
+	fmt.Printf("wrote %d points to %s\n", len(pts), *out)
 }
 
 func parseInts(s string) ([]int, error) {

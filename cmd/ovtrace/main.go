@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oovec"
+	"oovec/internal/cli"
 )
 
 func main() {
@@ -84,13 +86,12 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
+		// cli.WriteFile reports Sync/Close errors: a full disk must not
+		// leave a silently truncated trace behind an exit 0.
+		err := cli.WriteFile(*out, func(w io.Writer) error {
+			return oovec.WriteTrace(w, tr)
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ovtrace:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := oovec.WriteTrace(f, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "ovtrace:", err)
 			os.Exit(1)
 		}

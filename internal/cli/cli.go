@@ -1,0 +1,28 @@
+// Package cli shares small helpers between the oovec commands.
+package cli
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFile creates path, streams content through write, then syncs and
+// closes the file, reporting the first error from any step. A full disk
+// often only surfaces at Sync or Close; swallowing those (the classic
+// `defer f.Close()`) would leave a silently truncated file behind an
+// exit status of 0.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -13,10 +13,17 @@
 // simulators) and must not write shared state without synchronisation;
 // caches shared between tasks (the experiment Suite's trace and
 // reference-run caches) serialise internally.
+//
+// MapWith extends Map with per-worker state: each worker goroutine builds
+// one state value (typically pooled, resettable simulator machines) and
+// passes it to every task it claims, so expensive per-run construction is
+// amortised across the whole grid without any synchronisation on the state.
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -31,15 +38,58 @@ func Workers(n int) int {
 	return n
 }
 
+// WorkerPanic is the value Map and MapWith re-raise on the caller's
+// goroutine when a task panicked on a worker goroutine. Re-raising a
+// recovered value loses the goroutine it was recovered on, so the original
+// worker stack is captured at recover time and carried along — without it,
+// failures inside fanned-out simulations point at Map's wg.Wait instead of
+// the simulator line that blew up.
+//
+// Serial execution (one worker) calls fn on the caller's goroutine and lets
+// panics propagate natively, so a WorkerPanic is only seen for workers > 1.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Index is the task index whose fn panicked, or -1 when a MapWith
+	// newState call panicked before any task ran.
+	Index int
+	// Stack is the worker goroutine's stack (debug.Stack) at recover time,
+	// including the frames that led to the panic.
+	Stack []byte
+}
+
+// String renders the original value followed by the captured worker stack;
+// the runtime prints it when the re-raised panic goes unrecovered.
+func (p WorkerPanic) String() string {
+	return fmt.Sprintf("%v\n\n[engine] original worker stack:\n%s", p.Value, p.Stack)
+}
+
+// Unwrap returns the original panic value.
+func (p WorkerPanic) Unwrap() any { return p.Value }
+
 // Map runs fn(i) for every i in [0, n), using at most `workers` concurrent
 // goroutines (workers <= 0 selects one per core). Indices are claimed from
 // a shared counter, so long and short tasks balance automatically. Map
 // returns when every call has finished.
 //
 // A panic inside fn stops the dispatch of further indices and is re-raised
-// on the caller's goroutine once in-flight tasks have drained, matching the
-// serial behaviour closely enough for error reporting.
+// on the caller's goroutine once in-flight tasks have drained, wrapped in a
+// WorkerPanic that preserves the original worker stack.
 func Map(workers, n int, fn func(i int)) {
+	MapWith(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) { fn(i) })
+}
+
+// MapWith is Map with per-worker state: every worker goroutine calls
+// newState exactly once, before claiming its first index, and passes the
+// resulting value to each fn call it executes. No two goroutines ever share
+// a state value, so S needs no internal synchronisation — the intended use
+// is a pooled, resettable simulator machine living for the whole grid.
+//
+// With one worker (serial execution) newState and fn run on the caller's
+// goroutine and panics propagate natively; with more, a panicking fn is
+// re-raised on the caller as a WorkerPanic.
+func MapWith[S any](workers, n int, newState func() S, fn func(s S, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -48,8 +98,9 @@ func Map(workers, n int, fn func(i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		s := newState()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(s, i)
 		}
 		return
 	}
@@ -62,6 +113,23 @@ func Map(workers, n int, fn func(i int)) {
 	)
 	worker := func() {
 		defer wg.Done()
+		// A panicking newState must not kill the process (an unrecovered
+		// panic on a worker goroutine would); report it like a task panic.
+		var s S
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						panicVal = WorkerPanic{Value: r, Index: -1, Stack: debug.Stack()}
+					}
+				}
+			}()
+			s = newState()
+			return true
+		}()
+		if !ok {
+			return
+		}
 		for {
 			i := next.Add(1) - 1
 			if i >= int64(n) || panicked.Load() {
@@ -71,11 +139,11 @@ func Map(workers, n int, fn func(i int)) {
 				defer func() {
 					if r := recover(); r != nil {
 						if panicked.CompareAndSwap(false, true) {
-							panicVal = r
+							panicVal = WorkerPanic{Value: r, Index: int(i), Stack: debug.Stack()}
 						}
 					}
 				}()
-				fn(int(i))
+				fn(s, int(i))
 			}()
 		}
 	}

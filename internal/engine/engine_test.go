@@ -2,6 +2,8 @@ package engine
 
 import (
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -68,19 +70,119 @@ func TestMapDeterministicSlots(t *testing.T) {
 }
 
 func TestMapPanicPropagates(t *testing.T) {
-	for _, workers := range []int{1, 4} {
-		func() {
-			defer func() {
-				if r := recover(); r != "boom" {
-					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
-				}
-			}()
-			Map(workers, 100, func(i int) {
-				if i == 17 {
-					panic("boom")
-				}
-			})
-			t.Errorf("workers=%d: Map returned without panicking", workers)
+	// Serial execution runs fn on the caller's goroutine: the panic value
+	// propagates unwrapped, with its original stack intact.
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("workers=1: recovered %v, want \"boom\"", r)
+			}
 		}()
+		Map(1, 100, func(i int) {
+			if i == 17 {
+				panic("boom")
+			}
+		})
+		t.Error("workers=1: Map returned without panicking")
+	}()
+
+	// Parallel execution loses the worker goroutine, so the re-raised value
+	// must carry the original value, index and worker stack.
+	func() {
+		defer func() {
+			r := recover()
+			wp, ok := r.(WorkerPanic)
+			if !ok {
+				t.Fatalf("workers=4: recovered %T (%v), want WorkerPanic", r, r)
+			}
+			if wp.Value != "boom" {
+				t.Errorf("WorkerPanic.Value = %v, want \"boom\"", wp.Value)
+			}
+			if wp.Index != 17 {
+				t.Errorf("WorkerPanic.Index = %d, want 17", wp.Index)
+			}
+			if !strings.Contains(string(wp.Stack), "TestMapPanicPropagates") {
+				t.Errorf("WorkerPanic.Stack does not contain the panicking frame:\n%s", wp.Stack)
+			}
+			if wp.Unwrap() != "boom" {
+				t.Errorf("WorkerPanic.Unwrap() = %v, want \"boom\"", wp.Unwrap())
+			}
+			if s := wp.String(); !strings.Contains(s, "boom") || !strings.Contains(s, "worker stack") {
+				t.Errorf("WorkerPanic.String() missing value or stack: %q", s)
+			}
+		}()
+		Map(4, 100, func(i int) {
+			if i == 17 {
+				panic("boom")
+			}
+		})
+		t.Error("workers=4: Map returned without panicking")
+	}()
+}
+
+func TestMapWithStatePerWorker(t *testing.T) {
+	// Each worker must receive its own state value, created exactly once,
+	// and no state may be observed by two goroutines (checked under -race
+	// by the unsynchronised counter increments).
+	type state struct{ count int }
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 500
+		var created atomic.Int32
+		var mu sync.Mutex
+		states := map[*state]bool{}
+		MapWith(workers, n, func() *state {
+			created.Add(1)
+			s := &state{}
+			mu.Lock()
+			states[s] = true
+			mu.Unlock()
+			return s
+		}, func(s *state, i int) {
+			s.count++ // worker-private: needs no synchronisation
+		})
+		if int(created.Load()) > Workers(workers) {
+			t.Errorf("workers=%d: %d states created, want <= %d",
+				workers, created.Load(), Workers(workers))
+		}
+		total := 0
+		for s := range states {
+			total += s.count
+		}
+		if total != n {
+			t.Errorf("workers=%d: state counts sum to %d, want %d", workers, total, n)
+		}
 	}
+}
+
+func TestMapWithRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		const n = 777
+		counts := make([]int32, n)
+		MapWith(workers, n, func() int { return 0 }, func(_ int, i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapWithNewStatePanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		wp, ok := r.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want WorkerPanic", r, r)
+		}
+		if wp.Value != "no state" {
+			t.Errorf("WorkerPanic.Value = %v, want \"no state\"", wp.Value)
+		}
+		if wp.Index != -1 {
+			t.Errorf("WorkerPanic.Index = %d, want -1 for a newState panic", wp.Index)
+		}
+	}()
+	MapWith(4, 100, func() int { panic("no state") }, func(int, int) {})
+	t.Error("MapWith returned without panicking")
 }

@@ -1,0 +1,51 @@
+//go:build !race
+
+// The allocation regression guards live behind !race because the race
+// detector instruments allocations and would trip the bounds.
+
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPooledSuiteBytesBudget guards the bytes/op of a pooled suite run:
+// the Fig5 grid drives 100 OOOVA and 10 REF simulations (10 benchmarks ×
+// 5 register counts × 2 queue depths) through per-worker pooled machines.
+// Before pooling, every simulation constructed a fresh ~2 MB machine; the
+// pooled path builds machines once per (worker, shape) and reuses them, so
+// the per-simulation average must stay far below one construction.
+func TestPooledSuiteBytesBudget(t *testing.T) {
+	const insns = 2000
+	const sims = 110 // OOOVA grid points + REF baselines in Fig5
+
+	run := func() {
+		s := NewSuite(Opts{Insns: insns, Parallelism: 1})
+		if res := Fig5(s); len(res.Names) == 0 {
+			t.Fatal("empty result")
+		}
+	}
+	run() // warm any lazy runtime state
+
+	const runs = 3
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	perSuite := (after.TotalAlloc - before.TotalAlloc) / runs
+	perSim := perSuite / sims
+
+	// Each suite regenerates its traces and builds one machine per shape,
+	// so the budget is dominated by those one-time costs spread over the
+	// grid; a fresh-machine-per-simulation regression (~2 MB each) blows
+	// straight through it.
+	const budget = 256 << 10 // 256 KiB per simulation
+	if perSim > budget {
+		t.Errorf("pooled suite run allocated %d B per simulation (%d B per suite), want <= %d",
+			perSim, perSuite, budget)
+	}
+}

@@ -59,6 +59,11 @@ func (q *Queue) Issue(enter, ready int64) int64 {
 // Issued returns the number of instructions issued.
 func (q *Queue) Issued() int64 { return q.issued }
 
+// Reserve sizes the issue-port interval list for n bookings so
+// steady-state appends never reallocate (each issued instruction books at
+// most one interval).
+func (q *Queue) Reserve(n int) { q.slots.Reserve(n) }
+
 // Reset empties the queue for reuse, keeping its capacity.
 func (q *Queue) Reset() {
 	q.window.Reset()
@@ -114,6 +119,14 @@ func NewMemQueue(capacity int) *MemQueue {
 // AdmitConstraint returns the earliest cycle a new memory instruction can be
 // admitted to the queue.
 func (q *MemQueue) AdmitConstraint() int64 { return q.window.FreeAt() }
+
+// Reserve sizes the three front-stage interval lists for n advancing
+// instructions (each books at most one interval per stage).
+func (q *MemQueue) Reserve(n int) {
+	q.issueRF.Reserve(n)
+	q.rangeSt.Reserve(n)
+	q.depSt.Reserve(n)
+}
 
 // Advance pushes an instruction entering the queue at `enter` through the
 // three in-order front stages and returns the cycle it leaves the

@@ -74,15 +74,33 @@ func (b Breakdown) MemIdleCycles() int64 {
 	return t
 }
 
+// edge is one interval endpoint in the StateBreakdown sweep.
+type edge struct {
+	t   int64
+	bit State
+	on  bool
+}
+
+// Scratch holds the reusable edge buffer of StateBreakdown. A simulator
+// machine that keeps one across runs turns the breakdown's dominant
+// allocation (two edges per busy interval — hundreds of kilobytes on a
+// full-size trace) into a one-time cost. The zero value is ready to use; a
+// Scratch is not safe for concurrent use.
+type Scratch struct {
+	edges []edge
+}
+
 // StateBreakdown sweeps the busy intervals of the three vector units and
 // returns the exact per-state cycle counts over [0, total).
 func StateBreakdown(fu2, fu1, mem []sched.Interval, total int64) Breakdown {
-	type edge struct {
-		t   int64
-		bit State
-		on  bool
-	}
-	var edges []edge
+	var sc Scratch
+	return sc.StateBreakdown(fu2, fu1, mem, total)
+}
+
+// StateBreakdown is the allocation-amortised form of the package-level
+// function: the edge buffer is kept (and grown) on the Scratch.
+func (sc *Scratch) StateBreakdown(fu2, fu1, mem []sched.Interval, total int64) Breakdown {
+	edges := sc.edges[:0]
 	add := func(ivs []sched.Interval, bit State) {
 		for _, iv := range ivs {
 			s, e := iv.Start, iv.End
@@ -101,6 +119,7 @@ func StateBreakdown(fu2, fu1, mem []sched.Interval, total int64) Breakdown {
 	add(fu2, StateFU2)
 	add(fu1, StateFU1)
 	add(mem, StateMEM)
+	sc.edges = edges // keep the grown buffer for the next run
 	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
 
 	var b Breakdown

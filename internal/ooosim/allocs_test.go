@@ -6,6 +6,7 @@
 package ooosim
 
 import (
+	"runtime"
 	"testing"
 
 	"oovec/internal/refsim"
@@ -70,5 +71,52 @@ func TestMachineReuseAllocationBound(t *testing.T) {
 	if avg > bound {
 		t.Errorf("reused Machine.Run allocated %.0f times for %d insns, want <= %d",
 			avg, tr.Len(), bound)
+	}
+}
+
+// bytesPerRun measures the average heap bytes allocated per call of fn.
+// TotalAlloc is cumulative (GC never decreases it), so the delta is exact
+// for a single-goroutine measurement.
+func bytesPerRun(runs int, fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
+}
+
+// TestMachineReuseBytesBound guards the bytes/op of the pooled path the
+// experiment drivers and sweep grids run on. A fresh-machine OOOVA run
+// costs ~2 MB (machine construction, allocator interval lists, breakdown
+// edges); a reused machine with trace-sized preallocation must stay under
+// a small constant so the regression cannot silently return.
+func TestMachineReuseBytesBound(t *testing.T) {
+	tr := tgen.Generate(*allocsTrace())
+	mm := NewMachine(DefaultConfig())
+	mm.Run(tr) // reach steady state: reserve + first-run growth
+
+	const bound = 64 << 10 // 64 KiB; steady state measures ~1 KiB
+	per := bytesPerRun(5, func() { mm.Run(tr) })
+	if per > bound {
+		t.Errorf("reused Machine.Run allocated %d B/run for %d insns, want <= %d",
+			per, tr.Len(), bound)
+	}
+}
+
+// TestRefMachineReuseBytesBound is the same guard for the reference
+// simulator's pooled path.
+func TestRefMachineReuseBytesBound(t *testing.T) {
+	tr := tgen.Generate(*allocsTrace())
+	mm := refsim.NewMachine(refsim.DefaultConfig())
+	mm.Run(tr)
+
+	const bound = 64 << 10
+	per := bytesPerRun(5, func() { mm.Run(tr) })
+	if per > bound {
+		t.Errorf("reused refsim Machine.Run allocated %d B/run for %d insns, want <= %d",
+			per, tr.Len(), bound)
 	}
 }

@@ -45,11 +45,41 @@ func Run(t *trace.Trace, cfg Config) *Result {
 // a Machine amortises its internal state (rename tables, queues, allocator
 // storage) across runs: Reset restores the power-on state without
 // reallocating when the configuration's structural sizes are unchanged.
+// Machines for up to maxCachedShapes previously seen shapes are retained,
+// so a worker sweeping a register-count grid rebuilds each shape once, not
+// once per grid point.
 //
 // A Machine is not safe for concurrent use; give each worker its own.
 type Machine struct {
 	m     *machine
 	dirty bool
+	// shapes retires machines by structural shape when Reset switches
+	// configuration, so revisiting a shape reuses its storage.
+	shapes map[machineShape]*machine
+}
+
+// maxCachedShapes bounds the retired-machine cache: each retired machine
+// holds megabytes of state, and a caller resetting across an unbounded
+// structural sweep must not accumulate them all. The repo's grids visit at
+// most ten shapes; beyond the cap, uncached shapes simply rebuild.
+const maxCachedShapes = 16
+
+// machineShape is the comparable key of a configuration's structural sizes
+// — exactly the fields sameShape compares.
+type machineShape struct {
+	physV, physA, physS, physM      int
+	queueSlots, robSize, commitWide int
+	banked                          bool
+}
+
+// shapeOf extracts the structural shape of a resolved configuration.
+func shapeOf(cfg Config) machineShape {
+	return machineShape{
+		physV: cfg.PhysVRegs, physA: cfg.PhysARegs,
+		physS: cfg.PhysSRegs, physM: cfg.PhysMRegs,
+		queueSlots: cfg.QueueSlots, robSize: cfg.ROBSize,
+		commitWide: cfg.CommitWidth, banked: cfg.BankedPorts,
+	}
 }
 
 // NewMachine builds a reusable machine for the configuration.
@@ -66,19 +96,32 @@ func (mm *Machine) Run(t *trace.Trace) *Result {
 		mm.Reset(mm.m.cfg)
 	}
 	mm.dirty = true
+	mm.m.reserveFor(t)
 	return mm.m.run(t)
 }
 
 // Reset restores the power-on state under a (possibly different)
 // configuration. State is reused when cfg keeps the same structural sizes
-// (register files, queues, ROB, port organisation); otherwise the machine
-// is rebuilt.
+// (register files, queues, ROB, port organisation); otherwise the current
+// machine is retired to the shape cache and the new shape's machine is
+// revived from it — or built once, on first encounter.
 func (mm *Machine) Reset(cfg Config) {
 	cfg = cfg.WithDefaults()
 	if mm.m.sameShape(cfg) {
 		mm.m.reset(cfg)
 	} else {
-		mm.m = newMachine(cfg)
+		if mm.shapes == nil {
+			mm.shapes = make(map[machineShape]*machine)
+		}
+		if len(mm.shapes) < maxCachedShapes {
+			mm.shapes[shapeOf(mm.m.cfg)] = mm.m
+		}
+		if prev, ok := mm.shapes[shapeOf(cfg)]; ok {
+			prev.reset(cfg)
+			mm.m = prev
+		} else {
+			mm.m = newMachine(cfg)
+		}
 	}
 	mm.dirty = false
 }
@@ -92,6 +135,46 @@ func (m *machine) run(t *trace.Trace) *Result {
 		m.step(i, &t.Insns[i])
 	}
 	return m.finish(t)
+}
+
+// reserveFor sizes the big growable buffers from the trace so a reused
+// machine's steady-state run never grows them: an instruction books at
+// most one interval on its issue queue's port allocator, a vector
+// instruction at most one interval on each FU allocator, a memory
+// instruction one bus interval and one slot per memory-front stage, and a
+// store at most one pending-store record. Called on the Machine (reuse)
+// path only — a one-shot Run grows organically instead of paying the
+// upper bound.
+func (m *machine) reserveFor(t *trace.Trace) {
+	nA, nS, nV, nMem, nStores := 0, 0, 0, 0, 0
+	for i := range t.Insns {
+		switch op := t.Insns[i].Op; op.ExecUnit() {
+		case isa.UnitA, isa.UnitCtl:
+			nA++
+		case isa.UnitS:
+			nS++
+		case isa.UnitV:
+			nV++
+		case isa.UnitMem:
+			nMem++
+			if op.IsStore() {
+				nStores++
+			}
+		}
+	}
+	m.aQ.Reserve(nA + 1)
+	m.sQ.Reserve(nS + 1)
+	m.vQ.Reserve(nV + 1)
+	nFront := nMem
+	if m.cfg.LoadElim == ElimSLEVLE {
+		// §6.2: every vector-register user advances through the memory
+		// front pipeline, not just memory instructions.
+		nFront += nV
+	}
+	m.mQ.Reserve(nFront + 1)
+	m.fu1.Reserve(nV + 1)
+	m.fu2.Reserve(nV + 1)
+	m.msched.reserve(nMem+1, nStores+1)
 }
 
 // machine is the OOOVA simulation state.
@@ -152,6 +235,10 @@ type machine struct {
 	vReadBuf [4]int
 	portBuf  [1]int
 	regBuf   [4]isa.Reg
+
+	// bdScratch is the reusable state-breakdown edge buffer; without it,
+	// finish allocates two edges per busy interval on every run.
+	bdScratch metrics.Scratch
 }
 
 // srcOp is a resolved source operand (class + physical register).
@@ -809,7 +896,7 @@ func (m *machine) finish(t *trace.Trace) *Result {
 		DecodeStallQueue:       m.stallQueue,
 		DecodeStallROB:         m.stallROB,
 	}
-	st.States = metrics.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(),
+	st.States = m.bdScratch.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(),
 		m.msched.bus.Intervals(), total)
 	return &Result{Stats: st, Records: m.records, Tables: m.tableMap()}
 }

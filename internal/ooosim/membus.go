@@ -64,6 +64,18 @@ func newMemScheduler(queueSlots int) *memScheduler {
 	return &memScheduler{bus: sched.NewGap(), scanWin: w}
 }
 
+// reserve sizes the bus interval list and the pending-store list so
+// steady-state appends never reallocate; the bounds derive from the
+// trace's memory-instruction and store counts.
+func (s *memScheduler) reserve(busIv, stores int) {
+	s.bus.Reserve(busIv)
+	if cap(s.pend) < stores {
+		grown := make([]pendStore, len(s.pend), stores)
+		copy(grown, s.pend)
+		s.pend = grown
+	}
+}
+
 // reset restores the empty-scheduler state, reusing the pending-store
 // storage.
 func (s *memScheduler) reset() {

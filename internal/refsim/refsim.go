@@ -62,28 +62,128 @@ type vregState struct {
 	hasValue      bool
 }
 
+// withDefaults fills the latency fields Run has always defaulted.
+func (c Config) withDefaults() Config {
+	if c.MemLatency <= 0 {
+		c.MemLatency = 50
+	}
+	if c.ScalarMemLatency <= 0 {
+		c.ScalarMemLatency = 6
+	}
+	return c
+}
+
 // Run simulates the trace on the reference machine and returns its
 // measurements.
 func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
-	if cfg.MemLatency <= 0 {
-		cfg.MemLatency = 50
-	}
-	if cfg.ScalarMemLatency <= 0 {
-		cfg.ScalarMemLatency = 6
-	}
-	readX := int64(isa.ReadXbar(isa.MachineRef))
-	writeX := int64(isa.WriteXbar(isa.MachineRef))
+	return newMachine(cfg).run(t)
+}
 
-	fu1 := sched.NewMonotonic()
-	fu2 := sched.NewMonotonic()
-	bus := sched.NewMonotonic()
-	ports := vregfile.NewBankedFile(isa.NumLogicalV)
+// Machine is a reusable reference-simulator instance, mirroring
+// ooosim.Machine: Reset restores the power-on state without reallocating
+// (the reference machine's structure is fixed, so reuse never rebuilds),
+// amortising the interval-list and scratch storage across many runs.
+//
+// A Machine is not safe for concurrent use; give each worker its own.
+type Machine struct {
+	m     *machine
+	dirty bool
+}
 
-	var aReady [isa.NumLogicalA]int64
-	var sReady [isa.NumLogicalS]int64
-	var vregs [isa.NumLogicalV]vregState
-	var maskT vregfile.Timing
-	maskHasValue := false
+// NewMachine builds a reusable reference machine for the configuration.
+func NewMachine(cfg Config) *Machine {
+	return &Machine{m: newMachine(cfg)}
+}
+
+// Run simulates the trace, resetting the machine first if it has already
+// run.
+func (mm *Machine) Run(t *trace.Trace) *metrics.RunStats {
+	if mm.dirty {
+		mm.Reset(mm.m.cfg)
+	}
+	mm.dirty = true
+	mm.m.reserveFor(t)
+	return mm.m.run(t)
+}
+
+// Reset restores the power-on state under a (possibly different)
+// configuration.
+func (mm *Machine) Reset(cfg Config) {
+	mm.m.reset(cfg)
+	mm.dirty = false
+}
+
+// machine is the reference-simulator state.
+type machine struct {
+	cfg Config
+
+	fu1, fu2, bus *sched.Monotonic
+	ports         *vregfile.BankedFile
+
+	aReady       [isa.NumLogicalA]int64
+	sReady       [isa.NumLogicalS]int64
+	vregs        [isa.NumLogicalV]vregState
+	maskT        vregfile.Timing
+	maskHasValue bool
+
+	readX, writeX int64
+
+	// Per-instruction scratch buffers and the state-breakdown edge buffer,
+	// kept on the machine so reused runs allocate nothing for them.
+	vReadsBuf [4]int
+	rbuf      [4]isa.Reg
+	bdScratch metrics.Scratch
+}
+
+func newMachine(cfg Config) *machine {
+	return &machine{
+		cfg:    cfg.withDefaults(),
+		fu1:    sched.NewMonotonic(),
+		fu2:    sched.NewMonotonic(),
+		bus:    sched.NewMonotonic(),
+		ports:  vregfile.NewBankedFile(isa.NumLogicalV),
+		readX:  int64(isa.ReadXbar(isa.MachineRef)),
+		writeX: int64(isa.WriteXbar(isa.MachineRef)),
+	}
+}
+
+// reset restores the power-on state in place, keeping allocated storage.
+func (m *machine) reset(cfg Config) {
+	m.cfg = cfg.withDefaults()
+	m.fu1.Reset()
+	m.fu2.Reset()
+	m.bus.Reset()
+	m.ports.Reset()
+	m.aReady = [isa.NumLogicalA]int64{}
+	m.sReady = [isa.NumLogicalS]int64{}
+	m.vregs = [isa.NumLogicalV]vregState{}
+	m.maskT = vregfile.Timing{}
+	m.maskHasValue = false
+}
+
+// reserveFor sizes the unit interval lists from the trace so a reused
+// machine's steady-state run never grows them: a vector computation books
+// at most one interval on each FU allocator and a memory instruction at
+// most one bus interval. Called on the Machine (reuse) path only — a
+// one-shot Run grows organically instead of paying the upper bound.
+func (m *machine) reserveFor(t *trace.Trace) {
+	nV, nMem := 0, 0
+	for i := range t.Insns {
+		switch t.Insns[i].Op.ExecUnit() {
+		case isa.UnitV:
+			nV++
+		case isa.UnitMem:
+			nMem++
+		}
+	}
+	m.fu1.Reserve(nV + 1)
+	m.fu2.Reserve(nV + 1)
+	m.bus.Reserve(nMem + 1)
+}
+
+// run executes the whole trace and assembles the measurements.
+func (m *machine) run(t *trace.Trace) *metrics.RunStats {
+	cfg := m.cfg
 
 	var prevIssue int64 = -1
 	var lastVLTime int64 // completion of the last SetVL/SetVS
@@ -101,18 +201,20 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 	scalarReady := func(r isa.Reg) int64 {
 		switch r.Class {
 		case isa.RegA:
-			return aReady[r.Idx]
+			return m.aReady[r.Idx]
 		case isa.RegS:
-			return sReady[r.Idx]
+			return m.sReady[r.Idx]
 		}
 		return 0
 	}
 
+	fu1, fu2, bus, ports := m.fu1, m.fu2, m.bus, m.ports
+	aReady, sReady, vregs := &m.aReady, &m.sReady, &m.vregs
+	readX, writeX := m.readX, m.writeX
+
 	const vstart = int64(isa.VectorStartup)
-	// Per-instruction scratch buffers, hoisted out of the loop so the hot
-	// path performs no per-instruction allocation.
-	var vReadsBuf [4]int
-	var rbuf [4]isa.Reg
+	vReadsBuf := &m.vReadsBuf
+	rbuf := &m.rbuf
 	for i := range t.Insns {
 		in := &t.Insns[i]
 		vl := int64(in.EffVL())
@@ -144,8 +246,8 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 				}
 				vReads = append(vReads, int(r.Idx))
 			case isa.RegM:
-				if maskHasValue {
-					if rdy := maskT.ReadyFor(consumerChainable); rdy > cand {
+				if m.maskHasValue {
+					if rdy := m.maskT.ReadyFor(consumerChainable); rdy > cand {
 						cand = rdy
 					}
 				}
@@ -174,8 +276,8 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 				}
 				vWrite = int(in.Dst.Idx)
 			case isa.RegM:
-				if maskHasValue && maskT.Complete+1 > cand {
-					cand = maskT.Complete + 1
+				if m.maskHasValue && m.maskT.Complete+1 > cand {
+					cand = m.maskT.Complete + 1
 				}
 			}
 		}
@@ -208,7 +310,7 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 				st := &vregs[in.Dst.Idx]
 				st.timing, st.hasValue = tm, true
 			} else if in.Dst.Class == isa.RegM {
-				maskT, maskHasValue = tm, true
+				m.maskT, m.maskHasValue = tm, true
 			} else if in.Dst.Class == isa.RegS {
 				// Reductions deliver a scalar.
 				sReady[in.Dst.Idx] = tm.Complete
@@ -298,6 +400,6 @@ func Run(t *trace.Trace, cfg Config) *metrics.RunStats {
 		MemRequests:            memRequests,
 		VRegPortConflictCycles: ports.ConflictCycles(),
 	}
-	st.States = metrics.StateBreakdown(fu2.Intervals(), fu1.Intervals(), bus.Intervals(), total)
+	st.States = m.bdScratch.StateBreakdown(fu2.Intervals(), fu1.Intervals(), bus.Intervals(), total)
 	return st
 }

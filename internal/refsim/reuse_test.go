@@ -1,0 +1,60 @@
+package refsim
+
+import (
+	"reflect"
+	"testing"
+
+	"oovec/internal/tgen"
+)
+
+// TestMachineReuseMatchesFreshRuns runs several (benchmark, config) pairs
+// through one reused Machine and asserts every measurement matches a fresh
+// one-shot Run — the correctness contract of Reset (mirrors
+// internal/ooosim/reuse_test.go).
+func TestMachineReuseMatchesFreshRuns(t *testing.T) {
+	slow := DefaultConfig()
+	slow.MemLatency = 100
+	fast := DefaultConfig()
+	fast.MemLatency = 1
+	noPenalty := DefaultConfig()
+	noPenalty.TakenBranchPenalty = 0
+	configs := []Config{DefaultConfig(), slow, fast, noPenalty, DefaultConfig()}
+
+	var mm *Machine
+	for _, name := range []string{"swm256", "trfd", "bdna"} {
+		p, _ := tgen.PresetByName(name)
+		p.Insns = 2000
+		tr := tgen.Generate(p)
+		for ci, cfg := range configs {
+			want := Run(tr, cfg)
+			if mm == nil {
+				mm = NewMachine(cfg)
+			} else {
+				mm.Reset(cfg)
+			}
+			got := mm.Run(tr)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s config %d: reused machine stats differ\ngot:  %+v\nwant: %+v",
+					name, ci, got, want)
+			}
+			// Back-to-back Run on a dirty machine must self-reset.
+			if again := mm.Run(tr); !reflect.DeepEqual(again, want) {
+				t.Errorf("%s config %d: second reused run differs", name, ci)
+			}
+		}
+	}
+}
+
+// TestMachineZeroConfigDefaults checks that a reused machine resolves the
+// latency defaults exactly like the package-level Run.
+func TestMachineZeroConfigDefaults(t *testing.T) {
+	p, _ := tgen.PresetByName("hydro2d")
+	p.Insns = 1000
+	tr := tgen.Generate(p)
+
+	want := Run(tr, Config{})
+	got := NewMachine(Config{}).Run(tr)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("zero-config reused run differs\ngot:  %+v\nwant: %+v", got, want)
+	}
+}

@@ -78,6 +78,12 @@ func (m *Monotonic) Allocate(earliest, dur int64) int64 {
 // NextFree returns the end of the last reservation.
 func (m *Monotonic) NextFree() int64 { return m.nextFree }
 
+// Reserve grows the interval storage to hold at least n intervals without
+// further allocation. Simulators call it once per run with a bound derived
+// from the trace length, so a reused allocator's steady state appends never
+// reallocate.
+func (m *Monotonic) Reserve(n int) { m.iv = reserve(m.iv, n) }
+
 // BusyCycles implements Allocator.
 func (m *Monotonic) BusyCycles() int64 { return m.busy }
 
@@ -170,6 +176,20 @@ func (g *Gap) insert(i int, nv Interval) {
 	g.iv = append(g.iv, Interval{})
 	copy(g.iv[i+1:], g.iv[i:])
 	g.iv[i] = nv
+}
+
+// Reserve grows the interval storage to hold at least n intervals without
+// further allocation (see Monotonic.Reserve).
+func (g *Gap) Reserve(n int) { g.iv = reserve(g.iv, n) }
+
+// reserve returns iv with capacity >= n, preserving contents.
+func reserve(iv []Interval, n int) []Interval {
+	if cap(iv) >= n {
+		return iv
+	}
+	grown := make([]Interval, len(iv), n)
+	copy(grown, iv)
+	return grown
 }
 
 // BusyCycles implements Allocator.

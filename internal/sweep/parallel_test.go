@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
 	"oovec/internal/tgen"
 )
 
@@ -35,6 +36,68 @@ func TestGridWorkersDeterministic(t *testing.T) {
 		}
 		if got := render(OOOGridWorkers(tr, base, regs, lats, workers)); got != wantOOO {
 			t.Errorf("OOOGridWorkers(%d) CSV differs from serial", workers)
+		}
+	}
+}
+
+// TestGridPooledMatchesFresh rebuilds both grids with fresh one-shot
+// simulator runs and asserts the pooled-machine grids produce byte-identical
+// CSV — the correctness contract of threading reusable machines through the
+// sweep layer.
+func TestGridPooledMatchesFresh(t *testing.T) {
+	p, _ := tgen.PresetByName("bdna")
+	p.Insns = 1000
+	tr := tgen.Generate(p)
+
+	lats := []int64{1, 50, 100}
+	regs := []int{9, 16, 64}
+	base := ooosim.DefaultConfig()
+
+	render := func(pts []Point) string {
+		var b bytes.Buffer
+		if err := WriteCSV(&b, pts); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return b.String()
+	}
+
+	// Fresh reference grid, constructed without any machine reuse.
+	freshRef := make([]Point, len(lats))
+	for i, lat := range lats {
+		cfg := refsim.DefaultConfig()
+		cfg.MemLatency = lat
+		st := refsim.Run(tr, cfg)
+		freshRef[i] = Point{
+			Program: tr.Name, Machine: "REF", Latency: lat,
+			Cycles: st.Cycles, MemRequests: st.MemRequests,
+			PortIdlePct: st.MemPortIdlePct(),
+		}
+	}
+	freshOOO := make([]Point, 0, len(regs)*len(lats))
+	for _, r := range regs {
+		for _, lat := range lats {
+			cfg := base
+			cfg.PhysVRegs = r
+			cfg.MemLatency = lat
+			st := ooosim.Run(tr, cfg).Stats
+			resolved := cfg.WithDefaults()
+			freshOOO = append(freshOOO, Point{
+				Program: tr.Name, Machine: "OOOVA", Latency: lat,
+				VRegs: r, QueueSlots: resolved.QueueSlots,
+				Commit: resolved.Commit.String(), Elim: resolved.LoadElim.String(),
+				Cycles: st.Cycles, MemRequests: st.MemRequests,
+				PortIdlePct: st.MemPortIdlePct(),
+				Mispredicts: st.Mispredicts, Eliminated: st.EliminatedLoads,
+			})
+		}
+	}
+
+	for _, workers := range []int{1, 2, 0} {
+		if got := render(RefGridWorkers(tr, lats, workers)); got != render(freshRef) {
+			t.Errorf("RefGridWorkers(%d): pooled CSV differs from fresh runs", workers)
+		}
+		if got := render(OOOGridWorkers(tr, base, regs, lats, workers)); got != render(freshOOO) {
+			t.Errorf("OOOGridWorkers(%d): pooled CSV differs from fresh runs", workers)
 		}
 	}
 }

@@ -4,7 +4,10 @@
 //
 // Grid points are independent simulations; the *Workers variants fan them
 // across a worker pool (package engine) while keeping the CSV row order —
-// and therefore the output bytes — identical to a serial run.
+// and therefore the output bytes — identical to a serial run. Each pool
+// worker drives all its grid points through one pooled, resettable machine
+// (ooosim.Machine / refsim.Machine), so an N-point grid constructs machine
+// state once per worker and shape instead of once per point.
 package sweep
 
 import (
@@ -40,13 +43,16 @@ func RefGrid(t *trace.Trace, latencies []int64) []Point {
 }
 
 // RefGridWorkers is RefGrid fanned across `workers` goroutines (<= 0 picks
-// one per core). The returned points are in the same order as RefGrid's.
+// one per core), each reusing one reference machine for all its points.
+// The returned points are in the same order as RefGrid's.
 func RefGridWorkers(t *trace.Trace, latencies []int64, workers int) []Point {
 	pts := make([]Point, len(latencies))
-	engine.Map(workers, len(latencies), func(i int) {
+	newState := func() *refsim.Machine { return refsim.NewMachine(refsim.DefaultConfig()) }
+	engine.MapWith(workers, len(latencies), newState, func(m *refsim.Machine, i int) {
 		cfg := refsim.DefaultConfig()
 		cfg.MemLatency = latencies[i]
-		st := refsim.Run(t, cfg)
+		m.Reset(cfg)
+		st := m.Run(t)
 		pts[i] = Point{
 			Program: t.Name, Machine: "REF", Latency: latencies[i],
 			Cycles: st.Cycles, MemRequests: st.MemRequests,
@@ -63,16 +69,20 @@ func OOOGrid(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64)
 }
 
 // OOOGridWorkers is OOOGrid fanned across `workers` goroutines (<= 0 picks
-// one per core). The returned points are in the same order as OOOGrid's.
+// one per core), each reusing one pooled OOOVA machine (register-count
+// changes revive the matching shape from the machine's shape cache). The
+// returned points are in the same order as OOOGrid's.
 func OOOGridWorkers(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64, workers int) []Point {
 	nl := len(latencies)
 	pts := make([]Point, len(vregs)*nl)
-	engine.Map(workers, len(pts), func(k int) {
+	newState := func() *ooosim.Machine { return ooosim.NewMachine(base) }
+	engine.MapWith(workers, len(pts), newState, func(m *ooosim.Machine, k int) {
 		regs, lat := vregs[k/nl], latencies[k%nl]
 		cfg := base
 		cfg.PhysVRegs = regs
 		cfg.MemLatency = lat
-		st := ooosim.Run(t, cfg).Stats
+		m.Reset(cfg)
+		st := m.Run(t).Stats
 		// Report the exact parameters the simulator resolved, so CSV rows
 		// cannot drift from what actually ran.
 		resolved := cfg.WithDefaults()
