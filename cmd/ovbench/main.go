@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"oovec"
+	"oovec/internal/cli"
 )
 
 func main() {
@@ -26,11 +27,12 @@ func main() {
 		names = flag.String("bench", "", "comma-separated benchmark subset (empty = all ten)")
 		out   = flag.String("out", "", "directory to write per-experiment text files")
 		plot  = flag.Bool("plot", false, "render text charts instead of tables (figures only)")
-		jobs  = flag.Int("j", 0, "parallel simulation workers, each reusing pooled simulator machines (0 = one per core, 1 = serial); output is identical for every value")
 	)
+	common := cli.RegisterCommon(flag.CommandLine)
 	flag.Parse()
+	common.Announce("ovbench")
 
-	opts := oovec.SuiteOpts{Insns: *insns, Parallelism: *jobs}
+	opts := oovec.SuiteOpts{Insns: *insns, Parallelism: common.Jobs}
 	if *names != "" {
 		opts.Names = strings.Split(*names, ",")
 	}

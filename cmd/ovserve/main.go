@@ -1,0 +1,87 @@
+// Command ovserve serves the simulators over HTTP — simulation as a
+// service. Single runs are content-address cached (a repeated identical
+// request performs zero new simulations); design-space sweeps fan across
+// the in-process worker pool and stream NDJSON.
+//
+// Usage:
+//
+//	ovserve                       # listen on :8787
+//	ovserve -addr 127.0.0.1:9000 -j 8 -v
+//
+//	curl localhost:8787/healthz
+//	curl -X POST localhost:8787/v1/sim -d '{"bench":"swm256","config":{"vregs":32}}'
+//	curl -X POST localhost:8787/v1/sweep -d '{"bench":["trfd"],"lats":[1,50,100]}'
+//	curl localhost:8787/metrics
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones get
+// 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oovec/internal/cli"
+	"oovec/internal/server"
+	"oovec/internal/trace"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8787", "listen address")
+		cacheN    = flag.Int("cache", 4096, "result cache capacity (entries)")
+		maxUpload = flag.Int64("max-upload", 32<<20, "maximum request body size in bytes (bounds trace uploads)")
+		maxInsns  = flag.Int("max-insns", 0, "maximum instruction count accepted in uploaded traces (0 = default limit)")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	common := cli.RegisterCommon(flag.CommandLine)
+	flag.Parse()
+
+	srv := server.New(server.Opts{
+		Workers:        common.Jobs,
+		CacheEntries:   *cacheN,
+		MaxUploadBytes: *maxUpload,
+		TraceLimits:    trace.Limits{MaxInsns: *maxInsns},
+	})
+	common.Announce("ovserve")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ovserve: listening on %s (%d sweep workers)\n", *addr, srv.Workers())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ovserve:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ovserve: %s, draining (up to %s)\n", sig, *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ovserve: drain:", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ovserve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

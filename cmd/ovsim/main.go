@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"oovec"
+	"oovec/internal/cli"
 	"oovec/internal/engine"
 )
 
@@ -29,9 +30,10 @@ func main() {
 		commit  = flag.String("commit", "early", "commit policy: early | late (OOOVA)")
 		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
 		insns   = flag.Int("insns", 0, "override benchmark instruction budget")
-		jobs    = flag.Int("j", 0, "parallel workers for the OOOVA-vs-REF comparison (0 = one per core, 1 = serial)")
 	)
+	common := cli.RegisterCommon(flag.CommandLine)
 	flag.Parse()
+	common.Announce("ovsim")
 
 	tr, err := loadTrace(*bench, *traceF, *insns)
 	if err != nil {
@@ -50,31 +52,19 @@ func main() {
 		cfg.PhysVRegs = *vregs
 		cfg.QueueSlots = *queues
 		cfg.MemLatency = *latency
-		switch *commit {
-		case "early":
-			cfg.Commit = oovec.CommitEarly
-		case "late":
-			cfg.Commit = oovec.CommitLate
-		default:
-			fmt.Fprintf(os.Stderr, "ovsim: unknown commit policy %q\n", *commit)
+		if cfg.Commit, err = cli.ParseCommit(*commit); err != nil {
+			fmt.Fprintln(os.Stderr, "ovsim:", err)
 			os.Exit(1)
 		}
-		switch *elim {
-		case "none":
-			cfg.LoadElim = oovec.ElimNone
-		case "sle":
-			cfg.LoadElim = oovec.ElimSLE
-		case "sle+vle", "slevle":
-			cfg.LoadElim = oovec.ElimSLEVLE
-		default:
-			fmt.Fprintf(os.Stderr, "ovsim: unknown elimination mode %q\n", *elim)
+		if cfg.LoadElim, err = cli.ParseElim(*elim); err != nil {
+			fmt.Fprintln(os.Stderr, "ovsim:", err)
 			os.Exit(1)
 		}
 		// The OOOVA run and the reference comparison run are independent;
 		// fan them across the worker pool.
 		var res *oovec.OOOVAResult
 		var ref *oovec.RunStats
-		engine.Map(*jobs, 2, func(i int) {
+		engine.Map(common.Jobs, 2, func(i int) {
 			if i == 0 {
 				res = oovec.RunOOOVA(tr, cfg)
 			} else {

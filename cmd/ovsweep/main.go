@@ -15,10 +15,10 @@ import (
 	"strconv"
 	"strings"
 
-	"oovec"
 	"oovec/internal/cli"
 	"oovec/internal/isa"
 	"oovec/internal/ooosim"
+	"oovec/internal/simcache"
 	"oovec/internal/sweep"
 	"oovec/internal/tgen"
 )
@@ -33,9 +33,10 @@ func main() {
 		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
 		insns   = flag.Int("insns", 0, "instruction budget override")
 		out     = flag.String("o", "", "output CSV path (default stdout)")
-		jobs    = flag.Int("j", 0, "parallel simulation workers, each reusing pooled simulator machines (0 = one per core, 1 = serial); CSV output is identical for every value")
 	)
+	common := cli.RegisterCommon(flag.CommandLine)
 	flag.Parse()
+	common.Announce("ovsweep")
 
 	// Validate the machine selection up front: a typo used to fall through
 	// both grid `if`s and silently produce a header-only CSV with exit 0.
@@ -70,21 +71,11 @@ func main() {
 	}
 
 	base := ooosim.DefaultConfig()
-	switch *commit {
-	case "early":
-	case "late":
-		base.Commit = oovec.CommitLate
-	default:
-		fatal(fmt.Errorf("unknown commit policy %q", *commit))
+	if base.Commit, err = cli.ParseCommit(*commit); err != nil {
+		fatal(err)
 	}
-	switch *elim {
-	case "none":
-	case "sle":
-		base.LoadElim = ooosim.ElimSLE
-	case "sle+vle", "slevle":
-		base.LoadElim = ooosim.ElimSLEVLE
-	default:
-		fatal(fmt.Errorf("unknown elimination mode %q", *elim))
+	if base.LoadElim, err = cli.ParseElim(*elim); err != nil {
+		fatal(err)
 	}
 
 	var pts []sweep.Point
@@ -96,12 +87,14 @@ func main() {
 		if *insns > 0 {
 			p.Insns = *insns
 		}
-		tr := tgen.Generate(p)
+		// The shared trace cache means repeated runs in one process (and the
+		// ovserve daemon) generate each (preset, insns) trace once.
+		tr := simcache.GenerateTrace(p)
 		if *machine == "ref" || *machine == "both" {
-			pts = append(pts, sweep.RefGridWorkers(tr, lats64, *jobs)...)
+			pts = append(pts, sweep.RefGridWorkers(tr, lats64, common.Jobs)...)
 		}
 		if *machine == "ooo" || *machine == "both" {
-			pts = append(pts, sweep.OOOGridWorkers(tr, base, regs, lats64, *jobs)...)
+			pts = append(pts, sweep.OOOGridWorkers(tr, base, regs, lats64, common.Jobs)...)
 		}
 	}
 

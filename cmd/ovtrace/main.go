@@ -5,8 +5,13 @@
 //	ovtrace -list                        # list the ten benchmarks
 //	ovtrace -bench trfd -stats           # Table 2/3 statistics of one trace
 //	ovtrace -bench trfd -o trfd.ovtr     # serialise a trace
+//	ovtrace -bench trfd,bdna -o out/ -j 2  # several benchmarks, generated in parallel
 //	ovtrace -i trfd.ovtr -stats          # statistics of a trace file
 //	ovtrace -bench swm256 -dump -n 40    # disassemble the first 40 instructions
+//
+// With a comma-separated -bench list, generation fans across -j workers and
+// -o names a directory receiving one <name>.ovtr per benchmark; output
+// order follows the list regardless of worker count.
 package main
 
 import (
@@ -14,23 +19,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"oovec"
 	"oovec/internal/cli"
+	"oovec/internal/engine"
 )
 
 func main() {
 	var (
 		list  = flag.Bool("list", false, "list benchmark presets")
-		bench = flag.String("bench", "", "benchmark to generate")
+		bench = flag.String("bench", "", "benchmark(s) to generate (comma-separated)")
 		in    = flag.String("i", "", "read a serialised trace file")
-		out   = flag.String("o", "", "write the trace to a file")
+		out   = flag.String("o", "", "write the trace to a file (a directory with several benchmarks)")
 		stats = flag.Bool("stats", false, "print Table 2/3 statistics")
 		dump  = flag.Bool("dump", false, "disassemble instructions")
 		n     = flag.Int("n", 32, "instructions to dump")
 		insns = flag.Int("insns", 0, "instruction budget override")
 	)
+	common := cli.RegisterCommon(flag.CommandLine)
 	flag.Parse()
+	common.Announce("ovtrace")
 
 	if *list {
 		fmt.Printf("%-8s %-8s %10s %10s %6s %7s  features\n",
@@ -54,52 +64,66 @@ func main() {
 		return
 	}
 
-	tr, err := load(*bench, *in, *insns)
+	traces, err := load(*bench, *in, *insns, common.Jobs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ovtrace:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	if *stats {
-		s := tr.ComputeStats()
-		fmt.Printf("%-24s %s (%s)\n", "program:", tr.Name, tr.Suite)
-		fmt.Printf("%-24s %d\n", "instructions:", tr.Len())
-		fmt.Printf("%-24s %d\n", "scalar instructions:", s.ScalarInsns)
-		fmt.Printf("%-24s %d\n", "vector instructions:", s.VectorInsns)
-		fmt.Printf("%-24s %d\n", "vector operations:", s.VectorOps)
-		fmt.Printf("%-24s %.1f%%\n", "vectorization:", s.PctVectorization())
-		fmt.Printf("%-24s %.1f\n", "average vector length:", s.AvgVL())
-		fmt.Printf("%-24s %d / %d\n", "load/store elements:", s.LoadOps, s.StoreOps)
-		fmt.Printf("%-24s %d / %d\n", "spill load/store:", s.SpillLoadOps, s.SpillStoreOps)
-		fmt.Printf("%-24s %.1f%%\n", "spill traffic:", s.SpillTrafficPct())
-		fmt.Printf("%-24s %d\n", "branches:", s.Branches)
-	}
+	multi := len(traces) > 1
+	for _, tr := range traces {
+		if *stats {
+			s := tr.ComputeStats()
+			fmt.Printf("%-24s %s (%s)\n", "program:", tr.Name, tr.Suite)
+			fmt.Printf("%-24s %d\n", "instructions:", tr.Len())
+			fmt.Printf("%-24s %d\n", "scalar instructions:", s.ScalarInsns)
+			fmt.Printf("%-24s %d\n", "vector instructions:", s.VectorInsns)
+			fmt.Printf("%-24s %d\n", "vector operations:", s.VectorOps)
+			fmt.Printf("%-24s %.1f%%\n", "vectorization:", s.PctVectorization())
+			fmt.Printf("%-24s %.1f\n", "average vector length:", s.AvgVL())
+			fmt.Printf("%-24s %d / %d\n", "load/store elements:", s.LoadOps, s.StoreOps)
+			fmt.Printf("%-24s %d / %d\n", "spill load/store:", s.SpillLoadOps, s.SpillStoreOps)
+			fmt.Printf("%-24s %.1f%%\n", "spill traffic:", s.SpillTrafficPct())
+			fmt.Printf("%-24s %d\n", "branches:", s.Branches)
+			if multi {
+				fmt.Println()
+			}
+		}
 
-	if *dump {
-		limit := *n
-		if limit > tr.Len() {
-			limit = tr.Len()
+		if *dump {
+			limit := *n
+			if limit > tr.Len() {
+				limit = tr.Len()
+			}
+			for i := 0; i < limit; i++ {
+				fmt.Printf("%6d  %s\n", i, tr.At(i).String())
+			}
 		}
-		for i := 0; i < limit; i++ {
-			fmt.Printf("%6d  %s\n", i, tr.At(i).String())
-		}
-	}
 
-	if *out != "" {
-		// cli.WriteFile reports Sync/Close errors: a full disk must not
-		// leave a silently truncated trace behind an exit 0.
-		err := cli.WriteFile(*out, func(w io.Writer) error {
-			return oovec.WriteTrace(w, tr)
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ovtrace:", err)
-			os.Exit(1)
+		if *out != "" {
+			path := *out
+			if multi {
+				if err := os.MkdirAll(*out, 0o755); err != nil {
+					fatal(err)
+				}
+				path = filepath.Join(*out, tr.Name+".ovtr")
+			}
+			// cli.WriteFile reports Sync/Close errors: a full disk must not
+			// leave a silently truncated trace behind an exit 0.
+			err := cli.WriteFile(path, func(w io.Writer) error {
+				return oovec.WriteTrace(w, tr)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d instructions)\n", path, tr.Len())
 		}
-		fmt.Printf("wrote %s (%d instructions)\n", *out, tr.Len())
 	}
 }
 
-func load(bench, in string, insns int) (*oovec.Trace, error) {
+// load resolves the input traces: a trace file, or one or more generated
+// benchmarks. Several benchmarks generate in parallel across -j workers,
+// returned in list order so downstream output is deterministic.
+func load(bench, in string, insns, jobs int) ([]*oovec.Trace, error) {
 	switch {
 	case in != "":
 		f, err := os.Open(in)
@@ -107,17 +131,34 @@ func load(bench, in string, insns int) (*oovec.Trace, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return oovec.ReadTrace(f)
-	case bench != "":
-		if insns > 0 {
-			p, ok := oovec.BenchmarkPresetByName(bench)
-			if !ok {
-				return nil, fmt.Errorf("unknown benchmark %q", bench)
-			}
-			p.Insns = insns
-			return oovec.GeneratePreset(p), nil
+		tr, err := oovec.ReadTrace(f)
+		if err != nil {
+			return nil, err
 		}
-		return oovec.GenerateBenchmark(bench)
+		return []*oovec.Trace{tr}, nil
+	case bench != "":
+		names := strings.Split(bench, ",")
+		presets := make([]oovec.BenchmarkPreset, len(names))
+		for i, name := range names {
+			p, ok := oovec.BenchmarkPresetByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", strings.TrimSpace(name))
+			}
+			if insns > 0 {
+				p.Insns = insns
+			}
+			presets[i] = p
+		}
+		traces := make([]*oovec.Trace, len(presets))
+		engine.Map(jobs, len(presets), func(i int) {
+			traces[i] = oovec.GeneratePreset(presets[i])
+		})
+		return traces, nil
 	}
 	return nil, fmt.Errorf("nothing to do: pass -list, -bench or -i (see -help)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovtrace:", err)
+	os.Exit(1)
 }

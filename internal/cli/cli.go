@@ -2,9 +2,74 @@
 package cli
 
 import (
+	"flag"
+	"fmt"
 	"io"
 	"os"
+
+	"oovec/internal/engine"
+	"oovec/internal/ooosim"
+	"oovec/internal/rob"
 )
+
+// ParseCommit maps the user-facing commit-policy vocabulary onto
+// rob.Policy. Every surface accepting a commit policy — ovsim, ovsweep,
+// the ovserve API — parses through here, so the accepted words and the
+// error message cannot drift between them. The empty string selects the
+// paper's default (early).
+func ParseCommit(s string) (rob.Policy, error) {
+	switch s {
+	case "", "early":
+		return rob.PolicyEarly, nil
+	case "late":
+		return rob.PolicyLate, nil
+	}
+	return rob.PolicyEarly, fmt.Errorf("unknown commit policy %q (early | late)", s)
+}
+
+// ParseElim maps the user-facing load-elimination vocabulary onto
+// ooosim.ElimMode ("slevle" is accepted as a shell-friendly alias for
+// "sle+vle"). The empty string selects none.
+func ParseElim(s string) (ooosim.ElimMode, error) {
+	switch s {
+	case "", "none":
+		return ooosim.ElimNone, nil
+	case "sle":
+		return ooosim.ElimSLE, nil
+	case "sle+vle", "slevle":
+		return ooosim.ElimSLEVLE, nil
+	}
+	return ooosim.ElimNone, fmt.Errorf("unknown elimination mode %q (none | sle | sle+vle)", s)
+}
+
+// Common carries the flags every oovec command shares: the -j worker-count
+// request and -v verbosity. Register them with RegisterCommon so the flag
+// names, help text and resolution logic cannot drift between commands.
+type Common struct {
+	// Jobs is the raw -j value; Workers resolves it.
+	Jobs int
+	// Verbose enables progress output on stderr.
+	Verbose bool
+}
+
+// RegisterCommon registers -j and -v on the flag set (commands pass
+// flag.CommandLine) and returns the destination struct.
+func RegisterCommon(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Jobs, "j", 0, "parallel simulation workers, each reusing pooled simulator machines (0 = one per core, 1 = serial); output is identical for every value")
+	fs.BoolVar(&c.Verbose, "v", false, "verbose: print the resolved worker count to stderr")
+	return c
+}
+
+// Workers resolves the -j request (0 = one worker per core).
+func (c *Common) Workers() int { return engine.Workers(c.Jobs) }
+
+// Announce prints the resolved worker count to stderr under -v.
+func (c *Common) Announce(cmd string) {
+	if c.Verbose {
+		fmt.Fprintf(os.Stderr, "%s: using %d workers\n", cmd, c.Workers())
+	}
+}
 
 // WriteFile creates path, streams content through write, then syncs and
 // closes the file, reporting the first error from any step. A full disk

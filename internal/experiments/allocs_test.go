@@ -39,13 +39,48 @@ func TestPooledSuiteBytesBudget(t *testing.T) {
 	perSuite := (after.TotalAlloc - before.TotalAlloc) / runs
 	perSim := perSuite / sims
 
-	// Each suite regenerates its traces and builds one machine per shape,
-	// so the budget is dominated by those one-time costs spread over the
-	// grid; a fresh-machine-per-simulation regression (~2 MB each) blows
-	// straight through it.
+	// Each suite builds one machine per shape and shares its traces through
+	// the process-wide cache, so the budget is dominated by those one-time
+	// costs spread over the grid; a fresh-machine-per-simulation regression
+	// (~2 MB each) blows straight through it.
 	const budget = 256 << 10 // 256 KiB per simulation
 	if perSim > budget {
 		t.Errorf("pooled suite run allocated %d B per simulation (%d B per suite), want <= %d",
 			perSim, perSuite, budget)
+	}
+}
+
+// TestCrossSuiteTraceCacheBytesBudget guards the cross-suite trace cache:
+// with trace generation shared through simcache, a full-size Fig5 suite
+// after the first allocates well below the 33.6 MB that the pre-cache
+// implementation paid per run (~20 MB of which was per-suite trace
+// regeneration).
+func TestCrossSuiteTraceCacheBytesBudget(t *testing.T) {
+	run := func() {
+		// 8000 insns matches the setup of the measured 33.6 MB/run figure.
+		s := NewSuite(Opts{Insns: 8000, Parallelism: 1})
+		if res := Fig5(s); len(res.Names) == 0 {
+			t.Fatal("empty result")
+		}
+	}
+	run() // first run generates (or finds) the shared traces
+
+	const runs = 2
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	perSuite := (after.TotalAlloc - before.TotalAlloc) / runs
+
+	// The pre-cache cost was 33.6 MB per suite; without per-suite trace
+	// regeneration a warm run must stay clearly below it.
+	t.Logf("warm Fig5 suite: %.1f MB per run", float64(perSuite)/(1<<20))
+	const budget = 24 << 20
+	if perSuite > budget {
+		t.Errorf("warm Fig5 suite allocated %d B, want <= %d (pre-cache cost was ~33.6 MB)",
+			perSuite, budget)
 	}
 }

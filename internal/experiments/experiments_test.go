@@ -250,3 +250,18 @@ func TestSuiteCachesTraces(t *testing.T) {
 		t.Error("reference run not cached")
 	}
 }
+
+// TestTraceSharedAcrossSuites pins the cross-suite trace cache: two suites
+// with the same instruction budget must share one generated trace, and a
+// different budget must not.
+func TestTraceSharedAcrossSuites(t *testing.T) {
+	a := smallSuite().Trace("swm256")
+	b := smallSuite().Trace("swm256")
+	if a != b {
+		t.Error("suites with identical budgets generated separate traces")
+	}
+	other := NewSuite(Opts{Insns: 9000, Names: []string{"swm256"}})
+	if c := other.Trace("swm256"); c == a {
+		t.Error("suites with different budgets shared a trace")
+	}
+}

@@ -1,0 +1,30 @@
+package ooosim
+
+import "sync"
+
+// MachinePool recycles Machines across concurrent borrowers — the checkout/
+// checkin primitive the ovserve request handlers use so a long-lived server
+// amortises machine construction across requests the way the experiment
+// drivers amortise it across a grid. Individual Machines are still
+// single-goroutine objects; the pool only hands each one to one borrower at
+// a time. The zero value is ready to use.
+type MachinePool struct {
+	p sync.Pool
+}
+
+// Get checks out a machine reset to cfg, building one if the pool is empty.
+// Return it with Put when the run is finished.
+func (mp *MachinePool) Get(cfg Config) *Machine {
+	if m, ok := mp.p.Get().(*Machine); ok {
+		m.Reset(cfg)
+		return m
+	}
+	return NewMachine(cfg)
+}
+
+// Put checks a machine back in for a later Get to reuse.
+func (mp *MachinePool) Put(m *Machine) {
+	if m != nil {
+		mp.p.Put(m)
+	}
+}

@@ -62,6 +62,11 @@ type vregState struct {
 	hasValue      bool
 }
 
+// WithDefaults returns the configuration with every defaulted field filled
+// with the value Run would use — the canonical form callers key caches on
+// (mirroring ooosim.Config.WithDefaults).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills the latency fields Run has always defaulted.
 func (c Config) withDefaults() Config {
 	if c.MemLatency <= 0 {

@@ -1,0 +1,275 @@
+// Package server exposes the simulators as a long-lived HTTP/JSON service —
+// the ovserve daemon. Where the CLIs pay trace generation and machine
+// construction per process, the server amortises them across requests: the
+// content-addressed result cache (package simcache) makes a repeated
+// identical request a lookup that performs zero new simulations, concurrent
+// identical requests coalesce onto one simulation (singleflight), machines
+// are checked out of pools per request, and generated traces are shared
+// process-wide.
+//
+// Endpoints:
+//
+//	POST /v1/sim     one simulation (preset or uploaded OVTR trace), cached
+//	POST /v1/sweep   a parameter grid fanned across the engine worker pool,
+//	                 streamed as NDJSON in deterministic order
+//	GET  /v1/presets the benchmark presets
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /metrics    Prometheus-style counters
+//
+// The measurements returned are the exact structs the CLIs print: /v1/sim
+// carries metrics.RunStats, /v1/sweep streams sweep.Point rows in the same
+// order ovsweep writes CSV rows, so service output is byte-convertible to
+// CLI output.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oovec/internal/engine"
+	"oovec/internal/metrics"
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+	"oovec/internal/simcache"
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+// Opts configures a Server.
+type Opts struct {
+	// Workers is the engine worker count sweep grids fan across
+	// (0 = one per core).
+	Workers int
+	// CacheEntries bounds the simulation result cache (0 = 4096).
+	CacheEntries int
+	// MaxUploadBytes bounds request bodies, and therefore uploaded traces
+	// (0 = 32 MiB).
+	MaxUploadBytes int64
+	// TraceLimits bounds uploaded OVTR decoding (zero fields =
+	// trace.DefaultLimits).
+	TraceLimits trace.Limits
+}
+
+// Server is the ovserve request handler set. Construct with New; serve
+// Handler() with net/http.
+type Server struct {
+	workers        int
+	maxUploadBytes int64
+	traceLimits    trace.Limits
+
+	results *simcache.Cache[*metrics.RunStats]
+	oooPool ooosim.MachinePool
+	refPool refsim.MachinePool
+
+	mux   *http.ServeMux
+	start time.Time
+
+	// The drain gate. A WaitGroup cannot express it: Add(1) racing a
+	// pending Wait is a documented WaitGroup misuse (panic), and new
+	// requests keep arriving while Drain waits. draining is additionally
+	// mirrored in an atomic for the cheap read paths (healthz).
+	gateMu   sync.Mutex
+	active   int
+	idle     chan struct{} // non-nil once draining with requests in flight
+	draining atomic.Bool
+
+	// Counters exported by /metrics.
+	nInflight atomic.Int64
+	simsTotal atomic.Int64
+	sweepRows atomic.Int64
+	rejected  atomic.Int64 // requests refused with 503 while draining
+	requests  map[string]*atomic.Int64
+
+	// testHookSweepRow, when non-nil, runs after each sweep row is flushed.
+	// Tests use it to hold a sweep in flight deterministically.
+	testHookSweepRow func(row int)
+}
+
+// routes are the request-counter buckets of /metrics.
+var routes = []string{"/v1/sim", "/v1/sweep", "/v1/presets", "/healthz", "/metrics"}
+
+// New builds a server.
+func New(opts Opts) *Server {
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 4096
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 32 << 20
+	}
+	s := &Server{
+		workers:        opts.Workers,
+		maxUploadBytes: opts.MaxUploadBytes,
+		traceLimits:    opts.TraceLimits,
+		results:        simcache.New[*metrics.RunStats](opts.CacheEntries),
+		mux:            http.NewServeMux(),
+		start:          time.Now(),
+		requests:       make(map[string]*atomic.Int64, len(routes)),
+	}
+	for _, r := range routes {
+		s.requests[r] = &atomic.Int64{}
+	}
+	s.mux.HandleFunc("POST /v1/sim", s.track("/v1/sim", s.handleSim))
+	s.mux.HandleFunc("POST /v1/sweep", s.track("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/presets", s.track("/v1/presets", s.handlePresets))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving all routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the resolved sweep worker count.
+func (s *Server) Workers() int { return engine.Workers(s.workers) }
+
+// Drain puts the server into shutdown: new API requests are refused with
+// 503 while requests already in flight run to completion. It returns once
+// the last in-flight request has finished, or with ctx's error if the
+// context expires first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gateMu.Lock()
+	s.draining.Store(true)
+	if s.active == 0 {
+		s.gateMu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.gateMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enter admits a request into the drain gate; exit releases it, waking
+// Drain when the last in-flight request leaves.
+func (s *Server) enter() bool {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) exit() {
+	s.gateMu.Lock()
+	s.active--
+	if s.active == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.gateMu.Unlock()
+}
+
+// track wraps an API handler with drain gating, in-flight accounting and the
+// per-route request counter.
+func (s *Server) track(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.enter() {
+			s.rejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		defer s.exit()
+		s.requests[route].Add(1)
+		s.nInflight.Add(1)
+		defer s.nInflight.Add(-1)
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests["/healthz"].Add(1)
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, tgen.Presets())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests["/metrics"].Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	uptime := time.Since(s.start).Seconds()
+	sims := s.simsTotal.Load()
+	fmt.Fprintf(w, "ovserve_uptime_seconds %.3f\n", uptime)
+	fmt.Fprintf(w, "ovserve_inflight %d\n", s.nInflight.Load())
+	for _, route := range routes {
+		fmt.Fprintf(w, "ovserve_requests_total{path=%q} %d\n", route, s.requests[route].Load())
+	}
+	fmt.Fprintf(w, "ovserve_requests_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "ovserve_sims_total %d\n", sims)
+	if uptime > 0 {
+		fmt.Fprintf(w, "ovserve_sims_per_second %.3f\n", float64(sims)/uptime)
+	}
+	fmt.Fprintf(w, "ovserve_sweep_rows_total %d\n", s.sweepRows.Load())
+	writeCacheMetrics(w, "result", s.results.Stats())
+	writeCacheMetrics(w, "trace", simcache.TraceStats())
+}
+
+func writeCacheMetrics(w http.ResponseWriter, name string, st simcache.Stats) {
+	fmt.Fprintf(w, "ovserve_%s_cache_hits_total %d\n", name, st.Hits)
+	fmt.Fprintf(w, "ovserve_%s_cache_misses_total %d\n", name, st.Misses)
+	fmt.Fprintf(w, "ovserve_%s_cache_dedups_total %d\n", name, st.Dedups)
+	fmt.Fprintf(w, "ovserve_%s_cache_evictions_total %d\n", name, st.Evictions)
+	fmt.Fprintf(w, "ovserve_%s_cache_entries %d\n", name, st.Entries)
+}
+
+// SimsRun returns the number of simulations executed (not served from
+// cache) since startup — the counter behind ovserve_sims_total.
+func (s *Server) SimsRun() int64 { return s.simsTotal.Load() }
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// decodeBody reads a size-limited JSON body, writing the error response
+// itself on failure: 413 when the body exceeds MaxUploadBytes (the bound
+// protecting the trace upload path), 400 for malformed JSON.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxUploadBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		}
+		return false
+	}
+	return true
+}

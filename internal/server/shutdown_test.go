@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdown holds a sweep in flight, drains the server, and
+// asserts the three shutdown guarantees: new requests get 503 immediately,
+// the in-flight sweep runs to completion with every row delivered, and
+// Drain returns only after it has.
+func TestGracefulShutdown(t *testing.T) {
+	s := newTestServer(t)
+	firstRow := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookSweepRow = func(row int) {
+		if row == 0 {
+			close(firstRow)
+			<-release
+		}
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SweepRequest{
+		Bench: []string{"swm256"},
+		Regs:  []int{12, 16},
+		Lats:  []int64{1, 20},
+		Insns: testInsns,
+	}
+	const wantRows = 4
+	body, _ := json.Marshal(req)
+
+	type sweepResult struct {
+		status int
+		rows   int
+		err    error
+	}
+	sweepDone := make(chan sweepResult, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			sweepDone <- sweepResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		rows := 0
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			rows++
+		}
+		sweepDone <- sweepResult{status: resp.StatusCode, rows: rows, err: sc.Err()}
+	}()
+
+	<-firstRow // the sweep is now provably in flight
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Drain(ctx)
+	}()
+
+	// Drain flips the flag before waiting, so once /healthz reports
+	// draining, new API requests must be refused.
+	waitFor := func(cond func() bool, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(func() bool {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	}, "healthz to report draining")
+
+	resp, err := http.Post(ts.URL+"/v1/sim", "application/json",
+		bytes.NewReader([]byte(`{"bench":"trfd","insns":1000}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("new request during drain got %d, want 503", resp.StatusCode)
+	}
+
+	// Drain must still be blocked on the in-flight sweep.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Drain returned (%v) while a sweep was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+
+	res := <-sweepDone
+	if res.err != nil {
+		t.Fatalf("in-flight sweep failed: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.rows != wantRows {
+		t.Errorf("in-flight sweep finished with status %d and %d rows, want 200 and %d",
+			res.status, res.rows, wantRows)
+	}
+	if err := <-drainDone; err != nil {
+		t.Errorf("Drain returned %v, want nil", err)
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"oovec/internal/cli"
+	"oovec/internal/isa"
+	"oovec/internal/metrics"
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+	"oovec/internal/simcache"
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+// SimRequest is the body of POST /v1/sim. Exactly one of Bench and Trace
+// selects the input: Bench names a built-in preset, Trace carries an
+// uploaded OVTR file (base64 in JSON).
+type SimRequest struct {
+	// Bench is a benchmark preset name (see /v1/presets).
+	Bench string `json:"bench,omitempty"`
+	// Trace is a serialised OVTR trace, base64-encoded.
+	Trace []byte `json:"trace,omitempty"`
+	// Insns overrides the preset's dynamic instruction budget (presets
+	// only; 0 keeps the preset's own budget).
+	Insns int `json:"insns,omitempty"`
+	// Machine selects the simulator: "ooo" (default) or "ref".
+	Machine string `json:"machine,omitempty"`
+	// Config parameterises the machine; zero fields take the paper's
+	// defaults.
+	Config SimConfig `json:"config"`
+}
+
+// SimConfig is the machine configuration surface of the API — the
+// ooosim.Config / refsim.Config fields a request may override. Zero fields
+// keep the paper's defaults, exactly like the CLI flags.
+type SimConfig struct {
+	// VRegs is the physical vector register count (OOOVA; default 16).
+	VRegs int `json:"vregs,omitempty"`
+	// Queues is the instruction queue depth (OOOVA; default 16).
+	Queues int `json:"queues,omitempty"`
+	// ROB is the reorder buffer capacity (OOOVA; default 64).
+	ROB int `json:"rob,omitempty"`
+	// CommitWidth is the maximum commits per cycle (OOOVA; default 4).
+	CommitWidth int `json:"commit_width,omitempty"`
+	// Latency is the main-memory latency in cycles (default 50).
+	Latency int64 `json:"latency,omitempty"`
+	// ScalarLatency is the scalar-reference latency (default 6).
+	ScalarLatency int64 `json:"scalar_latency,omitempty"`
+	// Commit is the commit policy: "early" (default) or "late" (OOOVA).
+	Commit string `json:"commit,omitempty"`
+	// Elim is the load-elimination mode: "none" (default), "sle" or
+	// "sle+vle" (OOOVA).
+	Elim string `json:"elim,omitempty"`
+}
+
+// SimResponse is the body of a successful POST /v1/sim.
+type SimResponse struct {
+	// Key is the content address of this (machine, config, trace) triple in
+	// the result cache.
+	Key string `json:"key"`
+	// Cached reports whether the metrics came from the cache (no new
+	// simulation ran for this request).
+	Cached bool `json:"cached"`
+	// Metrics are the run's measurements — the same struct the CLIs print.
+	Metrics *metrics.RunStats `json:"metrics"`
+}
+
+// toOOO resolves the config surface onto an ooosim.Config, validating the
+// same bounds the CLIs enforce.
+func (c SimConfig) toOOO() (ooosim.Config, error) {
+	if c.VRegs < 0 || c.Queues < 0 || c.ROB < 0 || c.CommitWidth < 0 ||
+		c.Latency < 0 || c.ScalarLatency < 0 {
+		return ooosim.Config{}, errors.New("config values must be non-negative")
+	}
+	if c.VRegs > 0 && c.VRegs <= isa.NumLogicalV {
+		return ooosim.Config{}, fmt.Errorf("vregs %d: the OOOVA needs more than %d physical vector registers", c.VRegs, isa.NumLogicalV)
+	}
+	cfg := ooosim.Config{
+		PhysVRegs:        c.VRegs,
+		QueueSlots:       c.Queues,
+		ROBSize:          c.ROB,
+		CommitWidth:      c.CommitWidth,
+		MemLatency:       c.Latency,
+		ScalarMemLatency: c.ScalarLatency,
+	}
+	var err error
+	if cfg.Commit, err = cli.ParseCommit(c.Commit); err != nil {
+		return ooosim.Config{}, err
+	}
+	if cfg.LoadElim, err = cli.ParseElim(c.Elim); err != nil {
+		return ooosim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// toRef resolves the config surface onto a refsim.Config. OOOVA-only fields
+// must be absent.
+func (c SimConfig) toRef() (refsim.Config, error) {
+	if c.VRegs != 0 || c.Queues != 0 || c.ROB != 0 || c.CommitWidth != 0 ||
+		c.Commit != "" || (c.Elim != "" && c.Elim != "none") {
+		return refsim.Config{}, errors.New("vregs/queues/rob/commit_width/commit/elim do not apply to the reference machine")
+	}
+	if c.Latency < 0 || c.ScalarLatency < 0 {
+		return refsim.Config{}, errors.New("config values must be non-negative")
+	}
+	cfg := refsim.DefaultConfig()
+	if c.Latency > 0 {
+		cfg.MemLatency = c.Latency
+	}
+	if c.ScalarLatency > 0 {
+		cfg.ScalarMemLatency = c.ScalarLatency
+	}
+	return cfg, nil
+}
+
+// loadTrace resolves the request's input trace into a content key and a
+// lazy getter. The getter defers preset generation into the result-cache
+// fill, so a result-cache hit is a pure lookup even when the shared trace
+// cache has since evicted the trace. Uploads decode eagerly — the bytes
+// must be validated and digested either way.
+func (s *Server) loadTrace(req *SimRequest) (func() *trace.Trace, string, error) {
+	switch {
+	case req.Bench != "" && len(req.Trace) > 0:
+		return nil, "", errors.New("bench and trace are mutually exclusive")
+	case req.Bench != "":
+		p, ok := tgen.PresetByName(req.Bench)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown benchmark %q (see /v1/presets)", req.Bench)
+		}
+		if req.Insns < 0 {
+			return nil, "", errors.New("insns must be non-negative")
+		}
+		if req.Insns > 0 {
+			p.Insns = req.Insns
+		}
+		// The preset is the content: generation is deterministic, so the
+		// canonical preset string addresses the same trace bytes a digest
+		// would, without generating first.
+		return func() *trace.Trace { return simcache.GenerateTrace(p) }, simcache.PresetKey(p), nil
+	case len(req.Trace) > 0:
+		t, err := trace.ReadLimited(bytes.NewReader(req.Trace), s.traceLimits)
+		if err != nil {
+			return nil, "", fmt.Errorf("decoding uploaded trace: %w", err)
+		}
+		return func() *trace.Trace { return t }, "ovtr:" + trace.Digest(t), nil
+	}
+	return nil, "", errors.New("one of bench or trace is required")
+}
+
+// resultKey content-addresses one simulation: the canonical resolved
+// configuration (which carries the machine kind as its prefix) plus the
+// trace content key.
+func resultKey(canonicalCfg, traceKey string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sim\x00%s\x00%s", canonicalCfg, traceKey)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+
+	getTrace, traceKey, err := s.loadTrace(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve the machine + configuration into a runner and the canonical
+	// configuration string that keys the result cache. Keying on the
+	// resolved (WithDefaults) form means explicit defaults and omitted
+	// fields share one cache entry.
+	var canonical string
+	var run func() *metrics.RunStats
+	switch req.Machine {
+	case "", "ooo":
+		cfg, err := req.Config.toOOO()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		canonical = fmt.Sprintf("ooo:%+v", cfg.WithDefaults())
+		run = func() *metrics.RunStats {
+			m := s.oooPool.Get(cfg)
+			defer s.oooPool.Put(m)
+			return m.Run(getTrace()).Stats
+		}
+	case "ref":
+		cfg, err := req.Config.toRef()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		canonical = fmt.Sprintf("ref:%+v", cfg.WithDefaults())
+		run = func() *metrics.RunStats {
+			m := s.refPool.Get(cfg)
+			defer s.refPool.Put(m)
+			return m.Run(getTrace())
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown machine %q (ooo | ref)", req.Machine)
+		return
+	}
+
+	key := resultKey(canonical, traceKey)
+	st, cached := s.results.Do(key, func() *metrics.RunStats {
+		s.simsTotal.Add(1)
+		return run()
+	})
+	writeJSON(w, http.StatusOK, SimResponse{Key: key, Cached: cached, Metrics: st})
+}

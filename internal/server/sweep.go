@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"oovec/internal/cli"
+	"oovec/internal/isa"
+	"oovec/internal/ooosim"
+	"oovec/internal/simcache"
+	"oovec/internal/sweep"
+	"oovec/internal/tgen"
+)
+
+// SweepRequest is the body of POST /v1/sweep: the grid surface of the
+// ovsweep CLI. Results stream back as NDJSON, one sweep.Point per line, in
+// exactly the row order ovsweep writes CSV — benchmarks in request order,
+// REF latitudes before OOOVA (machine "both"), registers outer / latencies
+// inner — regardless of how many workers the grid fans across.
+type SweepRequest struct {
+	// Bench lists benchmark preset names; every point of the grid runs on
+	// every benchmark, in this order.
+	Bench []string `json:"bench"`
+	// Machine selects the grid: "ooo" (default), "ref" or "both".
+	Machine string `json:"machine,omitempty"`
+	// Regs are the physical vector register counts of the OOOVA grid
+	// (default 9,12,16,32,64).
+	Regs []int `json:"regs,omitempty"`
+	// Lats are the memory latencies (default 1,50,100).
+	Lats []int64 `json:"lats,omitempty"`
+	// Commit and Elim fix the OOOVA commit policy and load-elimination mode
+	// for the whole grid ("early"/"late", "none"/"sle"/"sle+vle").
+	Commit string `json:"commit,omitempty"`
+	Elim   string `json:"elim,omitempty"`
+	// Insns overrides the per-benchmark instruction budget.
+	Insns int `json:"insns,omitempty"`
+}
+
+// sweepDefaults mirrors the ovsweep flag defaults.
+var (
+	sweepDefaultRegs = []int{9, 12, 16, 32, 64}
+	sweepDefaultLats = []int64{1, 50, 100}
+)
+
+// resolve validates the request and fills defaults.
+func (req *SweepRequest) resolve() (base ooosim.Config, err error) {
+	if len(req.Bench) == 0 {
+		return base, errors.New("bench is required")
+	}
+	switch req.Machine {
+	case "":
+		req.Machine = "ooo"
+	case "ref", "ooo", "both":
+	default:
+		return base, fmt.Errorf("unknown machine %q (ref | ooo | both)", req.Machine)
+	}
+	if len(req.Regs) == 0 {
+		req.Regs = sweepDefaultRegs
+	}
+	if len(req.Lats) == 0 {
+		req.Lats = sweepDefaultLats
+	}
+	if req.Machine != "ref" {
+		for _, r := range req.Regs {
+			if r <= isa.NumLogicalV {
+				return base, fmt.Errorf("regs %d: the OOOVA needs more than %d physical vector registers", r, isa.NumLogicalV)
+			}
+		}
+	}
+	for _, l := range req.Lats {
+		if l <= 0 {
+			return base, fmt.Errorf("lats values must be positive, got %d", l)
+		}
+	}
+	if req.Insns < 0 {
+		return base, errors.New("insns must be non-negative")
+	}
+	base = ooosim.DefaultConfig()
+	if base.Commit, err = cli.ParseCommit(req.Commit); err != nil {
+		return base, err
+	}
+	if base.LoadElim, err = cli.ParseElim(req.Elim); err != nil {
+		return base, err
+	}
+	return base, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	base, err := req.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Resolve every preset before streaming: an unknown benchmark must be a
+	// clean 400, not a mid-stream abort.
+	presets := make([]tgen.Preset, len(req.Bench))
+	for i, name := range req.Bench {
+		p, ok := tgen.PresetByName(name)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown benchmark %q (see /v1/presets)", name)
+			return
+		}
+		if req.Insns > 0 {
+			p.Insns = req.Insns
+		}
+		presets[i] = p
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	row := 0
+	emit := func(pts []sweep.Point) error {
+		for i := range pts {
+			if err := enc.Encode(&pts[i]); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			s.sweepRows.Add(1)
+			if s.testHookSweepRow != nil {
+				s.testHookSweepRow(row)
+			}
+			row++
+		}
+		return nil
+	}
+	// Per benchmark: generate (or share) the trace, fan the grid across the
+	// engine pool, stream the rows. Grid points always simulate — the batch
+	// endpoint trades the result cache for pooled-worker throughput — so
+	// every point counts toward ovserve_sims_total.
+	for _, p := range presets {
+		tr := simcache.GenerateTrace(p)
+		if req.Machine == "ref" || req.Machine == "both" {
+			pts := sweep.RefGridWorkers(tr, req.Lats, s.workers)
+			s.simsTotal.Add(int64(len(pts)))
+			if err := emit(pts); err != nil {
+				return // client went away; nothing useful left to do
+			}
+		}
+		if req.Machine == "ooo" || req.Machine == "both" {
+			pts := sweep.OOOGridWorkers(tr, base, req.Regs, req.Lats, s.workers)
+			s.simsTotal.Add(int64(len(pts)))
+			if err := emit(pts); err != nil {
+				return
+			}
+		}
+	}
+}

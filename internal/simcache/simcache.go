@@ -1,0 +1,213 @@
+// Package simcache provides the bounded, sharded, content-addressed caches
+// behind the ovserve daemon and the cross-suite trace cache: simulation
+// results keyed by (canonical configuration, trace digest) and generated
+// traces keyed by canonical preset.
+//
+// The cache is a singleflight cache: concurrent Do calls for the same key
+// run the fill function exactly once, with every other caller blocking until
+// the value is ready. Values must be immutable once published (simulation
+// results and generated traces are never mutated), because hits hand out the
+// shared value without copying.
+//
+// Capacity is bounded per shard with LRU eviction, so a long-lived server
+// sweeping a large design space cannot grow without limit; an evicted entry
+// that is still referenced by an in-flight response stays valid (values are
+// immutable), it just stops being findable.
+package simcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount spreads keys over independently locked shards so concurrent
+// request handlers do not serialise on one mutex.
+const shardCount = 8
+
+// Cache is a bounded, sharded, singleflight key/value cache. The zero value
+// is not usable; construct with New.
+type Cache[V any] struct {
+	shards   [shardCount]shard[V]
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedups    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	lru     *list.List // front = most recently used; holds only ready entries
+}
+
+type entry[V any] struct {
+	key   string
+	ready chan struct{} // closed once val (or panicVal) is set
+	val   V
+	// panicVal records a fill panic so waiters re-raise the true cause;
+	// the entry itself is removed from the map so later calls retry.
+	panicVal any
+	failed   bool
+	elem     *list.Element // nil until ready, and again after eviction
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls served from a ready entry, including calls that
+	// blocked on an in-flight fill (those are also counted in Dedups).
+	Hits int64
+	// Misses counts Do calls that ran their fill function.
+	Misses int64
+	// Dedups counts Do calls coalesced onto another caller's in-flight fill.
+	Dedups int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Entries is the current number of cached (or in-flight) entries.
+	Entries int
+}
+
+// New builds a cache bounded to roughly `capacity` ready entries (split
+// across shards, at least one per shard). capacity <= 0 selects a small
+// default.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	per := (capacity + shardCount - 1) / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache[V]{perShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry[V])
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// fnv32a hashes the key for shard selection.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[fnv32a(key)%shardCount]
+}
+
+// Get returns the value for key if it is ready, without filling. It never
+// blocks on an in-flight fill.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		select {
+		case <-e.ready:
+			sh.lru.MoveToFront(e.elem)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, true
+		default:
+		}
+	}
+	sh.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// Do returns the value for key, running fill to produce it on a miss. The
+// second result reports whether the value came from the cache: concurrent
+// calls for the same key run fill exactly once — the filling caller gets
+// (v, false) and every coalesced waiter gets (v, true).
+//
+// A panic inside fill is re-raised on the filling caller and on every
+// waiter, and the key is forgotten so a later Do retries.
+func (c *Cache[V]) Do(key string, fill func() V) (V, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		waited := false
+		select {
+		case <-e.ready:
+			sh.lru.MoveToFront(e.elem)
+		default:
+			waited = true
+		}
+		sh.mu.Unlock()
+		if waited {
+			c.dedups.Add(1)
+			<-e.ready
+		}
+		if e.failed {
+			panic(e.panicVal)
+		}
+		c.hits.Add(1)
+		return e.val, true
+	}
+	e := &entry[V]{key: key, ready: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	defer func() {
+		if r := recover(); r != nil {
+			e.failed = true
+			e.panicVal = r
+			sh.mu.Lock()
+			delete(sh.entries, key)
+			sh.mu.Unlock()
+			close(e.ready)
+			panic(r)
+		}
+	}()
+	e.val = fill()
+
+	sh.mu.Lock()
+	e.elem = sh.lru.PushFront(e)
+	for sh.lru.Len() > c.perShard {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		old := back.Value.(*entry[V])
+		old.elem = nil
+		delete(sh.entries, old.key)
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+	close(e.ready)
+	return e.val, false
+}
+
+// Len returns the current number of entries (ready or in flight).
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Dedups:    c.dedups.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

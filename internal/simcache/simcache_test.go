@@ -1,0 +1,139 @@
+package simcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oovec/internal/tgen"
+)
+
+func TestDoFillsOnceAndHits(t *testing.T) {
+	c := New[int](16)
+	calls := 0
+	v, cached := c.Do("k", func() int { calls++; return 42 })
+	if v != 42 || cached {
+		t.Fatalf("first Do = (%d, %v), want (42, false)", v, cached)
+	}
+	v, cached = c.Do("k", func() int { calls++; return 0 })
+	if v != 42 || !cached {
+		t.Fatalf("second Do = (%d, %v), want (42, true)", v, cached)
+	}
+	if calls != 1 {
+		t.Fatalf("fill ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestGetNeverFills(t *testing.T) {
+	c := New[string](16)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get on empty cache reported a hit")
+	}
+	c.Do("k", func() string { return "v" })
+	if v, ok := c.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get = (%q, %v), want (v, true)", v, ok)
+	}
+}
+
+// TestSingleflightRace drives many goroutines at the same key and asserts
+// the fill runs exactly once while everyone observes the same value. Run
+// with -race, this is the cache-dedup guarantee the server relies on.
+func TestSingleflightRace(t *testing.T) {
+	c := New[int](16)
+	var fills atomic.Int64
+	release := make(chan struct{})
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	hits := make([]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], hits[g] = c.Do("hot", func() int {
+				fills.Add(1)
+				<-release // hold the fill open so the others must coalesce
+				return 7
+			})
+		}(g)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times under contention, want 1", n)
+	}
+	fillers := 0
+	for g := 0; g < goroutines; g++ {
+		if results[g] != 7 {
+			t.Fatalf("goroutine %d got %d, want 7", g, results[g])
+		}
+		if !hits[g] {
+			fillers++
+		}
+	}
+	if fillers != 1 {
+		t.Fatalf("%d goroutines reported cached=false, want exactly 1", fillers)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity 8 = one entry per shard: a second distinct key landing in a
+	// shard must evict the first.
+	c := New[int](shardCount)
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		c.Do(fmt.Sprintf("k%d", i), func() int { return i })
+	}
+	st := c.Stats()
+	if st.Entries > shardCount {
+		t.Fatalf("cache holds %d entries, bound is %d", st.Entries, shardCount)
+	}
+	if st.Evictions != keys-int64(st.Entries) {
+		t.Fatalf("evictions = %d with %d entries, want %d", st.Evictions, st.Entries, keys-st.Entries)
+	}
+}
+
+func TestFillPanicRetries(t *testing.T) {
+	c := New[int](16)
+	mustPanic := func() (r any) {
+		defer func() { r = recover() }()
+		c.Do("bad", func() int { panic("boom") })
+		return nil
+	}
+	if r := mustPanic(); r != "boom" {
+		t.Fatalf("Do re-raised %v, want boom", r)
+	}
+	// The failed key is forgotten: a later Do runs its fill.
+	v, cached := c.Do("bad", func() int { return 9 })
+	if v != 9 || cached {
+		t.Fatalf("retry Do = (%d, %v), want (9, false)", v, cached)
+	}
+}
+
+func TestGenerateTraceSharesAcrossCallers(t *testing.T) {
+	p, ok := tgen.PresetByName("swm256")
+	if !ok {
+		t.Fatal("missing preset")
+	}
+	p.Insns = 500
+	a := GenerateTrace(p)
+	b, cached := GenerateTraceCached(p)
+	if a != b {
+		t.Fatal("same preset generated two distinct traces")
+	}
+	if !cached {
+		t.Fatal("second generation was not a cache hit")
+	}
+	// A different budget is a different trace.
+	p.Insns = 600
+	if c := GenerateTrace(p); c == a {
+		t.Fatal("different insn budgets shared a trace")
+	}
+}

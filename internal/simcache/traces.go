@@ -1,0 +1,45 @@
+package simcache
+
+import (
+	"fmt"
+
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+// sharedTraces is the process-wide trace cache. Trace generation is
+// deterministic and traces are immutable once built, so every consumer of
+// the same (preset, insns) — experiment suites, sweep grids, ovserve
+// request handlers — can share one copy. On a full experiment run trace
+// generation is ~20 MB of the 33.6 MB suite footprint; sharing makes it a
+// one-time cost.
+//
+// The capacity covers the ten paper benchmarks at a few instruction budgets
+// plus ad-hoc presets before LRU eviction kicks in.
+var sharedTraces = New[*trace.Trace](64)
+
+// PresetKey renders the canonical cache key of a preset: every field
+// participates, so two presets generate through one entry exactly when they
+// would generate identical traces.
+func PresetKey(p tgen.Preset) string {
+	return fmt.Sprintf("tgen:%+v", p)
+}
+
+// GenerateTrace returns the trace for a preset, generating it at most once
+// process-wide (concurrent callers for the same preset coalesce onto one
+// generation). The returned trace is shared and must not be mutated.
+func GenerateTrace(p tgen.Preset) *trace.Trace {
+	t, _ := GenerateTraceCached(p)
+	return t
+}
+
+// GenerateTraceCached is GenerateTrace, also reporting whether the trace
+// came from the cache.
+func GenerateTraceCached(p tgen.Preset) (*trace.Trace, bool) {
+	return sharedTraces.Do(PresetKey(p), func() *trace.Trace {
+		return tgen.Generate(p)
+	})
+}
+
+// TraceStats snapshots the shared trace cache counters.
+func TraceStats() Stats { return sharedTraces.Stats() }

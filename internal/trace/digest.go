@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns a content hash of the trace: the SHA-256 of its canonical
+// binary serialisation (the Write format), hex-encoded and truncated to 128
+// bits. Two traces share a digest exactly when they serialise identically,
+// which makes the digest a safe content-address for the simulation result
+// cache — equal digests mean equal simulator input.
+func Digest(t *Trace) string {
+	h := sha256.New()
+	// Write into a hash never fails; the error path exists for real writers.
+	if err := Write(h, t); err != nil {
+		panic("trace: digesting: " + err.Error())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"oovec/internal/isa"
+)
+
+// fuzzLimits keeps the fuzzer's allocations small so a lying header cannot
+// slow the run down; the bounds logic under test is identical at any limit.
+var fuzzLimits = Limits{MaxInsns: 1 << 12, MaxNameLen: 1 << 8}
+
+// seedTrace builds a small well-formed trace covering every record shape:
+// scalar, vector, memory (address), branch (taken) and spill instructions.
+func seedTrace() *Trace {
+	b := NewBuilder("fuzzseed")
+	b.SetVL(64, isa.A(1))
+	b.VLoad(isa.V(0), 0x1000)
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(0))
+	b.Scalar(isa.OpSAdd, isa.S(1), isa.S(0), isa.S(0))
+	b.SpillStore(isa.V(1), 0x8000)
+	b.Branch(0x40, true)
+	return b.Build()
+}
+
+// FuzzTraceRead asserts the OVTR decoder never panics or over-allocates on
+// arbitrary input, and that any trace it does accept round-trips through
+// Write/Read unchanged.
+func FuzzTraceRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, seedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])               // truncated mid-record
+	f.Add([]byte("OVTR"))                     // header only
+	f.Add([]byte("XXXX"))                     // bad magic
+	f.Add([]byte{})                           // empty
+	f.Add([]byte("OVTR\x01\xff\xff\xff\x7f")) // huge claimed name length
+	// Valid header claiming 2^62 instructions with no payload: the decoder
+	// must reject the count, not allocate for it.
+	f.Add([]byte("OVTR\x01\x00\x00\x80\x80\x80\x80\x80\x80\x80\x80\x40"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadLimited(bytes.NewReader(data), fuzzLimits)
+		if err != nil {
+			return // rejected input is the expected outcome for junk
+		}
+		if len(tr.Insns) > fuzzLimits.MaxInsns {
+			t.Fatalf("decoded %d instructions past the %d limit", len(tr.Insns), fuzzLimits.MaxInsns)
+		}
+		// Accepted traces must round-trip: decode(encode(tr)) == tr.
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := ReadLimited(bytes.NewReader(out.Bytes()), fuzzLimits)
+		if err != nil {
+			t.Fatalf("re-decoding accepted trace: %v", err)
+		}
+		if tr.Name != tr2.Name || tr.Suite != tr2.Suite || len(tr.Insns) != len(tr2.Insns) {
+			t.Fatalf("round-trip changed header/len: %q/%q/%d vs %q/%q/%d",
+				tr.Name, tr.Suite, len(tr.Insns), tr2.Name, tr2.Suite, len(tr2.Insns))
+		}
+		for i := range tr.Insns {
+			if tr.Insns[i] != tr2.Insns[i] {
+				t.Fatalf("round-trip changed insn %d: %+v vs %+v", i, tr.Insns[i], tr2.Insns[i])
+			}
+		}
+	})
+}

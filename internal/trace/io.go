@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"oovec/internal/isa"
 )
@@ -141,8 +142,52 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read deserialises a trace written by Write.
+// Limits bound what Read will decode. The OVTR header is length-prefixed,
+// so a corrupt or hostile input can claim arbitrarily large counts; the
+// limits turn those into errors before any allocation matches the claim.
+type Limits struct {
+	// MaxInsns is the maximum instruction count accepted (<= 0 selects the
+	// DefaultLimits value).
+	MaxInsns int
+	// MaxNameLen is the maximum byte length of the name and suite strings
+	// (<= 0 selects the DefaultLimits value).
+	MaxNameLen int
+}
+
+// DefaultLimits are the bounds Read applies: generous enough for every
+// trace this repository generates (full-size benchmarks are ~100k dynamic
+// instructions), far below an allocation that could hurt the process.
+func DefaultLimits() Limits {
+	return Limits{MaxInsns: 1 << 26, MaxNameLen: 1 << 16}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxInsns <= 0 {
+		l.MaxInsns = d.MaxInsns
+	}
+	if l.MaxNameLen <= 0 {
+		l.MaxNameLen = d.MaxNameLen
+	}
+	return l
+}
+
+// Read deserialises a trace written by Write, under DefaultLimits.
 func Read(r io.Reader) (*Trace, error) {
+	return ReadLimited(r, DefaultLimits())
+}
+
+// maxPrealloc caps the instruction capacity allocated up front from the
+// header's claimed count. A count within limits but larger than the actual
+// payload (a truncated or lying header) costs at most this many slots
+// before the decode loop hits the real EOF; honest traces beyond it just
+// grow by append.
+const maxPrealloc = 1 << 16
+
+// ReadLimited deserialises a trace written by Write, enforcing the given
+// bounds on untrusted input (the ovserve upload path).
+func ReadLimited(r io.Reader, lim Limits) (*Trace, error) {
+	lim = lim.withDefaults()
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -163,8 +208,8 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return "", err
 		}
-		if n > 1<<20 {
-			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+		if n > uint64(lim.MaxNameLen) {
+			return "", fmt.Errorf("trace: string length %d exceeds limit %d", n, lim.MaxNameLen)
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(br, b); err != nil {
@@ -183,10 +228,14 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
-	if count > 1<<30 {
-		return nil, fmt.Errorf("trace: unreasonable instruction count %d", count)
+	if count > uint64(lim.MaxInsns) {
+		return nil, fmt.Errorf("trace: instruction count %d exceeds limit %d", count, lim.MaxInsns)
 	}
-	t.Insns = make([]isa.Instruction, 0, count)
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	t.Insns = make([]isa.Instruction, 0, prealloc)
 	prevPC := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		op, err := br.ReadByte()
@@ -205,36 +254,59 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		in.PC = uint64(int64(prevPC) + dpc)
 		prevPC = in.PC
-		if flags&flagDst != 0 {
+		// A flagged operand must encode a real register: Write only sets
+		// the flag for Class != RegNone, so a none-class operand byte is a
+		// non-canonical encoding that would not survive a round trip (and
+		// would collide distinct byte streams onto one digest).
+		getReg := func() (isa.Reg, error) {
 			b, err := br.ReadByte()
 			if err != nil {
-				return nil, err
+				return isa.Reg{}, err
 			}
-			in.Dst = unpackReg(b)
+			reg := unpackReg(b)
+			if reg.Class == isa.RegNone {
+				return isa.Reg{}, fmt.Errorf("flagged operand encodes no register class")
+			}
+			return reg, nil
+		}
+		if flags&flagDst != 0 {
+			if in.Dst, err = getReg(); err != nil {
+				return nil, fmt.Errorf("trace: insn %d dst: %w", i, err)
+			}
 		}
 		if flags&flagSrc1 != 0 {
-			b, err := br.ReadByte()
-			if err != nil {
-				return nil, err
+			if in.Src1, err = getReg(); err != nil {
+				return nil, fmt.Errorf("trace: insn %d src1: %w", i, err)
 			}
-			in.Src1 = unpackReg(b)
 		}
 		if flags&flagSrc2 != 0 {
-			b, err := br.ReadByte()
-			if err != nil {
-				return nil, err
+			if in.Src2, err = getReg(); err != nil {
+				return nil, fmt.Errorf("trace: insn %d src2: %w", i, err)
 			}
-			in.Src2 = unpackReg(b)
+		}
+		if flags&flagVec != 0 && !in.Op.IsVector() {
+			// Write derives the flag from the opcode; a scalar op carrying
+			// vector fields would silently drop them on re-encode.
+			return nil, fmt.Errorf("trace: insn %d: scalar op %s carries vector fields", i, in.Op)
 		}
 		if flags&flagVec != 0 {
 			vl, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
 			}
+			// Bounds-check before narrowing: silent truncation would let
+			// byte-distinct inputs (vl and vl+65536) collapse onto one
+			// decoded trace — and one digest.
+			if vl > uint64(isa.MaxVL) {
+				return nil, fmt.Errorf("trace: insn %d: VL %d exceeds the architectural maximum %d", i, vl, isa.MaxVL)
+			}
 			in.VL = uint16(vl)
 			vs, err := binary.ReadVarint(br)
 			if err != nil {
 				return nil, err
+			}
+			if vs < math.MinInt32 || vs > math.MaxInt32 {
+				return nil, fmt.Errorf("trace: insn %d: stride %d overflows int32", i, vs)
 			}
 			in.VS = int32(vs)
 		}

@@ -38,6 +38,7 @@ package oovec
 
 import (
 	"fmt"
+	"io"
 
 	"oovec/internal/experiments"
 	"oovec/internal/isa"
@@ -120,6 +121,19 @@ var (
 	WriteTrace = trace.Write
 	ReadTrace  = trace.Read
 )
+
+// TraceLimits bound what ReadTraceLimited will decode from untrusted input.
+type TraceLimits = trace.Limits
+
+// ReadTraceLimited deserialises a trace with explicit decode bounds (the
+// ovserve upload path uses this; ReadTrace applies generous defaults).
+func ReadTraceLimited(r io.Reader, lim TraceLimits) (*Trace, error) {
+	return trace.ReadLimited(r, lim)
+}
+
+// TraceDigest returns the content hash of a trace's canonical binary form —
+// the content address the ovserve result cache keys uploaded traces by.
+func TraceDigest(t *Trace) string { return trace.Digest(t) }
 
 // ---------------------------------------------------------------- benchmarks
 
