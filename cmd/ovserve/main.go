@@ -1,20 +1,25 @@
 // Command ovserve serves the simulators over HTTP — simulation as a
-// service. Single runs are content-address cached (a repeated identical
-// request performs zero new simulations); design-space sweeps fan across
-// the in-process worker pool and stream NDJSON.
+// service. Single runs and sweep grid points are content-address cached (a
+// repeated identical request performs zero new simulations); design-space
+// sweeps fan across the in-process worker pool and stream NDJSON.
 //
 // Usage:
 //
 //	ovserve                       # listen on :8787
 //	ovserve -addr 127.0.0.1:9000 -j 8 -v
+//	ovserve -auth-token $TOKEN -timeout 2m -max-inflight 32
 //
 //	curl localhost:8787/healthz
 //	curl -X POST localhost:8787/v1/sim -d '{"bench":"swm256","config":{"vregs":32}}'
 //	curl -X POST localhost:8787/v1/sweep -d '{"bench":["trfd"],"lats":[1,50,100]}'
 //	curl localhost:8787/metrics
 //
-// SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones get
-// 503.
+// Production hardening (see docs/API.md): -auth-token (or the OVSERVE_TOKEN
+// environment variable) requires a bearer token on every route but
+// /healthz; -timeout bounds each request, observed between sweep grid
+// points; -max-inflight bounds concurrently executing simulation requests,
+// refusing the excess with 429 + Retry-After. SIGINT/SIGTERM drain
+// gracefully: in-flight requests finish, new ones get 503.
 package main
 
 import (
@@ -40,17 +45,29 @@ func main() {
 		maxUpload = flag.Int64("max-upload", 32<<20, "maximum request body size in bytes (bounds trace uploads)")
 		maxInsns  = flag.Int("max-insns", 0, "maximum instruction count accepted in uploaded traces (0 = default limit)")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		timeout   = flag.Duration("timeout", 0, "per-request deadline; sweeps observe it between grid points (0 = none)")
+		authToken = flag.String("auth-token", "", "require 'Authorization: Bearer <token>' on every route but /healthz (default $OVSERVE_TOKEN)")
+		inflight  = flag.Int("max-inflight", 0, "maximum concurrently executing simulation requests; excess gets 429 (0 = unlimited)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
 	flag.Parse()
+	if *authToken == "" {
+		*authToken = os.Getenv("OVSERVE_TOKEN")
+	}
 
 	srv := server.New(server.Opts{
 		Workers:        common.Jobs,
 		CacheEntries:   *cacheN,
 		MaxUploadBytes: *maxUpload,
 		TraceLimits:    trace.Limits{MaxInsns: *maxInsns},
+		Timeout:        *timeout,
+		AuthToken:      *authToken,
+		MaxInflight:    *inflight,
 	})
 	common.Announce("ovserve")
+	if common.Verbose && *authToken != "" {
+		fmt.Fprintln(os.Stderr, "ovserve: bearer-token auth enabled (/healthz exempt)")
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,6 +1,12 @@
 // Command ovsweep runs parameter grids over the simulators and writes the
 // raw measurements as CSV for downstream plotting.
 //
+// Grid points run through the same content-addressed result cache as the
+// ovserve daemon (internal/simcache), so duplicate points — overlapping
+// grids, repeated benchmarks, machine "both" sharing a REF latitude — are
+// simulated once per process. SIGINT/SIGTERM cancel the grid between
+// simulations and exit non-zero without writing a truncated CSV.
+//
 // Usage:
 //
 //	ovsweep -bench swm256,trfd -regs 9,16,32,64 -lats 1,50,100 -o sweep.csv
@@ -14,9 +20,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"oovec/internal/cli"
 	"oovec/internal/isa"
+	"oovec/internal/metrics"
 	"oovec/internal/ooosim"
 	"oovec/internal/simcache"
 	"oovec/internal/sweep"
@@ -78,6 +86,20 @@ func main() {
 		fatal(err)
 	}
 
+	// Grid points go through the same content-addressed result cache the
+	// ovserve daemon uses (keyed by resolved config + trace content), so
+	// overlapping grids in one invocation only simulate distinct points.
+	// The signal context stops the grid between points on Ctrl-C.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	var sims atomic.Int64
+	opts := sweep.Opts{
+		Workers: common.Jobs,
+		Cache:   simcache.New[*metrics.RunStats](4096),
+		Ctx:     ctx,
+		OnSim:   func() { sims.Add(1) },
+	}
+
 	var pts []sweep.Point
 	for _, name := range strings.Split(*bench, ",") {
 		p, ok := tgen.PresetByName(strings.TrimSpace(name))
@@ -90,12 +112,25 @@ func main() {
 		// The shared trace cache means repeated runs in one process (and the
 		// ovserve daemon) generate each (preset, insns) trace once.
 		tr := simcache.GenerateTrace(p)
+		opts.TraceKey = simcache.PresetKey(p)
 		if *machine == "ref" || *machine == "both" {
-			pts = append(pts, sweep.RefGridWorkers(tr, lats64, common.Jobs)...)
+			grid, err := sweep.RefGridOpts(tr, lats64, opts)
+			if err != nil {
+				fatal(fmt.Errorf("sweep interrupted: %w", err))
+			}
+			pts = append(pts, grid...)
 		}
 		if *machine == "ooo" || *machine == "both" {
-			pts = append(pts, sweep.OOOGridWorkers(tr, base, regs, lats64, common.Jobs)...)
+			grid, err := sweep.OOOGridOpts(tr, base, regs, lats64, opts)
+			if err != nil {
+				fatal(fmt.Errorf("sweep interrupted: %w", err))
+			}
+			pts = append(pts, grid...)
 		}
+	}
+	if common.Verbose {
+		fmt.Fprintf(os.Stderr, "ovsweep: %d grid points, %d simulations run (%d served from cache)\n",
+			len(pts), sims.Load(), int64(len(pts))-sims.Load())
 	}
 
 	if *out == "" {

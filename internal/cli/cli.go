@@ -2,15 +2,33 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"oovec/internal/engine"
 	"oovec/internal/ooosim"
 	"oovec/internal/rob"
 )
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, for
+// commands that want Ctrl-C to stop a long grid between simulations
+// instead of killing the process mid-write. The signal handler unregisters
+// itself as soon as the context fires, so a second signal gets the default
+// behaviour (immediate exit) — an impatient second Ctrl-C is never
+// swallowed while a long simulation point drains.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
 
 // ParseCommit maps the user-facing commit-policy vocabulary onto
 // rob.Policy. Every surface accepting a commit policy — ovsim, ovsweep,

@@ -18,9 +18,13 @@
 // one state value (typically pooled, resettable simulator machines) and
 // passes it to every task it claims, so expensive per-run construction is
 // amortised across the whole grid without any synchronisation on the state.
+// MapWithCtx adds cooperative cancellation between tasks, which is what lets
+// a server abandon a grid whose client has disconnected instead of burning
+// workers on results nobody will read.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -90,8 +94,28 @@ func Map(workers, n int, fn func(i int)) {
 // goroutine and panics propagate natively; with more, a panicking fn is
 // re-raised on the caller as a WorkerPanic.
 func MapWith[S any](workers, n int, newState func() S, fn func(s S, i int)) {
+	MapWithCtx(context.Background(), workers, n, newState, fn)
+}
+
+// MapWithCtx is MapWith with cooperative cancellation: once ctx is done, no
+// further index is dispatched and MapWithCtx returns ctx's error after
+// in-flight fn calls finish. Tasks already running are never interrupted —
+// cancellation is checked between tasks, the natural grain when each task is
+// one whole simulation — so some slots of the caller's result slice may be
+// filled and others not; a non-nil return means the results are incomplete
+// and must be discarded.
+//
+// A nil ctx is accepted and means "never cancelled". Panics propagate as in
+// MapWith, taking precedence over a concurrent cancellation.
+func MapWithCtx[S any](ctx context.Context, workers, n int, newState func() S, fn func(s S, i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -100,16 +124,20 @@ func MapWith[S any](workers, n int, newState func() S, fn func(s S, i int)) {
 	if workers == 1 {
 		s := newState()
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(s, i)
 		}
-		return
+		return nil
 	}
 
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Bool
-		panicVal any // written once under the panicked CAS; read after Wait
+		next      atomic.Int64
+		completed atomic.Int64
+		wg        sync.WaitGroup
+		panicked  atomic.Bool
+		panicVal  any // written once under the panicked CAS; read after Wait
 	)
 	worker := func() {
 		defer wg.Done()
@@ -132,7 +160,7 @@ func MapWith[S any](workers, n int, newState func() S, fn func(s S, i int)) {
 		}
 		for {
 			i := next.Add(1) - 1
-			if i >= int64(n) || panicked.Load() {
+			if i >= int64(n) || panicked.Load() || ctx.Err() != nil {
 				return
 			}
 			func() {
@@ -144,6 +172,7 @@ func MapWith[S any](workers, n int, newState func() S, fn func(s S, i int)) {
 					}
 				}()
 				fn(s, int(i))
+				completed.Add(1)
 			}()
 		}
 	}
@@ -155,4 +184,10 @@ func MapWith[S any](workers, n int, newState func() S, fn func(s S, i int)) {
 	if panicked.Load() {
 		panic(panicVal)
 	}
+	// Only report cancellation when it actually cut the grid short: a ctx
+	// that fires after the last task finished changed nothing.
+	if completed.Load() < int64(n) {
+		return ctx.Err()
+	}
+	return nil
 }

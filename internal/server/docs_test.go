@@ -1,0 +1,60 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocMatchesRoutes keeps docs/API.md and the registered mux routes
+// from drifting apart, in both directions: every route the server serves
+// must be documented as a route heading, and every documented route
+// heading must still exist. The headings are the `### METHOD /path` lines.
+func TestAPIDocMatchesRoutes(t *testing.T) {
+	b, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the API: %v", err)
+	}
+	doc := string(b)
+
+	headingRE := regexp.MustCompile(`(?m)^### (GET|POST) (/\S+)$`)
+	documented := map[string]string{} // path -> method
+	for _, m := range headingRE.FindAllStringSubmatch(doc, -1) {
+		documented[m[2]] = m[1]
+	}
+
+	// `routes` is the server's own route list — the same slice the mux
+	// registrations and the /metrics request-counter buckets are built
+	// from, so it cannot drift from what is actually served.
+	methods := map[string]string{
+		"/v1/sim": "POST", "/v1/sweep": "POST",
+		"/v1/presets": "GET", "/healthz": "GET", "/metrics": "GET",
+	}
+	if len(methods) != len(routes) {
+		t.Fatalf("test method table has %d routes, server has %d — update both this test and docs/API.md", len(methods), len(routes))
+	}
+	for _, route := range routes {
+		method, ok := documented[route]
+		if !ok {
+			t.Errorf("docs/API.md has no `### %s %s` heading for registered route %s", methods[route], route, route)
+			continue
+		}
+		if method != methods[route] {
+			t.Errorf("docs/API.md documents %s as %s, server registers %s", route, method, methods[route])
+		}
+	}
+	for path := range documented {
+		if _, ok := methods[path]; !ok {
+			t.Errorf("docs/API.md documents %s, which is not a registered route", path)
+		}
+	}
+
+	// The operational semantics the docs promise must at least be present
+	// as the status codes and headers they hinge on.
+	for _, want := range []string{"401", "429", "503", "Retry-After", SweepStatusTrailer, "ovserve_sims_total"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/API.md does not mention %q", want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the production middleware stack wrapping every ovserve
+// route: drain gating, bearer-token auth, the bounded in-flight limiter,
+// per-request deadlines and per-route latency/outcome accounting. Handlers
+// stay pure request logic; everything an operator tunes lives here.
+
+// routeOpts selects which middleware layers a route runs behind.
+type routeOpts struct {
+	// gate refuses the request with 503 while the server is draining and
+	// counts it against the drain gate (Drain waits for it).
+	gate bool
+	// auth requires a bearer token when Opts.AuthToken is configured.
+	auth bool
+	// limit counts the request against Opts.MaxInflight; over the bound it
+	// is refused with 429 + Retry-After instead of queueing.
+	limit bool
+	// timeout applies Opts.Timeout as the request context's deadline.
+	timeout bool
+}
+
+// instrument wraps a handler in the middleware chain. Order matters:
+// cheap refusals (drain, auth) come before slot acquisition, so a draining
+// or unauthenticated request can never occupy simulation capacity, and
+// every outcome — including the refusals — is observed in the latency and
+// response-code counters.
+func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() { s.observe(route, sw.Status(), time.Since(start)) }()
+		s.requests[route].Add(1)
+
+		if o.gate {
+			if !s.enter() {
+				s.rejected.Add(1)
+				httpError(sw, http.StatusServiceUnavailable, "server is draining")
+				return
+			}
+			defer s.exit()
+		}
+		if o.auth && !s.authorize(r) {
+			s.unauthed.Add(1)
+			sw.Header().Set("WWW-Authenticate", `Bearer realm="ovserve"`)
+			httpError(sw, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		if o.limit && s.inflightSem != nil {
+			select {
+			case s.inflightSem <- struct{}{}:
+				defer func() { <-s.inflightSem }()
+			default:
+				s.throttled.Add(1)
+				sw.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusTooManyRequests,
+					"%d simulation requests already in flight (limit %d)", s.maxInflight, s.maxInflight)
+				return
+			}
+		}
+		if o.gate {
+			s.nInflight.Add(1)
+			defer s.nInflight.Add(-1)
+		}
+		if o.timeout && s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+	}
+}
+
+// authorize checks the bearer token. With no token configured every request
+// passes; with one, the comparison is constant-time so the token cannot be
+// recovered byte-by-byte through response timing.
+func (s *Server) authorize(r *http.Request) bool {
+	if s.authToken == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) < len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.authToken)) == 1
+}
+
+// observe records one finished request in the per-route latency sum and
+// response-code counters.
+func (s *Server) observe(route string, code int, d time.Duration) {
+	s.durations[route].Add(int64(d))
+	s.respMu.Lock()
+	s.responses[route][code]++
+	s.respMu.Unlock()
+}
+
+// writeResponseMetrics renders the per-(route, code) outcome counters in a
+// deterministic order.
+func (s *Server) writeResponseMetrics(w http.ResponseWriter) {
+	s.respMu.Lock()
+	defer s.respMu.Unlock()
+	for _, route := range routes {
+		codes := make([]int, 0, len(s.responses[route]))
+		for code := range s.responses[route] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "ovserve_responses_total{path=%q,code=\"%d\"} %d\n",
+				route, code, s.responses[route][code])
+		}
+	}
+}
+
+// statusWriter captures the status code a handler sent so the outcome
+// counters can attribute it, passing Flush through for the NDJSON stream.
+type statusWriter struct {
+	http.ResponseWriter
+	code int // 0 until the handler commits a status
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Status returns the committed status code (200 for a handler that wrote
+// nothing, which net/http reports as an implicit 200).
+func (w *statusWriter) Status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// Flush forwards to the underlying writer so sweep rows still stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

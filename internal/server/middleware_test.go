@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postWith is post with extra headers (the auth tests' door in).
+func postWith(t *testing.T, s *Server, path string, body any, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(b))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func getWith(t *testing.T, s *Server, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestAuthToken locks down the bearer-token layer: without the configured
+// token every route but /healthz refuses with 401, with it everything
+// works, and the exemption keeps load-balancer liveness checks working.
+func TestAuthToken(t *testing.T) {
+	s := New(Opts{Workers: 1, AuthToken: "s3cret"})
+	simReq := SimRequest{Bench: "trfd", Insns: testInsns}
+
+	if rec := post(t, s, "/v1/sim", simReq); rec.Code != http.StatusUnauthorized {
+		t.Errorf("no token: status %d, want 401", rec.Code)
+	} else if www := rec.Header().Get("WWW-Authenticate"); !strings.Contains(www, "Bearer") {
+		t.Errorf("401 without WWW-Authenticate: %q", www)
+	}
+	wrong := map[string]string{"Authorization": "Bearer wrong"}
+	if rec := postWith(t, s, "/v1/sim", simReq, wrong); rec.Code != http.StatusUnauthorized {
+		t.Errorf("wrong token: status %d, want 401", rec.Code)
+	}
+	// A token of the right length but wrong bytes must also fail (guards a
+	// broken prefix-only comparison).
+	offByOne := map[string]string{"Authorization": "Bearer s3creT"}
+	if rec := postWith(t, s, "/v1/sim", simReq, offByOne); rec.Code != http.StatusUnauthorized {
+		t.Errorf("near-miss token: status %d, want 401", rec.Code)
+	}
+	for _, path := range []string{"/v1/presets", "/metrics"} {
+		if rec := get(t, s, path); rec.Code != http.StatusUnauthorized {
+			t.Errorf("GET %s without token: status %d, want 401", path, rec.Code)
+		}
+	}
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz must be auth-exempt, got %d", rec.Code)
+	}
+
+	good := map[string]string{"Authorization": "Bearer s3cret"}
+	if rec := postWith(t, s, "/v1/sim", simReq, good); rec.Code != http.StatusOK {
+		t.Errorf("valid token: status %d, want 200 (%s)", rec.Code, rec.Body)
+	}
+	body := getWith(t, s, "/metrics", good).Body.String()
+	if !strings.Contains(body, "ovserve_requests_unauthorized_total 5") {
+		t.Errorf("metrics do not count the 5 refused requests:\n%s", body)
+	}
+}
+
+// TestMaxInflight holds one sweep in flight and checks that the request
+// over the bound is refused immediately with 429 + Retry-After instead of
+// queueing, and that capacity frees up once the sweep finishes.
+func TestMaxInflight(t *testing.T) {
+	s := New(Opts{Workers: 1, MaxInflight: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookSweepSim = func() {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+
+	sweepDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		sweepDone <- post(t, s, "/v1/sweep", SweepRequest{
+			Bench: []string{"swm256"}, Regs: []int{12}, Lats: []int64{1, 20}, Insns: testInsns,
+		})
+	}()
+	<-started
+
+	rec := post(t, s, "/v1/sim", SimRequest{Bench: "trfd", Insns: testInsns})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("over-limit request: status %d, want 429 (%s)", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	close(release)
+	if rec := <-sweepDone; rec.Code != http.StatusOK {
+		t.Fatalf("held sweep finished with %d", rec.Code)
+	}
+	if rec := post(t, s, "/v1/sim", SimRequest{Bench: "trfd", Insns: testInsns}); rec.Code != http.StatusOK {
+		t.Errorf("request after capacity freed: status %d, want 200", rec.Code)
+	}
+	if n := metricValue(t, s, "ovserve_requests_throttled_total"); n != 1 {
+		t.Errorf("throttled_total = %d, want 1", n)
+	}
+}
+
+// TestTimeoutAbortsSweep: a sweep that outlives Opts.Timeout stops between
+// grid points and reports the deadline in a terminal NDJSON error record
+// plus the status trailer.
+func TestTimeoutAbortsSweep(t *testing.T) {
+	s := New(Opts{Workers: 1, Timeout: 30 * time.Millisecond})
+	s.testHookSweepSim = func() { time.Sleep(60 * time.Millisecond) }
+
+	rec := post(t, s, "/v1/sweep", SweepRequest{
+		Bench: []string{"swm256"}, Regs: []int{12, 16}, Lats: []int64{1, 20}, Insns: testInsns,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 (the stream commits before the deadline can fire)", rec.Code)
+	}
+	lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	var e errorBody
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &e); err != nil || e.Error == "" {
+		t.Fatalf("last NDJSON line is not an error record: %q (%v)", lines[len(lines)-1], err)
+	}
+	if !strings.Contains(e.Error, "deadline") {
+		t.Errorf("error record %q does not mention the deadline", e.Error)
+	}
+	if got := s.SimsRun(); got >= 4 {
+		t.Errorf("%d of 4 grid points simulated despite the deadline", got)
+	}
+	if tr := rec.Result().Trailer.Get(SweepStatusTrailer); tr != "error" {
+		t.Errorf("%s trailer = %q, want \"error\"", SweepStatusTrailer, tr)
+	}
+	if n := metricValue(t, s, "ovserve_sweep_errors_total"); n != 1 {
+		t.Errorf("sweep_errors_total = %d, want 1", n)
+	}
+}
+
+// TestLatencyOutcomeMetrics: every finished request lands in the per-route
+// duration sum and per-(route, code) outcome counters.
+func TestLatencyOutcomeMetrics(t *testing.T) {
+	s := newTestServer(t)
+	post(t, s, "/v1/sim", SimRequest{Bench: "trfd", Insns: testInsns}) // 200
+	post(t, s, "/v1/sim", SimRequest{Bench: "nosuch"})                 // 400
+
+	body := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		`ovserve_responses_total{path="/v1/sim",code="200"} 1`,
+		`ovserve_responses_total{path="/v1/sim",code="400"} 1`,
+		`ovserve_request_duration_seconds_sum{path="/v1/sim"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -11,15 +11,25 @@
 //
 //	POST /v1/sim     one simulation (preset or uploaded OVTR trace), cached
 //	POST /v1/sweep   a parameter grid fanned across the engine worker pool,
-//	                 streamed as NDJSON in deterministic order
+//	                 streamed as NDJSON in deterministic order; every grid
+//	                 point is served through the same result cache as
+//	                 /v1/sim, so repeated or overlapping sweeps only
+//	                 simulate points never seen before
 //	GET  /v1/presets the benchmark presets
-//	GET  /healthz    liveness (503 while draining)
+//	GET  /healthz    liveness (503 while draining; never requires auth)
 //	GET  /metrics    Prometheus-style counters
+//
+// Every route runs behind the production middleware stack (middleware.go):
+// graceful-drain gating, optional bearer-token auth (Opts.AuthToken;
+// /healthz exempt), a bounded in-flight limiter for the simulation routes
+// (Opts.MaxInflight; overload answers 429 + Retry-After), per-request
+// deadlines (Opts.Timeout; sweeps observe them between grid points), and
+// per-route latency/outcome counters on /metrics.
 //
 // The measurements returned are the exact structs the CLIs print: /v1/sim
 // carries metrics.RunStats, /v1/sweep streams sweep.Point rows in the same
 // order ovsweep writes CSV rows, so service output is byte-convertible to
-// CLI output.
+// CLI output. See docs/API.md for the full route reference.
 package server
 
 import (
@@ -54,6 +64,17 @@ type Opts struct {
 	// TraceLimits bounds uploaded OVTR decoding (zero fields =
 	// trace.DefaultLimits).
 	TraceLimits trace.Limits
+	// Timeout is the per-request deadline of the API routes (0 = none).
+	// Sweeps observe it between grid points; a request that exceeds it
+	// mid-stream is terminated with an NDJSON error record.
+	Timeout time.Duration
+	// AuthToken, when non-empty, requires `Authorization: Bearer <token>`
+	// on every route except /healthz; requests without it get 401.
+	AuthToken string
+	// MaxInflight bounds concurrently executing simulation requests
+	// (/v1/sim and /v1/sweep); excess requests are refused with 429 and a
+	// Retry-After header instead of queueing without bound (0 = unlimited).
+	MaxInflight int
 }
 
 // Server is the ovserve request handler set. Construct with New; serve
@@ -62,6 +83,10 @@ type Server struct {
 	workers        int
 	maxUploadBytes int64
 	traceLimits    trace.Limits
+	timeout        time.Duration
+	authToken      string
+	maxInflight    int
+	inflightSem    chan struct{} // nil when MaxInflight is 0 (unlimited)
 
 	results *simcache.Cache[*metrics.RunStats]
 	oooPool ooosim.MachinePool
@@ -80,15 +105,28 @@ type Server struct {
 	draining atomic.Bool
 
 	// Counters exported by /metrics.
-	nInflight atomic.Int64
-	simsTotal atomic.Int64
-	sweepRows atomic.Int64
-	rejected  atomic.Int64 // requests refused with 503 while draining
-	requests  map[string]*atomic.Int64
+	nInflight   atomic.Int64
+	simsTotal   atomic.Int64
+	sweepRows   atomic.Int64
+	sweepErrors atomic.Int64
+	rejected    atomic.Int64 // requests refused with 503 while draining
+	throttled   atomic.Int64 // requests refused with 429 over MaxInflight
+	unauthed    atomic.Int64 // requests refused with 401
+	requests    map[string]*atomic.Int64
+	durations   map[string]*atomic.Int64 // summed handler nanoseconds
+	// responses counts finished requests per (route, status code). Status
+	// codes are open-ended, so this one is a locked map, touched once per
+	// request.
+	respMu    sync.Mutex
+	responses map[string]map[int]int64
 
 	// testHookSweepRow, when non-nil, runs after each sweep row is flushed.
 	// Tests use it to hold a sweep in flight deterministically.
 	testHookSweepRow func(row int)
+	// testHookSweepSim, when non-nil, runs at the start of every sweep grid
+	// simulation (cache hits excluded), on the worker goroutine. Tests use
+	// it to stall, fail or count grid points deterministically.
+	testHookSweepSim func()
 }
 
 // routes are the request-counter buckets of /metrics.
@@ -106,19 +144,35 @@ func New(opts Opts) *Server {
 		workers:        opts.Workers,
 		maxUploadBytes: opts.MaxUploadBytes,
 		traceLimits:    opts.TraceLimits,
+		timeout:        opts.Timeout,
+		authToken:      opts.AuthToken,
+		maxInflight:    opts.MaxInflight,
 		results:        simcache.New[*metrics.RunStats](opts.CacheEntries),
 		mux:            http.NewServeMux(),
 		start:          time.Now(),
 		requests:       make(map[string]*atomic.Int64, len(routes)),
+		durations:      make(map[string]*atomic.Int64, len(routes)),
+		responses:      make(map[string]map[int]int64, len(routes)),
+	}
+	if opts.MaxInflight > 0 {
+		s.inflightSem = make(chan struct{}, opts.MaxInflight)
 	}
 	for _, r := range routes {
 		s.requests[r] = &atomic.Int64{}
+		s.durations[r] = &atomic.Int64{}
+		s.responses[r] = make(map[int]int64, 4)
 	}
-	s.mux.HandleFunc("POST /v1/sim", s.track("/v1/sim", s.handleSim))
-	s.mux.HandleFunc("POST /v1/sweep", s.track("/v1/sweep", s.handleSweep))
-	s.mux.HandleFunc("GET /v1/presets", s.track("/v1/presets", s.handlePresets))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The middleware chain of each route (see middleware.go): simulation
+	// routes get the full production stack, the cheap introspection routes
+	// only what they need — /healthz must answer during drain and without
+	// credentials, or it is useless to a load balancer.
+	sim := routeOpts{gate: true, auth: true, limit: true, timeout: true}
+	meta := routeOpts{gate: true, auth: true}
+	s.mux.HandleFunc("POST /v1/sim", s.instrument("/v1/sim", sim, s.handleSim))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", sim, s.handleSweep))
+	s.mux.HandleFunc("GET /v1/presets", s.instrument("/v1/presets", meta, s.handlePresets))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", routeOpts{}, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", routeOpts{auth: true}, s.handleMetrics))
 	return s
 }
 
@@ -174,25 +228,7 @@ func (s *Server) exit() {
 	s.gateMu.Unlock()
 }
 
-// track wraps an API handler with drain gating, in-flight accounting and the
-// per-route request counter.
-func (s *Server) track(route string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.enter() {
-			s.rejected.Add(1)
-			httpError(w, http.StatusServiceUnavailable, "server is draining")
-			return
-		}
-		defer s.exit()
-		s.requests[route].Add(1)
-		s.nInflight.Add(1)
-		defer s.nInflight.Add(-1)
-		h(w, r)
-	}
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.requests["/healthz"].Add(1)
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
@@ -206,7 +242,6 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.requests["/metrics"].Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	uptime := time.Since(s.start).Seconds()
 	sims := s.simsTotal.Load()
@@ -215,12 +250,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, route := range routes {
 		fmt.Fprintf(w, "ovserve_requests_total{path=%q} %d\n", route, s.requests[route].Load())
 	}
+	for _, route := range routes {
+		fmt.Fprintf(w, "ovserve_request_duration_seconds_sum{path=%q} %.6f\n",
+			route, time.Duration(s.durations[route].Load()).Seconds())
+	}
+	s.writeResponseMetrics(w)
 	fmt.Fprintf(w, "ovserve_requests_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "ovserve_requests_throttled_total %d\n", s.throttled.Load())
+	fmt.Fprintf(w, "ovserve_requests_unauthorized_total %d\n", s.unauthed.Load())
 	fmt.Fprintf(w, "ovserve_sims_total %d\n", sims)
 	if uptime > 0 {
 		fmt.Fprintf(w, "ovserve_sims_per_second %.3f\n", float64(sims)/uptime)
 	}
 	fmt.Fprintf(w, "ovserve_sweep_rows_total %d\n", s.sweepRows.Load())
+	fmt.Fprintf(w, "ovserve_sweep_errors_total %d\n", s.sweepErrors.Load())
 	writeCacheMetrics(w, "result", s.results.Stats())
 	writeCacheMetrics(w, "trace", simcache.TraceStats())
 }

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -98,7 +97,7 @@ func TestSimGoldenJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := SimResponse{
-		Key:     resultKey(fmt.Sprintf("ooo:%+v", cfg.WithDefaults()), simcache.PresetKey(p)),
+		Key:     simcache.ResultKey(simcache.OOOConfigKey(cfg), simcache.PresetKey(p)),
 		Cached:  false,
 		Metrics: ooosim.Run(tgen.Generate(p), cfg).Stats,
 	}

@@ -2,8 +2,6 @@ package server
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
@@ -153,15 +151,6 @@ func (s *Server) loadTrace(req *SimRequest) (func() *trace.Trace, string, error)
 	return nil, "", errors.New("one of bench or trace is required")
 }
 
-// resultKey content-addresses one simulation: the canonical resolved
-// configuration (which carries the machine kind as its prefix) plus the
-// trace content key.
-func resultKey(canonicalCfg, traceKey string) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "sim\x00%s\x00%s", canonicalCfg, traceKey)
-	return hex.EncodeToString(h.Sum(nil)[:16])
-}
-
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
 	if !s.decodeBody(w, r, &req) {
@@ -175,9 +164,10 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Resolve the machine + configuration into a runner and the canonical
-	// configuration string that keys the result cache. Keying on the
-	// resolved (WithDefaults) form means explicit defaults and omitted
-	// fields share one cache entry.
+	// configuration string that keys the result cache (simcache keys.go —
+	// the same scheme sweep grid points use, so single runs and sweeps
+	// share entries). Keying on the resolved (WithDefaults) form means
+	// explicit defaults and omitted fields share one cache entry.
 	var canonical string
 	var run func() *metrics.RunStats
 	switch req.Machine {
@@ -187,7 +177,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		canonical = fmt.Sprintf("ooo:%+v", cfg.WithDefaults())
+		canonical = simcache.OOOConfigKey(cfg)
 		run = func() *metrics.RunStats {
 			m := s.oooPool.Get(cfg)
 			defer s.oooPool.Put(m)
@@ -199,7 +189,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		canonical = fmt.Sprintf("ref:%+v", cfg.WithDefaults())
+		canonical = simcache.RefConfigKey(cfg)
 		run = func() *metrics.RunStats {
 			m := s.refPool.Get(cfg)
 			defer s.refPool.Put(m)
@@ -210,7 +200,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := resultKey(canonical, traceKey)
+	key := simcache.ResultKey(canonical, traceKey)
 	st, cached := s.results.Do(key, func() *metrics.RunStats {
 		s.simsTotal.Add(1)
 		return run()

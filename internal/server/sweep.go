@@ -1,18 +1,28 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"oovec/internal/cli"
+	"oovec/internal/engine"
 	"oovec/internal/isa"
 	"oovec/internal/ooosim"
 	"oovec/internal/simcache"
 	"oovec/internal/sweep"
 	"oovec/internal/tgen"
 )
+
+// SweepStatusTrailer is the HTTP trailer /v1/sweep sets once the stream
+// ends. Streaming commits the 200 status before the grid runs, so the
+// trailer is the only in-band place a terminal outcome fits: "ok" when
+// every row was delivered, "error" when the stream was cut short by a
+// failure or deadline (the last NDJSON line is then an {"error": ...}
+// record), "canceled" when the client went away first.
+const SweepStatusTrailer = "X-Ovserve-Sweep-Status"
 
 // SweepRequest is the body of POST /v1/sweep: the grid surface of the
 // ovsweep CLI. Results stream back as NDJSON, one sweep.Point per line, in
@@ -112,15 +122,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		presets[i] = p
 	}
 
+	w.Header().Set("Trailer", SweepStatusTrailer)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	row := 0
-	emit := func(pts []sweep.Point) error {
+	clientGone := false
+	emit := func(pts []sweep.Point) {
 		for i := range pts {
 			if err := enc.Encode(&pts[i]); err != nil {
-				return err
+				clientGone = true
+				return
 			}
 			if flusher != nil {
 				flusher.Flush()
@@ -131,27 +144,86 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			row++
 		}
-		return nil
 	}
+
 	// Per benchmark: generate (or share) the trace, fan the grid across the
-	// engine pool, stream the rows. Grid points always simulate — the batch
-	// endpoint trades the result cache for pooled-worker throughput — so
-	// every point counts toward ovserve_sims_total.
+	// engine pool, stream the rows. Every grid point goes through the same
+	// content-addressed result cache as /v1/sim (sweep.Opts.Cache), so a
+	// repeated sweep is a streamed sequence of cache hits running zero new
+	// simulations, an overlapping sweep only simulates its delta, and only
+	// actual simulations count toward ovserve_sims_total. The request
+	// context cancels the grid between points: a dropped client or an
+	// expired Opts.Timeout deadline stops burning workers.
+	opts := sweep.Opts{
+		Workers: s.workers,
+		Cache:   s.results,
+		Ctx:     r.Context(),
+		OnSim: func() {
+			s.simsTotal.Add(1)
+			if s.testHookSweepSim != nil {
+				s.testHookSweepSim()
+			}
+		},
+	}
+	err = s.streamSweep(&req, base, presets, opts, emit, &clientGone)
+
+	// Streaming committed the 200 long ago, so the terminal outcome rides
+	// in the trailer — plus, when someone is still listening, a final
+	// NDJSON error record, distinguishable from sweep.Point rows by its
+	// "error" key.
+	switch {
+	// clientGone outranks err == nil: a write failure mid-stream returns a
+	// nil grid error but the truncated stream is anything but "ok".
+	case clientGone || errors.Is(err, context.Canceled):
+		w.Header().Set(SweepStatusTrailer, "canceled")
+	case err == nil:
+		w.Header().Set(SweepStatusTrailer, "ok")
+	default:
+		s.sweepErrors.Add(1)
+		enc.Encode(errorBody{Error: fmt.Sprintf("sweep aborted after %d rows: %v", row, err)})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		w.Header().Set(SweepStatusTrailer, "error")
+	}
+}
+
+// streamSweep runs the request's grids and streams their rows, converting a
+// panicking grid point (engine.WorkerPanic from the pool, or a native panic
+// from a serial grid) into an error so the handler can report it in-stream
+// instead of tearing the connection down mid-NDJSON.
+func (s *Server) streamSweep(req *SweepRequest, base ooosim.Config, presets []tgen.Preset,
+	opts sweep.Opts, emit func([]sweep.Point), clientGone *bool) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if wp, ok := rec.(engine.WorkerPanic); ok {
+				err = fmt.Errorf("grid point %d failed: %v", wp.Index, wp.Value)
+			} else {
+				err = fmt.Errorf("grid point failed: %v", rec)
+			}
+		}
+	}()
 	for _, p := range presets {
 		tr := simcache.GenerateTrace(p)
+		opts.TraceKey = simcache.PresetKey(p)
 		if req.Machine == "ref" || req.Machine == "both" {
-			pts := sweep.RefGridWorkers(tr, req.Lats, s.workers)
-			s.simsTotal.Add(int64(len(pts)))
-			if err := emit(pts); err != nil {
-				return // client went away; nothing useful left to do
+			pts, err := sweep.RefGridOpts(tr, req.Lats, opts)
+			if err != nil {
+				return err
+			}
+			if emit(pts); *clientGone {
+				return nil
 			}
 		}
 		if req.Machine == "ooo" || req.Machine == "both" {
-			pts := sweep.OOOGridWorkers(tr, base, req.Regs, req.Lats, s.workers)
-			s.simsTotal.Add(int64(len(pts)))
-			if err := emit(pts); err != nil {
-				return
+			pts, err := sweep.OOOGridOpts(tr, base, req.Regs, req.Lats, opts)
+			if err != nil {
+				return err
+			}
+			if emit(pts); *clientGone {
+				return nil
 			}
 		}
 	}
+	return nil
 }

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSweepWarmServedEntirelyFromCache is the acceptance criterion of the
+// sweep-point cache: repeating an identical /v1/sweep request must stream
+// byte-identical NDJSON while running zero new simulations — every grid
+// point is a hit on the same content-addressed cache /v1/sim uses.
+func TestSweepWarmServedEntirelyFromCache(t *testing.T) {
+	s := newTestServer(t)
+	req := SweepRequest{
+		Bench:   []string{"swm256", "trfd"},
+		Machine: "both",
+		Regs:    []int{12, 16},
+		Lats:    []int64{1, 20},
+		Insns:   testInsns,
+	}
+
+	cold := post(t, s, "/v1/sweep", req)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold sweep status %d: %s", cold.Code, cold.Body)
+	}
+	coldSims := s.SimsRun()
+	// 2 benches × (2 REF lats + 2×2 OOO points) = 12 distinct simulations.
+	if coldSims != 12 {
+		t.Fatalf("cold sweep ran %d sims, want 12", coldSims)
+	}
+	if tr := cold.Result().Trailer.Get(SweepStatusTrailer); tr != "ok" {
+		t.Errorf("cold sweep %s trailer = %q, want \"ok\"", SweepStatusTrailer, tr)
+	}
+
+	warm := post(t, s, "/v1/sweep", req)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm sweep status %d: %s", warm.Code, warm.Body)
+	}
+	if got := s.SimsRun(); got != coldSims {
+		t.Errorf("warm sweep ran %d new simulations, want 0 (ovserve_sims_total %d → %d)",
+			got-coldSims, coldSims, got)
+	}
+	if !bytes.Equal(warm.Body.Bytes(), cold.Body.Bytes()) {
+		t.Error("warm sweep NDJSON differs from the cold run's bytes")
+	}
+	if n := metricValue(t, s, "ovserve_sims_total"); n != coldSims {
+		t.Errorf("ovserve_sims_total = %d after warm sweep, want %d", n, coldSims)
+	}
+}
+
+// TestSweepOverlapSimulatesOnlyDelta: a superset grid over a warm server
+// only simulates the points it has never served.
+func TestSweepOverlapSimulatesOnlyDelta(t *testing.T) {
+	s := newTestServer(t)
+	small := SweepRequest{Bench: []string{"swm256"}, Regs: []int{12}, Lats: []int64{1, 20}, Insns: testInsns}
+	post(t, s, "/v1/sweep", small)
+	if got := s.SimsRun(); got != 2 {
+		t.Fatalf("small sweep ran %d sims, want 2", got)
+	}
+	super := small
+	super.Regs = []int{12, 16}
+	post(t, s, "/v1/sweep", super)
+	if got := s.SimsRun(); got != 4 {
+		t.Errorf("superset sweep brought sims_total to %d, want 4 (only the 16-reg delta simulates)", got)
+	}
+}
+
+// TestSweepSharesCacheWithSim: the same (configuration, trace) served as a
+// single simulation and as a sweep grid point is one cache entry, in both
+// directions.
+func TestSweepSharesCacheWithSim(t *testing.T) {
+	s := newTestServer(t)
+	// /v1/sim first; the matching sweep point must not re-simulate.
+	post(t, s, "/v1/sim", SimRequest{
+		Bench: "trfd", Insns: testInsns,
+		Config: SimConfig{VRegs: 12, Latency: 20},
+	})
+	if got := s.SimsRun(); got != 1 {
+		t.Fatalf("sim ran %d sims, want 1", got)
+	}
+	post(t, s, "/v1/sweep", SweepRequest{
+		Bench: []string{"trfd"}, Regs: []int{12}, Lats: []int64{1, 20}, Insns: testInsns,
+	})
+	if got := s.SimsRun(); got != 2 {
+		t.Errorf("sweep brought sims_total to %d, want 2 (the lat=20 point must hit /v1/sim's entry)", got)
+	}
+	// And the reverse: the sweep's lat=1 point now backs /v1/sim.
+	rec := post(t, s, "/v1/sim", SimRequest{
+		Bench: "trfd", Insns: testInsns,
+		Config: SimConfig{VRegs: 12, Latency: 1},
+	})
+	var resp SimResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Error("/v1/sim missed the cache entry its sweep point filled")
+	}
+	if got := s.SimsRun(); got != 2 {
+		t.Errorf("sims_total = %d, want 2", got)
+	}
+}
+
+// TestSweepClientDisconnectStopsSims is the cancellation guarantee: once
+// the client goes away, no further grid point is scheduled, observable as
+// ovserve_sims_total not advancing.
+func TestSweepClientDisconnectStopsSims(t *testing.T) {
+	s := New(Opts{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookSweepSim = func() {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+
+	body, _ := json.Marshal(SweepRequest{
+		Bench: []string{"swm256"}, Regs: []int{12, 16}, Lats: []int64{1, 20}, Insns: testInsns,
+	})
+	req := httptest.NewRequest("POST", "/v1/sweep", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+
+	<-started // the first of 4 grid points is provably simulating
+	cancel()  // the client disconnects
+	close(release)
+	<-done
+
+	if got := s.SimsRun(); got != 1 {
+		t.Errorf("%d grid points simulated after the client disconnected during the first, want 1", got)
+	}
+	if tr := rec.Result().Trailer.Get(SweepStatusTrailer); tr != "canceled" {
+		t.Errorf("%s trailer = %q, want \"canceled\"", SweepStatusTrailer, tr)
+	}
+}
+
+// TestSweepMidStreamFailure: a grid point failing mid-stream must not
+// silently truncate the NDJSON — the stream ends with a terminal error
+// record and the status trailer reports the failure.
+func TestSweepMidStreamFailure(t *testing.T) {
+	s := New(Opts{Workers: 1})
+	sims := 0
+	s.testHookSweepSim = func() {
+		sims++
+		if sims == 5 { // the first grid point of the second benchmark
+			panic("injected grid-point failure")
+		}
+	}
+
+	rec := post(t, s, "/v1/sweep", SweepRequest{
+		Bench: []string{"swm256", "trfd"}, Regs: []int{12, 16}, Lats: []int64{1, 20}, Insns: testInsns,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 (failure happens after streaming starts)", rec.Code)
+	}
+	lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d NDJSON lines, want 4 rows + 1 error record:\n%s", len(lines), rec.Body)
+	}
+	for _, l := range lines[:4] {
+		if strings.Contains(l, `"error"`) {
+			t.Errorf("data row contains an error record: %s", l)
+		}
+	}
+	var e errorBody
+	if err := json.Unmarshal([]byte(lines[4]), &e); err != nil || e.Error == "" {
+		t.Fatalf("terminal line is not an error record: %q (%v)", lines[4], err)
+	}
+	if !strings.Contains(e.Error, "injected grid-point failure") {
+		t.Errorf("error record %q does not carry the failure cause", e.Error)
+	}
+	if tr := rec.Result().Trailer.Get(SweepStatusTrailer); tr != "error" {
+		t.Errorf("%s trailer = %q, want \"error\"", SweepStatusTrailer, tr)
+	}
+	if n := metricValue(t, s, "ovserve_sweep_errors_total"); n != 1 {
+		t.Errorf("sweep_errors_total = %d, want 1", n)
+	}
+}

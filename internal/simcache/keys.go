@@ -1,0 +1,46 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+)
+
+// This file defines the one content-address scheme every simulation result
+// in the system is keyed by. /v1/sim, each /v1/sweep grid point and the
+// ovsweep CLI all derive their cache keys here, so a sweep that covers a
+// configuration previously served as a single simulation (or vice versa)
+// hits the same entry — there is no separate "sweep cache" to warm.
+
+// OOOConfigKey renders the canonical cache-key component of an OOOVA
+// configuration: the resolved (WithDefaults) form, so omitted fields and
+// explicit paper defaults key identically. The Probe hook is excluded — it
+// observes a run without changing its measurements, and formatting a
+// function value would print an address, poisoning the key.
+func OOOConfigKey(cfg ooosim.Config) string {
+	cfg = cfg.WithDefaults()
+	cfg.Probe = nil
+	return fmt.Sprintf("ooo:%+v", cfg)
+}
+
+// RefConfigKey renders the canonical cache-key component of a reference-
+// machine configuration, resolved the same way as OOOConfigKey (and, like
+// it, excluding the Probe hook).
+func RefConfigKey(cfg refsim.Config) string {
+	cfg = cfg.WithDefaults()
+	cfg.Probe = nil
+	return fmt.Sprintf("ref:%+v", cfg)
+}
+
+// ResultKey content-addresses one simulation: the canonical resolved
+// configuration (which carries the machine kind as its prefix — see
+// OOOConfigKey / RefConfigKey) plus the trace content key (PresetKey for
+// generated benchmarks, "ovtr:" + trace.Digest for uploads).
+func ResultKey(canonicalCfg, traceKey string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sim\x00%s\x00%s", canonicalCfg, traceKey)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -3,6 +3,12 @@
 // results keyed by (canonical configuration, trace digest) and generated
 // traces keyed by canonical preset.
 //
+// It also owns the result-key scheme itself (ResultKey, OOOConfigKey,
+// RefConfigKey): /v1/sim, every /v1/sweep grid point and the ovsweep CLI
+// all address results through these helpers, which is what lets a repeated
+// sweep run zero new simulations and lets single runs and sweep points
+// warm each other.
+//
 // The cache is a singleflight cache: concurrent Do calls for the same key
 // run the fill function exactly once, with every other caller blocking until
 // the value is ready. Values must be immutable once published (simulation

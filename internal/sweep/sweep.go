@@ -8,16 +8,28 @@
 // worker drives all its grid points through one pooled, resettable machine
 // (ooosim.Machine / refsim.Machine), so an N-point grid constructs machine
 // state once per worker and shape instead of once per point.
+//
+// The *Opts variants add the two production concerns of a long-lived
+// design-space-exploration service: per-point result caching (every grid
+// point is content-addressed by the same simcache.ResultKey scheme the
+// /v1/sim endpoint uses, so a repeated or overlapping grid re-simulates
+// only the points never seen before) and cooperative cancellation between
+// points (a dropped client stops burning workers mid-grid). Grid points are
+// assembled from cached measurements deterministically, so a warm grid is
+// byte-identical to a cold one.
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 
 	"oovec/internal/engine"
+	"oovec/internal/metrics"
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
+	"oovec/internal/simcache"
 	"oovec/internal/trace"
 )
 
@@ -37,6 +49,72 @@ type Point struct {
 	Eliminated  int64
 }
 
+// Opts configures a cached, cancellable grid run. The zero value runs the
+// grid uncached and uncancellable, fanned one worker per core (Workers 0).
+type Opts struct {
+	// Workers fans grid points across the engine pool (<= 0 picks one per
+	// core, 1 runs serially).
+	Workers int
+	// Cache, when non-nil, serves repeated (configuration, trace) points
+	// from the content-addressed result cache instead of re-simulating.
+	// Entries are keyed by simcache.ResultKey over the resolved
+	// configuration and TraceKey — the exact scheme the ovserve /v1/sim
+	// endpoint uses, so single runs and sweep grid points share entries.
+	Cache *simcache.Cache[*metrics.RunStats]
+	// TraceKey is the content key of the trace the grid runs on
+	// (simcache.PresetKey for generated benchmarks, "ovtr:"+trace.Digest
+	// for arbitrary traces). Required when Cache is set: without it,
+	// different traces would collide on configuration-only keys.
+	TraceKey string
+	// Ctx, when non-nil, cancels the grid between points; the grid then
+	// returns ctx's error and the partial points must be discarded.
+	Ctx context.Context
+	// OnSim, when non-nil, is called once per simulation actually executed
+	// — cache hits do not fire it. Calls happen on worker goroutines, so
+	// OnSim must be safe for concurrent use when Workers != 1.
+	OnSim func()
+}
+
+// validate catches the cache-without-key programmer error before any point
+// could poison the cache with trace-independent keys.
+func (o Opts) validate() {
+	if o.Cache != nil && o.TraceKey == "" {
+		panic("sweep: Opts.Cache requires Opts.TraceKey (distinct traces would collide)")
+	}
+}
+
+// runRef produces one REF measurement, through the cache when configured.
+func (o Opts) runRef(m *refsim.Machine, t *trace.Trace, cfg refsim.Config) *metrics.RunStats {
+	run := func() *metrics.RunStats {
+		if o.OnSim != nil {
+			o.OnSim()
+		}
+		m.Reset(cfg)
+		return m.Run(t)
+	}
+	if o.Cache == nil {
+		return run()
+	}
+	st, _ := o.Cache.Do(simcache.ResultKey(simcache.RefConfigKey(cfg), o.TraceKey), run)
+	return st
+}
+
+// runOOO produces one OOOVA measurement, through the cache when configured.
+func (o Opts) runOOO(m *ooosim.Machine, t *trace.Trace, cfg ooosim.Config) *metrics.RunStats {
+	run := func() *metrics.RunStats {
+		if o.OnSim != nil {
+			o.OnSim()
+		}
+		m.Reset(cfg)
+		return m.Run(t).Stats
+	}
+	if o.Cache == nil {
+		return run()
+	}
+	st, _ := o.Cache.Do(simcache.ResultKey(simcache.OOOConfigKey(cfg), o.TraceKey), run)
+	return st
+}
+
 // RefGrid runs the reference machine across memory latencies, serially.
 func RefGrid(t *trace.Trace, latencies []int64) []Point {
 	return RefGridWorkers(t, latencies, 1)
@@ -46,20 +124,32 @@ func RefGrid(t *trace.Trace, latencies []int64) []Point {
 // one per core), each reusing one reference machine for all its points.
 // The returned points are in the same order as RefGrid's.
 func RefGridWorkers(t *trace.Trace, latencies []int64, workers int) []Point {
+	pts, _ := RefGridOpts(t, latencies, Opts{Workers: workers})
+	return pts
+}
+
+// RefGridOpts is RefGrid under Opts: fanned across the worker pool, served
+// from the result cache where configured, cancellable between points. The
+// points come back in RefGrid's order; on cancellation it returns the
+// context's error and the points must be discarded.
+func RefGridOpts(t *trace.Trace, latencies []int64, o Opts) ([]Point, error) {
+	o.validate()
 	pts := make([]Point, len(latencies))
 	newState := func() *refsim.Machine { return refsim.NewMachine(refsim.DefaultConfig()) }
-	engine.MapWith(workers, len(latencies), newState, func(m *refsim.Machine, i int) {
+	err := engine.MapWithCtx(o.Ctx, o.Workers, len(latencies), newState, func(m *refsim.Machine, i int) {
 		cfg := refsim.DefaultConfig()
 		cfg.MemLatency = latencies[i]
-		m.Reset(cfg)
-		st := m.Run(t)
+		st := o.runRef(m, t, cfg)
 		pts[i] = Point{
 			Program: t.Name, Machine: "REF", Latency: latencies[i],
 			Cycles: st.Cycles, MemRequests: st.MemRequests,
 			PortIdlePct: st.MemPortIdlePct(),
 		}
 	})
-	return pts
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
 }
 
 // OOOGrid runs the OOOVA over the cross product of register counts and
@@ -73,16 +163,25 @@ func OOOGrid(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64)
 // changes revive the matching shape from the machine's shape cache). The
 // returned points are in the same order as OOOGrid's.
 func OOOGridWorkers(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64, workers int) []Point {
+	pts, _ := OOOGridOpts(t, base, vregs, latencies, Opts{Workers: workers})
+	return pts
+}
+
+// OOOGridOpts is OOOGrid under Opts: fanned across the worker pool, served
+// from the result cache where configured, cancellable between points. The
+// points come back in OOOGrid's order; on cancellation it returns the
+// context's error and the points must be discarded.
+func OOOGridOpts(t *trace.Trace, base ooosim.Config, vregs []int, latencies []int64, o Opts) ([]Point, error) {
+	o.validate()
 	nl := len(latencies)
 	pts := make([]Point, len(vregs)*nl)
 	newState := func() *ooosim.Machine { return ooosim.NewMachine(base) }
-	engine.MapWith(workers, len(pts), newState, func(m *ooosim.Machine, k int) {
+	err := engine.MapWithCtx(o.Ctx, o.Workers, len(pts), newState, func(m *ooosim.Machine, k int) {
 		regs, lat := vregs[k/nl], latencies[k%nl]
 		cfg := base
 		cfg.PhysVRegs = regs
 		cfg.MemLatency = lat
-		m.Reset(cfg)
-		st := m.Run(t).Stats
+		st := o.runOOO(m, t, cfg)
 		// Report the exact parameters the simulator resolved, so CSV rows
 		// cannot drift from what actually ran.
 		resolved := cfg.WithDefaults()
@@ -95,7 +194,10 @@ func OOOGridWorkers(t *trace.Trace, base ooosim.Config, vregs []int, latencies [
 			Mispredicts: st.Mispredicts, Eliminated: st.EliminatedLoads,
 		}
 	})
-	return pts
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
 }
 
 // csvHeader is the column layout of WriteCSV.

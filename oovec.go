@@ -32,8 +32,10 @@
 //	out, _ := oovec.RunExperiment(s, "fig5")
 //	fmt.Print(out)
 //
-// See DESIGN.md for the system inventory and modelling decisions, and
-// EXPERIMENTS.md for the paper-vs-measured record of every table and figure.
+// Beyond the library, the repository ships CLIs (cmd/ovbench, ovsweep,
+// ovsim, ovtrace) and a simulation-as-a-service daemon (cmd/ovserve). See
+// docs/ARCHITECTURE.md for the package map and pooling/caching data flow,
+// and docs/API.md for the ovserve HTTP API.
 package oovec
 
 import (
