@@ -6,6 +6,12 @@
 //	ovbench -exp fig5       # one experiment
 //	ovbench -insns 10000    # smaller traces (faster, noisier)
 //	ovbench -out results/   # also write one text file per experiment
+//	ovbench -cache-dir ~/.cache/oovec   # reuse results across invocations
+//
+// With -cache-dir, every simulation result is persisted to the durable
+// content-addressed store shared with ovsweep and ovserve: a repeated
+// ovbench run (or one whose grid overlaps an earlier sweep) simulates
+// only the points never measured before.
 package main
 
 import (
@@ -29,10 +35,28 @@ func main() {
 		plot  = flag.Bool("plot", false, "render text charts instead of tables (figures only)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
+	cacheF := cli.RegisterCache(flag.CommandLine)
 	flag.Parse()
 	common.Announce("ovbench")
 
+	st, err := cacheF.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovbench:", err)
+		os.Exit(1)
+	}
+	// fail flushes write-behind store saves before exiting, so even a run
+	// that dies partway leaves its completed simulations warm on disk.
+	fail := func(err error) {
+		if st != nil {
+			st.Close()
+		}
+		fmt.Fprintln(os.Stderr, "ovbench:", err)
+		os.Exit(1)
+	}
 	opts := oovec.SuiteOpts{Insns: *insns, Parallelism: common.Jobs}
+	if st != nil {
+		opts.Store = st
+	}
 	if *names != "" {
 		opts.Names = strings.Split(*names, ",")
 	}
@@ -44,8 +68,7 @@ func main() {
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "ovbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	for _, name := range list {
@@ -61,16 +84,18 @@ func main() {
 			text, err = oovec.RunExperiment(suite, name)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ovbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), text)
 		if *out != "" {
 			path := filepath.Join(*out, name+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "ovbench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
+	}
+	// Flush write-behind saves so the next invocation starts warm.
+	if st != nil {
+		st.Close()
 	}
 }

@@ -50,9 +50,19 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "maximum concurrently executing simulation requests; excess gets 429 (0 = unlimited)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
+	cacheF := cli.RegisterCache(flag.CommandLine)
 	flag.Parse()
 	if *authToken == "" {
 		*authToken = os.Getenv("OVSERVE_TOKEN")
+	}
+
+	// The durable result store (-cache-dir) is what survives restarts: a
+	// relaunched daemon pointed at the same directory serves previously
+	// computed results with zero new simulations.
+	st, err := cacheF.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovserve:", err)
+		os.Exit(1)
 	}
 
 	srv := server.New(server.Opts{
@@ -63,10 +73,14 @@ func main() {
 		Timeout:        *timeout,
 		AuthToken:      *authToken,
 		MaxInflight:    *inflight,
+		Store:          st,
 	})
 	common.Announce("ovserve")
 	if common.Verbose && *authToken != "" {
 		fmt.Fprintln(os.Stderr, "ovserve: bearer-token auth enabled (/healthz exempt)")
+	}
+	if common.Verbose && st != nil {
+		fmt.Fprintf(os.Stderr, "ovserve: durable result store at %s (%d byte bound)\n", st.Dir(), st.MaxBytes())
 	}
 
 	httpSrv := &http.Server{
@@ -83,9 +97,17 @@ func main() {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	// closeStore flushes write-behind saves so results computed before the
+	// exit are durable — the restart-warm guarantee.
+	closeStore := func() {
+		if st != nil {
+			st.Close()
+		}
+	}
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			closeStore()
 			fmt.Fprintln(os.Stderr, "ovserve:", err)
 			os.Exit(1)
 		}
@@ -96,6 +118,7 @@ func main() {
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "ovserve: drain:", err)
 		}
+		closeStore()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "ovserve: shutdown:", err)
 			os.Exit(1)

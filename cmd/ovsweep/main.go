@@ -4,13 +4,19 @@
 // Grid points run through the same content-addressed result cache as the
 // ovserve daemon (internal/simcache), so duplicate points — overlapping
 // grids, repeated benchmarks, machine "both" sharing a REF latitude — are
-// simulated once per process. SIGINT/SIGTERM cancel the grid between
-// simulations and exit non-zero without writing a truncated CSV.
+// simulated once per process. With -cache-dir the cache gains a durable
+// disk tier (internal/store): repeated sweeps across process invocations
+// simulate only their delta, and the directory is shared with ovbench and
+// ovserve. SIGINT/SIGTERM cancel the grid between simulations and exit
+// non-zero without writing a truncated CSV — but completed points are
+// flushed to the store first, so an interrupted sweep still warms the
+// next run.
 //
 // Usage:
 //
 //	ovsweep -bench swm256,trfd -regs 9,16,32,64 -lats 1,50,100 -o sweep.csv
 //	ovsweep -bench bdna -machine ref -lats 1,20,70,100
+//	ovsweep -bench swm256 -cache-dir ~/.cache/oovec   # warm across runs
 package main
 
 import (
@@ -24,7 +30,6 @@ import (
 
 	"oovec/internal/cli"
 	"oovec/internal/isa"
-	"oovec/internal/metrics"
 	"oovec/internal/ooosim"
 	"oovec/internal/simcache"
 	"oovec/internal/sweep"
@@ -43,6 +48,7 @@ func main() {
 		out     = flag.String("o", "", "output CSV path (default stdout)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
+	cacheF := cli.RegisterCache(flag.CommandLine)
 	flag.Parse()
 	common.Announce("ovsweep")
 
@@ -88,14 +94,32 @@ func main() {
 
 	// Grid points go through the same content-addressed result cache the
 	// ovserve daemon uses (keyed by resolved config + trace content), so
-	// overlapping grids in one invocation only simulate distinct points.
-	// The signal context stops the grid between points on Ctrl-C.
+	// overlapping grids in one invocation only simulate distinct points —
+	// and with -cache-dir, across invocations too: the in-memory tier
+	// fronts the durable store, and a repeated sweep in a fresh process
+	// runs only its delta. The signal context stops the grid between
+	// points on Ctrl-C.
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	st, err := cacheF.Open()
+	if err != nil {
+		fatal(err)
+	}
+	// flushStore makes completed rows durable before any exit — including
+	// the SIGINT path, so an interrupted sweep still warms the next run.
+	flushStore := func() {
+		if st != nil {
+			st.Close()
+		}
+	}
+	var disk simcache.ResultStore
+	if st != nil {
+		disk = st
+	}
 	var sims atomic.Int64
 	opts := sweep.Opts{
 		Workers: common.Jobs,
-		Cache:   simcache.New[*metrics.RunStats](4096),
+		Cache:   simcache.NewResults(4096, disk),
 		Ctx:     ctx,
 		OnSim:   func() { sims.Add(1) },
 	}
@@ -104,6 +128,7 @@ func main() {
 	for _, name := range strings.Split(*bench, ",") {
 		p, ok := tgen.PresetByName(strings.TrimSpace(name))
 		if !ok {
+			flushStore()
 			fatal(fmt.Errorf("unknown benchmark %q", name))
 		}
 		if *insns > 0 {
@@ -116,6 +141,7 @@ func main() {
 		if *machine == "ref" || *machine == "both" {
 			grid, err := sweep.RefGridOpts(tr, lats64, opts)
 			if err != nil {
+				flushStore()
 				fatal(fmt.Errorf("sweep interrupted: %w", err))
 			}
 			pts = append(pts, grid...)
@@ -123,11 +149,13 @@ func main() {
 		if *machine == "ooo" || *machine == "both" {
 			grid, err := sweep.OOOGridOpts(tr, base, regs, lats64, opts)
 			if err != nil {
+				flushStore()
 				fatal(fmt.Errorf("sweep interrupted: %w", err))
 			}
 			pts = append(pts, grid...)
 		}
 	}
+	flushStore()
 	if common.Verbose {
 		fmt.Fprintf(os.Stderr, "ovsweep: %d grid points, %d simulations run (%d served from cache)\n",
 			len(pts), sims.Load(), int64(len(pts))-sims.Load())

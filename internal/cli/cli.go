@@ -13,6 +13,7 @@ import (
 	"oovec/internal/engine"
 	"oovec/internal/ooosim"
 	"oovec/internal/rob"
+	"oovec/internal/store"
 )
 
 // SignalContext returns a context cancelled on SIGINT or SIGTERM, for
@@ -87,6 +88,38 @@ func (c *Common) Announce(cmd string) {
 	if c.Verbose {
 		fmt.Fprintf(os.Stderr, "%s: using %d workers\n", cmd, c.Workers())
 	}
+}
+
+// CacheFlags carries the durable result-store flags every simulation
+// command shares: -cache-dir points sweeps, benches and the daemon at one
+// on-disk content-addressed store, so repeated invocations across process
+// restarts only simulate their delta. Register with RegisterCache so the
+// flag names and semantics cannot drift between commands.
+type CacheFlags struct {
+	// Dir is the store directory; empty disables the disk tier.
+	Dir string
+	// DiskBytes bounds the store's size (least-recently-used entry files
+	// are evicted past it; <= 0 = unbounded).
+	DiskBytes int64
+}
+
+// RegisterCache registers -cache-dir and -cache-disk-bytes on the flag set
+// and returns the destination struct.
+func RegisterCache(fs *flag.FlagSet) *CacheFlags {
+	c := &CacheFlags{}
+	fs.StringVar(&c.Dir, "cache-dir", "", "directory of the durable content-addressed result store; results persist across runs and are shared with every command pointed at the same directory (empty = in-memory caching only)")
+	fs.Int64Var(&c.DiskBytes, "cache-disk-bytes", 256<<20, "result store size bound in bytes; least-recently-used entries are evicted past it (0 = unbounded)")
+	return c
+}
+
+// Open opens the configured store, or returns (nil, nil) when -cache-dir
+// is unset. Callers must Close the store on every exit path that should
+// keep completed work (including SIGINT), flushing write-behind saves.
+func (c *CacheFlags) Open() (*store.Store, error) {
+	if c.Dir == "" {
+		return nil, nil
+	}
+	return store.Open(c.Dir, c.DiskBytes)
 }
 
 // WriteFile creates path, streams content through write, then syncs and

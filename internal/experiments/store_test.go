@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"oovec/internal/ooosim"
+	"oovec/internal/refsim"
+	"oovec/internal/simcache"
+	"oovec/internal/store"
+)
+
+// TestSuiteDiskWarmAcrossProcesses is the ovbench -cache-dir contract: a
+// suite backed by a warm store (a previous invocation's results) serves
+// run-cache misses from disk instead of simulating, keyed by the same
+// ResultKey scheme as ovserve and ovsweep.
+func TestSuiteDiskWarmAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	const insns = 1000
+	cfg := ooosim.DefaultConfig()
+	cfg.PhysVRegs = 12
+
+	st1, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewSuite(Opts{Insns: insns, Parallelism: 1, Store: st1})
+	wantRef := s1.Ref("swm256", 50)
+	wantOOO := s1.OOO("swm256", cfg)
+	st1.Close() // the CLI exit path: flush write-behind saves
+
+	// "Second process": fresh suite, fresh run caches, same directory.
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2 := NewSuite(Opts{Insns: insns, Parallelism: 1, Store: st2})
+	gotRef := s2.Ref("swm256", 50)
+	gotOOO := s2.OOO("swm256", cfg)
+
+	if hits := st2.Stats().Hits; hits != 2 {
+		t.Errorf("store served %d hits, want 2 (both runs must come from disk)", hits)
+	}
+	if !reflect.DeepEqual(gotRef, wantRef) {
+		t.Error("disk-served REF result differs from the simulated one")
+	}
+	if !reflect.DeepEqual(gotOOO, wantOOO) {
+		t.Error("disk-served OOOVA result differs from the simulated one")
+	}
+
+	// And the keys are the shared scheme: a sweep-style lookup of the same
+	// (config, trace) must hit the entries this suite persisted.
+	p := s2.preset("swm256")
+	refCfg := refsim.DefaultConfig()
+	refCfg.MemLatency = 50
+	refKey := simcache.ResultKey(simcache.RefConfigKey(refCfg), simcache.PresetKey(p))
+	if _, ok := st2.Load(refKey); !ok {
+		t.Error("suite REF entry not addressable through the shared ResultKey scheme")
+	}
+	oooKey := simcache.ResultKey(simcache.OOOConfigKey(cfg), simcache.PresetKey(p))
+	if _, ok := st2.Load(oooKey); !ok {
+		t.Error("suite OOOVA entry not addressable through the shared ResultKey scheme")
+	}
+}

@@ -29,7 +29,8 @@ func TestAPIDocMatchesRoutes(t *testing.T) {
 	// from, so it cannot drift from what is actually served.
 	methods := map[string]string{
 		"/v1/sim": "POST", "/v1/sweep": "POST",
-		"/v1/presets": "GET", "/healthz": "GET", "/metrics": "GET",
+		"/v1/presets": "GET", "/v1/cache": "GET",
+		"/healthz": "GET", "/metrics": "GET",
 	}
 	if len(methods) != len(routes) {
 		t.Fatalf("test method table has %d routes, server has %d — update both this test and docs/API.md", len(methods), len(routes))
@@ -52,7 +53,10 @@ func TestAPIDocMatchesRoutes(t *testing.T) {
 
 	// The operational semantics the docs promise must at least be present
 	// as the status codes and headers they hinge on.
-	for _, want := range []string{"401", "429", "503", "Retry-After", SweepStatusTrailer, "ovserve_sims_total"} {
+	for _, want := range []string{
+		"401", "429", "503", "Retry-After", SweepStatusTrailer, "ovserve_sims_total",
+		"-cache-dir", "-cache-disk-bytes", "ovserve_store_hits_total",
+	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("docs/API.md does not mention %q", want)
 		}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oovec/internal/store"
+)
+
+// openStore opens a store on dir, failing the test on error.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRestartWarmServesFromDiskStore is the headline acceptance criterion
+// of the persistent store: kill the server, start a fresh one on the same
+// -cache-dir, repeat an identical /v1/sim and /v1/sweep — and get
+// byte-identical output with ZERO new simulations (ovserve_sims_total
+// stays 0 on the restarted process).
+func TestRestartWarmServesFromDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	simReq := SimRequest{
+		Bench: "trfd", Insns: testInsns,
+		Config: SimConfig{VRegs: 12, Latency: 20},
+	}
+	sweepReq := SweepRequest{
+		Bench: []string{"trfd"}, Machine: "both",
+		Regs: []int{12, 16}, Lats: []int64{1, 20}, Insns: testInsns,
+	}
+
+	// First process: simulate everything cold, then shut down cleanly
+	// (Close flushes the write-behind queue, as ovserve's drain path does).
+	st1 := openStore(t, dir)
+	s1 := New(Opts{Workers: 2, Store: st1})
+	if rec := post(t, s1, "/v1/sim", simReq); rec.Code != http.StatusOK {
+		t.Fatalf("cold sim status %d: %s", rec.Code, rec.Body)
+	}
+	// The repeat is the reference body for the restarted process: identical
+	// request, served from cache, so "cached":true like a warm server's.
+	warmSim := post(t, s1, "/v1/sim", simReq)
+	coldSweep := post(t, s1, "/v1/sweep", sweepReq)
+	if coldSweep.Code != http.StatusOK {
+		t.Fatalf("cold sweep status %d: %s", coldSweep.Code, coldSweep.Body)
+	}
+	simsBefore := s1.SimsRun()
+	if simsBefore == 0 {
+		t.Fatal("fixture ran no simulations")
+	}
+	st1.Close()
+
+	// Second process: fresh Server, fresh memory tier, same directory.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	s2 := New(Opts{Workers: 2, Store: st2})
+
+	gotSim := post(t, s2, "/v1/sim", simReq)
+	if gotSim.Code != http.StatusOK {
+		t.Fatalf("restarted sim status %d: %s", gotSim.Code, gotSim.Body)
+	}
+	if !bytes.Equal(gotSim.Body.Bytes(), warmSim.Body.Bytes()) {
+		t.Errorf("restarted /v1/sim body differs from the pre-restart run:\ngot  %s\nwant %s",
+			gotSim.Body, warmSim.Body)
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(gotSim.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Error("restarted /v1/sim reported cached=false; the disk tier must count as a cache hit")
+	}
+
+	gotSweep := post(t, s2, "/v1/sweep", sweepReq)
+	if gotSweep.Code != http.StatusOK {
+		t.Fatalf("restarted sweep status %d: %s", gotSweep.Code, gotSweep.Body)
+	}
+	if !bytes.Equal(gotSweep.Body.Bytes(), coldSweep.Body.Bytes()) {
+		t.Error("restarted /v1/sweep NDJSON differs from the pre-restart stream")
+	}
+
+	if got := s2.SimsRun(); got != 0 {
+		t.Errorf("restarted server ran %d simulations for previously served requests, want 0", got)
+	}
+	if n := metricValue(t, s2, "ovserve_sims_total"); n != 0 {
+		t.Errorf("ovserve_sims_total = %d on the restarted server, want 0", n)
+	}
+	if hits := metricValue(t, s2, "ovserve_store_hits_total"); hits == 0 {
+		t.Error("store hit counter is 0; the warm results did not come from the disk tier")
+	}
+}
+
+// TestRestartWithCorruptStoreResimulates: damage every persisted entry,
+// restart — the server must quietly re-simulate (corrupt entries are
+// misses), return the same measurements, and quarantine the damage. Wrong
+// results and panics are the only unacceptable outcomes.
+func TestRestartWithCorruptStoreResimulates(t *testing.T) {
+	dir := t.TempDir()
+	simReq := SimRequest{Bench: "swm256", Insns: testInsns, Config: SimConfig{VRegs: 12}}
+
+	st1 := openStore(t, dir)
+	s1 := New(Opts{Workers: 1, Store: st1})
+	cold := post(t, s1, "/v1/sim", simReq)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold sim status %d: %s", cold.Code, cold.Body)
+	}
+	var want SimResponse
+	if err := json.Unmarshal(cold.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	// Flip a byte in the middle of every entry file.
+	damaged := 0
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".ovr") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0xff
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+		return nil
+	})
+	if damaged == 0 {
+		t.Fatal("fixture persisted no entries to damage")
+	}
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	s2 := New(Opts{Workers: 1, Store: st2})
+	rec := post(t, s2, "/v1/sim", simReq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sim over corrupt store: status %d: %s", rec.Code, rec.Body)
+	}
+	var got SimResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached {
+		t.Error("corrupt entry was served as a cache hit")
+	}
+	if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+		t.Error("re-simulation over a corrupt store produced different metrics")
+	}
+	if s2.SimsRun() != 1 {
+		t.Errorf("sims run = %d, want 1 (corrupt entry degrades to a miss)", s2.SimsRun())
+	}
+	if c := st2.Stats().Corrupt; c == 0 {
+		t.Error("corrupt entry was not detected/quarantined")
+	}
+}
+
+// TestCacheStatsRoute: the GET /v1/cache admin view reports all tiers, and
+// the store block reflects -cache-dir configuration.
+func TestCacheStatsRoute(t *testing.T) {
+	// Memory-only daemon: store must be null, tiers present.
+	s := newTestServer(t)
+	post(t, s, "/v1/sim", SimRequest{Bench: "trfd", Insns: testInsns})
+	rec := get(t, s, "/v1/cache")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var cs CacheStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Store != nil {
+		t.Error("memory-only server reported a disk store")
+	}
+	if cs.Result.Misses == 0 {
+		t.Error("result tier shows no traffic after a /v1/sim")
+	}
+	if cs.Result.Bytes == 0 {
+		t.Error("result tier reports zero bytes with a cached entry")
+	}
+	if cs.Trace.Entries == 0 {
+		t.Error("trace tier shows no entries after generating a preset")
+	}
+
+	// Disk-backed daemon: the store block carries dir, bound and counters.
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	sd := New(Opts{Workers: 1, Store: st})
+	post(t, sd, "/v1/sim", SimRequest{Bench: "trfd", Insns: testInsns})
+	st.Flush()
+	rec = get(t, sd, "/v1/cache")
+	if err := json.Unmarshal(rec.Body.Bytes(), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Store == nil {
+		t.Fatal("disk-backed server reported no store")
+	}
+	if cs.Store.Dir != dir {
+		t.Errorf("store dir = %q, want %q", cs.Store.Dir, dir)
+	}
+	if cs.Store.Writes != 1 || cs.Store.Files != 1 || cs.Store.Bytes <= 0 {
+		t.Errorf("store stats = %+v, want 1 write, 1 file, bytes > 0", cs.Store.Stats)
+	}
+}

@@ -43,10 +43,10 @@ import (
 	"time"
 
 	"oovec/internal/engine"
-	"oovec/internal/metrics"
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
 	"oovec/internal/simcache"
+	"oovec/internal/store"
 	"oovec/internal/tgen"
 	"oovec/internal/trace"
 )
@@ -75,6 +75,12 @@ type Opts struct {
 	// (/v1/sim and /v1/sweep); excess requests are refused with 429 and a
 	// Retry-After header instead of queueing without bound (0 = unlimited).
 	MaxInflight int
+	// Store, when non-nil, is the durable disk tier behind the result
+	// cache (-cache-dir): results evicted from memory — or computed by an
+	// earlier process sharing the directory — are served from disk instead
+	// of re-simulated, which is what makes a restarted server warm. The
+	// caller owns the store's lifecycle (Close after Drain).
+	Store *store.Store
 }
 
 // Server is the ovserve request handler set. Construct with New; serve
@@ -88,7 +94,8 @@ type Server struct {
 	maxInflight    int
 	inflightSem    chan struct{} // nil when MaxInflight is 0 (unlimited)
 
-	results *simcache.Cache[*metrics.RunStats]
+	results *simcache.Results
+	store   *store.Store // nil = memory-only
 	oooPool ooosim.MachinePool
 	refPool refsim.MachinePool
 
@@ -130,7 +137,7 @@ type Server struct {
 }
 
 // routes are the request-counter buckets of /metrics.
-var routes = []string{"/v1/sim", "/v1/sweep", "/v1/presets", "/healthz", "/metrics"}
+var routes = []string{"/v1/sim", "/v1/sweep", "/v1/presets", "/v1/cache", "/healthz", "/metrics"}
 
 // New builds a server.
 func New(opts Opts) *Server {
@@ -140,6 +147,11 @@ func New(opts Opts) *Server {
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = 32 << 20
 	}
+	// A typed-nil *store.Store must not become a non-nil interface.
+	var disk simcache.ResultStore
+	if opts.Store != nil {
+		disk = opts.Store
+	}
 	s := &Server{
 		workers:        opts.Workers,
 		maxUploadBytes: opts.MaxUploadBytes,
@@ -147,7 +159,8 @@ func New(opts Opts) *Server {
 		timeout:        opts.Timeout,
 		authToken:      opts.AuthToken,
 		maxInflight:    opts.MaxInflight,
-		results:        simcache.New[*metrics.RunStats](opts.CacheEntries),
+		results:        simcache.NewResults(opts.CacheEntries, disk),
+		store:          opts.Store,
 		mux:            http.NewServeMux(),
 		start:          time.Now(),
 		requests:       make(map[string]*atomic.Int64, len(routes)),
@@ -171,6 +184,7 @@ func New(opts Opts) *Server {
 	s.mux.HandleFunc("POST /v1/sim", s.instrument("/v1/sim", sim, s.handleSim))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", sim, s.handleSweep))
 	s.mux.HandleFunc("GET /v1/presets", s.instrument("/v1/presets", meta, s.handlePresets))
+	s.mux.HandleFunc("GET /v1/cache", s.instrument("/v1/cache", meta, s.handleCache))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", routeOpts{}, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", routeOpts{auth: true}, s.handleMetrics))
 	return s
@@ -241,6 +255,39 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tgen.Presets())
 }
 
+// CacheStats is the body of GET /v1/cache: the admin view of every cache
+// tier. Store is null when the daemon runs without -cache-dir.
+type CacheStats struct {
+	// Result is the in-memory result tier (entries, bytes, hit/miss/evict
+	// counters); Trace is the process-wide generated-trace cache.
+	Result simcache.Stats `json:"result"`
+	Trace  simcache.Stats `json:"trace"`
+	// Store is the durable disk tier, when configured.
+	Store *StoreStats `json:"store"`
+}
+
+// StoreStats adds the disk tier's location and bound to its counters.
+type StoreStats struct {
+	store.Stats
+	Dir      string `json:"dir"`
+	MaxBytes int64  `json:"max_bytes"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	resp := CacheStats{
+		Result: s.results.MemStats(),
+		Trace:  simcache.TraceStats(),
+	}
+	if s.store != nil {
+		resp.Store = &StoreStats{
+			Stats:    s.store.Stats(),
+			Dir:      s.store.Dir(),
+			MaxBytes: s.store.MaxBytes(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	uptime := time.Since(s.start).Seconds()
@@ -264,8 +311,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "ovserve_sweep_rows_total %d\n", s.sweepRows.Load())
 	fmt.Fprintf(w, "ovserve_sweep_errors_total %d\n", s.sweepErrors.Load())
-	writeCacheMetrics(w, "result", s.results.Stats())
+	writeCacheMetrics(w, "result", s.results.MemStats())
 	writeCacheMetrics(w, "trace", simcache.TraceStats())
+	s.writeStoreMetrics(w)
 }
 
 func writeCacheMetrics(w http.ResponseWriter, name string, st simcache.Stats) {
@@ -274,6 +322,27 @@ func writeCacheMetrics(w http.ResponseWriter, name string, st simcache.Stats) {
 	fmt.Fprintf(w, "ovserve_%s_cache_dedups_total %d\n", name, st.Dedups)
 	fmt.Fprintf(w, "ovserve_%s_cache_evictions_total %d\n", name, st.Evictions)
 	fmt.Fprintf(w, "ovserve_%s_cache_entries %d\n", name, st.Entries)
+	fmt.Fprintf(w, "ovserve_%s_cache_bytes %d\n", name, st.Bytes)
+}
+
+// writeStoreMetrics renders the durable disk tier's gauges. The enabled
+// flag is always present so dashboards can tell "no store" from "store
+// with zero traffic"; the rest only when a store is configured.
+func (s *Server) writeStoreMetrics(w http.ResponseWriter) {
+	if s.store == nil {
+		fmt.Fprintf(w, "ovserve_store_enabled 0\n")
+		return
+	}
+	fmt.Fprintf(w, "ovserve_store_enabled 1\n")
+	st := s.store.Stats()
+	fmt.Fprintf(w, "ovserve_store_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "ovserve_store_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "ovserve_store_writes_total %d\n", st.Writes)
+	fmt.Fprintf(w, "ovserve_store_write_errors_total %d\n", st.WriteErrors)
+	fmt.Fprintf(w, "ovserve_store_corrupt_total %d\n", st.Corrupt)
+	fmt.Fprintf(w, "ovserve_store_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "ovserve_store_bytes %d\n", st.Bytes)
+	fmt.Fprintf(w, "ovserve_store_files %d\n", st.Files)
 }
 
 // SimsRun returns the number of simulations executed (not served from

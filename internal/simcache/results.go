@@ -1,0 +1,90 @@
+package simcache
+
+import (
+	"unsafe"
+
+	"oovec/internal/metrics"
+)
+
+// This file is the two-tier result cache: the sharded in-memory LRU in
+// front of an optional durable backing store (internal/store implements
+// it). The memory tier dies with the process; the backing tier is what
+// makes a restarted ovserve — or a fresh ovsweep invocation pointed at the
+// same -cache-dir — serve previously computed results with zero new
+// simulations.
+
+// ResultStore is the durable tier behind a Results cache. internal/store
+// provides the on-disk implementation; the interface lives here so simcache
+// (and everything above it) never depends on the storage engine.
+//
+// Load returns the persisted result for a key, or false on a miss — and a
+// miss is the only failure mode: a corrupt or unreadable entry must degrade
+// to (nil, false), never an error or a wrong result. Save persists a result
+// best-effort and may be asynchronous; implementations must tolerate
+// concurrent Saves of the same key (results are content-addressed, so such
+// saves carry identical measurements). Both must be safe for concurrent
+// use.
+type ResultStore interface {
+	Load(key string) (*metrics.RunStats, bool)
+	Save(key string, st *metrics.RunStats)
+}
+
+// Results is the two-tier simulation result cache: memory miss → disk
+// probe → simulate. The memory tier's singleflight covers the disk tier
+// too, so for any key at most one goroutine probes the store or runs the
+// fill — exactly one writer per key. Construct with NewResults.
+type Results struct {
+	mem  *Cache[*metrics.RunStats]
+	disk ResultStore // nil = memory-only
+}
+
+// NewResults builds a two-tier result cache: a memory LRU bounded to
+// roughly `entries` (<= 0 selects a small default) in front of disk, which
+// may be nil for a memory-only cache (the pre-persistence behaviour).
+func NewResults(entries int, disk ResultStore) *Results {
+	return &Results{mem: NewSized(entries, runStatsBytes), disk: disk}
+}
+
+// runStatsBytes estimates the memory footprint of one cached result for
+// Stats.Bytes: the struct itself plus its string payloads.
+func runStatsBytes(st *metrics.RunStats) int {
+	if st == nil {
+		return 0
+	}
+	return int(unsafe.Sizeof(*st)) + len(st.Machine) + len(st.Program)
+}
+
+// Do returns the result for key. The lookup order is memory, then the
+// backing store, then fill (the actual simulation); the second return
+// reports whether the value came from either cache tier — callers count a
+// simulation exactly when it is false. A fill's result is published to
+// both tiers. Concurrent calls for one key coalesce: the memory tier's
+// singleflight guarantees a single disk probe or simulation, and therefore
+// a single store write, per key.
+func (r *Results) Do(key string, fill func() *metrics.RunStats) (*metrics.RunStats, bool) {
+	diskHit := false
+	st, memHit := r.mem.Do(key, func() *metrics.RunStats {
+		if r.disk != nil {
+			if st, ok := r.disk.Load(key); ok {
+				diskHit = true
+				return st
+			}
+		}
+		st := fill()
+		if r.disk != nil {
+			r.disk.Save(key, st)
+		}
+		return st
+	})
+	// diskHit is only written by the filling goroutine (memHit false), and
+	// only read here when memHit is false — same goroutine, no race.
+	return st, memHit || diskHit
+}
+
+// Get returns the value for key if the memory tier holds it ready, without
+// probing the store or filling.
+func (r *Results) Get(key string) (*metrics.RunStats, bool) { return r.mem.Get(key) }
+
+// MemStats snapshots the memory tier's counters. The disk tier keeps its
+// own stats (see internal/store).
+func (r *Results) MemStats() Stats { return r.mem.Stats() }

@@ -1,0 +1,203 @@
+package simcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oovec/internal/metrics"
+)
+
+// fakeStore is an in-memory ResultStore double recording tier traffic.
+type fakeStore struct {
+	mu      sync.Mutex
+	entries map[string]*metrics.RunStats
+	loads   atomic.Int64
+	saves   atomic.Int64
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{entries: map[string]*metrics.RunStats{}}
+}
+
+func (f *fakeStore) Load(key string) (*metrics.RunStats, bool) {
+	f.loads.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.entries[key]
+	return st, ok
+}
+
+func (f *fakeStore) Save(key string, st *metrics.RunStats) {
+	f.saves.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.entries[key] = st
+}
+
+func resultsFixture(c int64) *metrics.RunStats {
+	return &metrics.RunStats{Machine: "OOOVA", Program: "t", Cycles: c}
+}
+
+// TestResultsTierOrder: memory miss → disk probe → simulate, and both
+// tiers are warmed by a fill.
+func TestResultsTierOrder(t *testing.T) {
+	disk := newFakeStore()
+	r := NewResults(16, disk)
+	fills := 0
+
+	// Cold: both tiers miss, fill runs, both tiers warm.
+	st, cached := r.Do("k", func() *metrics.RunStats { fills++; return resultsFixture(1) })
+	if cached || st.Cycles != 1 || fills != 1 {
+		t.Fatalf("cold Do = (%+v, %v), fills %d; want fresh fill", st, cached, fills)
+	}
+	if disk.saves.Load() != 1 {
+		t.Fatalf("fill saved %d times to disk, want 1", disk.saves.Load())
+	}
+
+	// Warm memory: no disk probe at all.
+	loadsBefore := disk.loads.Load()
+	st, cached = r.Do("k", func() *metrics.RunStats { fills++; return nil })
+	if !cached || st.Cycles != 1 || fills != 1 {
+		t.Fatalf("memory-warm Do = (%+v, %v), fills %d", st, cached, fills)
+	}
+	if disk.loads.Load() != loadsBefore {
+		t.Error("memory hit probed the disk tier")
+	}
+}
+
+// TestResultsDiskHitCountsAsCached is the warm-restart contract: a fresh
+// memory tier over a warm store serves results as cache hits — the fill
+// (the simulation) must not run — and the hit is promoted into memory.
+func TestResultsDiskHitCountsAsCached(t *testing.T) {
+	disk := newFakeStore()
+	disk.entries["k"] = resultsFixture(7)
+	r := NewResults(16, disk) // a "restarted process": empty memory tier
+
+	st, cached := r.Do("k", func() *metrics.RunStats {
+		t.Fatal("disk hit ran the simulation fill")
+		return nil
+	})
+	if !cached || st.Cycles != 7 {
+		t.Fatalf("disk-warm Do = (%+v, %v), want (cycles 7, cached)", st, cached)
+	}
+	// Promoted: the next hit comes from memory.
+	loads := disk.loads.Load()
+	if _, cached := r.Do("k", func() *metrics.RunStats { return nil }); !cached {
+		t.Fatal("promoted entry missed")
+	}
+	if disk.loads.Load() != loads {
+		t.Error("second hit went back to disk; the entry was not promoted to memory")
+	}
+}
+
+// TestResultsSingleWriterPerKey: concurrent Do calls for one key produce
+// exactly one disk probe, one fill and one store write — the singleflight
+// extends over the whole two-tier path.
+func TestResultsSingleWriterPerKey(t *testing.T) {
+	disk := newFakeStore()
+	r := NewResults(16, disk)
+	var fills atomic.Int64
+	release := make(chan struct{})
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, _ := r.Do("hot", func() *metrics.RunStats {
+				fills.Add(1)
+				<-release
+				return resultsFixture(3)
+			})
+			if st.Cycles != 3 {
+				t.Errorf("got cycles %d, want 3", st.Cycles)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Errorf("fill ran %d times, want 1", n)
+	}
+	if n := disk.loads.Load(); n != 1 {
+		t.Errorf("disk probed %d times, want 1", n)
+	}
+	if n := disk.saves.Load(); n != 1 {
+		t.Errorf("disk written %d times, want exactly one writer per key", n)
+	}
+}
+
+// TestResultsNilDisk: a memory-only Results behaves exactly like the plain
+// cache (the CLI default without -cache-dir).
+func TestResultsNilDisk(t *testing.T) {
+	r := NewResults(16, nil)
+	fills := 0
+	st, cached := r.Do("k", func() *metrics.RunStats { fills++; return resultsFixture(2) })
+	if cached || st.Cycles != 2 {
+		t.Fatalf("cold Do = (%+v, %v)", st, cached)
+	}
+	if _, cached := r.Do("k", func() *metrics.RunStats { fills++; return nil }); !cached || fills != 1 {
+		t.Fatalf("warm Do missed (fills %d)", fills)
+	}
+}
+
+// TestResultsMemoryEvictionFallsBackToDisk: an entry evicted from the
+// bounded memory tier is still served from the store — as a cached result,
+// with no new simulation.
+func TestResultsMemoryEvictionFallsBackToDisk(t *testing.T) {
+	disk := newFakeStore()
+	r := NewResults(shardCount, disk) // one entry per shard
+	var sims atomic.Int64
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		r.Do(keys[i], func() *metrics.RunStats { sims.Add(1); return resultsFixture(int64(i)) })
+	}
+	if r.MemStats().Evictions == 0 {
+		t.Fatal("fixture did not evict; grow the key count")
+	}
+	before := sims.Load()
+	for _, k := range keys {
+		if _, cached := r.Do(k, func() *metrics.RunStats { sims.Add(1); return resultsFixture(0) }); !cached {
+			t.Fatalf("key %q was a full miss despite the disk tier", k)
+		}
+	}
+	if got := sims.Load(); got != before {
+		t.Errorf("%d simulations re-ran for evicted entries backed by disk, want 0", got-before)
+	}
+}
+
+// TestSizedCacheTracksBytes: NewSized accounts ready-entry bytes through
+// insert and eviction.
+func TestSizedCacheTracksBytes(t *testing.T) {
+	c := NewSized(shardCount, func(v string) int { return len(v) })
+	c.Do("a", func() string { return "xxxx" })
+	if got := c.Stats().Bytes; got != 4 {
+		t.Fatalf("bytes = %d after one 4-byte entry, want 4", got)
+	}
+	for i := 0; i < 64; i++ {
+		c.Do(string(rune('b'+i)), func() string { return "yy" })
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("fixture did not evict")
+	}
+	// Whatever survives, the accounted bytes must equal the live entries'.
+	var live int64
+	for i := 0; i < 64; i++ {
+		if v, ok := c.Get(string(rune('b' + i))); ok {
+			live += int64(len(v))
+		}
+	}
+	if v, ok := c.Get("a"); ok {
+		live += int64(len(v))
+	}
+	if st.Bytes != live {
+		t.Errorf("accounted bytes %d != live entry bytes %d", st.Bytes, live)
+	}
+	if c.Stats().Bytes > int64(shardCount*4) {
+		t.Errorf("bytes %d not bounded by capacity", c.Stats().Bytes)
+	}
+}

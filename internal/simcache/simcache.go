@@ -36,11 +36,15 @@ const shardCount = 8
 type Cache[V any] struct {
 	shards   [shardCount]shard[V]
 	perShard int
+	// size estimates a ready value's memory footprint for Stats.Bytes.
+	// nil (plain New) reports zero bytes.
+	size func(V) int
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	dedups    atomic.Int64
 	evictions atomic.Int64
+	bytes     atomic.Int64
 }
 
 type shard[V any] struct {
@@ -73,12 +77,23 @@ type Stats struct {
 	Evictions int64
 	// Entries is the current number of cached (or in-flight) entries.
 	Entries int
+	// Bytes is the estimated memory held by ready entries. Only caches
+	// built with NewSized report it; plain New caches report zero.
+	Bytes int64
 }
 
 // New builds a cache bounded to roughly `capacity` ready entries (split
 // across shards, at least one per shard). capacity <= 0 selects a small
 // default.
 func New[V any](capacity int) *Cache[V] {
+	return NewSized[V](capacity, nil)
+}
+
+// NewSized is New with a value-footprint estimator: each ready entry adds
+// size(v) to Stats.Bytes on publication and subtracts it on eviction, so
+// /metrics can expose how much memory a tier actually holds, not just how
+// many entries. size may be nil (bytes stay zero).
+func NewSized[V any](capacity int, size func(V) int) *Cache[V] {
 	if capacity <= 0 {
 		capacity = 128
 	}
@@ -86,7 +101,7 @@ func New[V any](capacity int) *Cache[V] {
 	if per < 1 {
 		per = 1
 	}
-	c := &Cache[V]{perShard: per}
+	c := &Cache[V]{perShard: per, size: size}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*entry[V])
 		c.shards[i].lru = list.New()
@@ -182,12 +197,18 @@ func (c *Cache[V]) Do(key string, fill func() V) (V, bool) {
 
 	sh.mu.Lock()
 	e.elem = sh.lru.PushFront(e)
+	if c.size != nil {
+		c.bytes.Add(int64(c.size(e.val)))
+	}
 	for sh.lru.Len() > c.perShard {
 		back := sh.lru.Back()
 		sh.lru.Remove(back)
 		old := back.Value.(*entry[V])
 		old.elem = nil
 		delete(sh.entries, old.key)
+		if c.size != nil {
+			c.bytes.Add(-int64(c.size(old.val)))
+		}
 		c.evictions.Add(1)
 	}
 	sh.mu.Unlock()
@@ -215,5 +236,6 @@ func (c *Cache[V]) Stats() Stats {
 		Dedups:    c.dedups.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   c.Len(),
+		Bytes:     c.bytes.Load(),
 	}
 }

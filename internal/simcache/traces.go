@@ -2,7 +2,9 @@ package simcache
 
 import (
 	"fmt"
+	"unsafe"
 
+	"oovec/internal/isa"
 	"oovec/internal/tgen"
 	"oovec/internal/trace"
 )
@@ -16,7 +18,18 @@ import (
 //
 // The capacity covers the ten paper benchmarks at a few instruction budgets
 // plus ad-hoc presets before LRU eviction kicks in.
-var sharedTraces = New[*trace.Trace](64)
+var sharedTraces = NewSized(64, traceBytes)
+
+// traceBytes estimates a cached trace's memory footprint — dominated by
+// the instruction slice — for the Stats.Bytes gauge on /metrics.
+func traceBytes(t *trace.Trace) int {
+	if t == nil {
+		return 0
+	}
+	return int(unsafe.Sizeof(*t)) +
+		cap(t.Insns)*int(unsafe.Sizeof(isa.Instruction{})) +
+		len(t.Name) + len(t.Suite)
+}
 
 // PresetKey renders the canonical cache key of a preset: every field
 // participates, so two presets generate through one entry exactly when they

@@ -49,6 +49,16 @@ type Point struct {
 	Eliminated  int64
 }
 
+// ResultCache is the cache surface a grid needs: the singleflight Do.
+// Both *simcache.Cache[*metrics.RunStats] (memory-only) and
+// *simcache.Results (the two-tier cache over a durable backing store —
+// what ovserve and ovsweep -cache-dir run) satisfy it; with the two-tier
+// form, grid points persisted by an earlier process are disk hits that run
+// no simulation.
+type ResultCache interface {
+	Do(key string, fill func() *metrics.RunStats) (*metrics.RunStats, bool)
+}
+
 // Opts configures a cached, cancellable grid run. The zero value runs the
 // grid uncached and uncancellable, fanned one worker per core (Workers 0).
 type Opts struct {
@@ -60,7 +70,7 @@ type Opts struct {
 	// Entries are keyed by simcache.ResultKey over the resolved
 	// configuration and TraceKey — the exact scheme the ovserve /v1/sim
 	// endpoint uses, so single runs and sweep grid points share entries.
-	Cache *simcache.Cache[*metrics.RunStats]
+	Cache ResultCache
 	// TraceKey is the content key of the trace the grid runs on
 	// (simcache.PresetKey for generated benchmarks, "ovtr:"+trace.Digest
 	// for arbitrary traces). Required when Cache is set: without it,
