@@ -12,14 +12,26 @@
 //	curl localhost:8787/healthz
 //	curl -X POST localhost:8787/v1/sim -d '{"bench":"swm256","config":{"vregs":32}}'
 //	curl -X POST localhost:8787/v1/sweep -d '{"bench":["trfd"],"lats":[1,50,100]}'
+//	curl -X POST localhost:8787/v1/jobs -d '{"sim":{"bench":"bdna","insns":1000000}}'
 //	curl localhost:8787/metrics
+//
+// Long simulations run asynchronously through /v1/jobs: submission returns
+// a job id immediately, progress is polled, DELETE cancels within one
+// abort-check interval, and runs checkpoint through -cache-dir — a killed
+// or restarted daemon resumes them from the last checkpoint instead of
+// instruction zero. Interactive /v1/sim traffic preempts running jobs
+// (checkpoint-and-park), so batch work never sits in front of a quick
+// question.
 //
 // Production hardening (see docs/API.md): -auth-token (or the OVSERVE_TOKEN
 // environment variable) requires a bearer token on every route but
 // /healthz; -timeout bounds each request, observed between sweep grid
 // points; -max-inflight bounds concurrently executing simulation requests,
 // refusing the excess with 429 + Retry-After. SIGINT/SIGTERM drain
-// gracefully: in-flight requests finish, new ones get 503.
+// gracefully: in-flight requests finish, new ones get 503 + Retry-After,
+// running jobs checkpoint. -warm-bytes pre-loads MRU results into memory
+// at startup; -scrub-interval re-validates stored entry CRCs in the
+// background, quarantining silent corruption.
 package main
 
 import (
@@ -48,6 +60,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-request deadline; sweeps observe it between grid points (0 = none)")
 		authToken = flag.String("auth-token", "", "require 'Authorization: Bearer <token>' on every route but /healthz (default $OVSERVE_TOKEN)")
 		inflight  = flag.Int("max-inflight", 0, "maximum concurrently executing simulation requests; excess gets 429 (0 = unlimited)")
+		jobWork   = flag.Int("job-workers", 1, "async job (/v1/jobs) worker pool size")
+		jobQueue  = flag.Int("job-queue", 16, "async job queue bound; submissions beyond it are shed with 503")
+		warmBytes = flag.Int64("warm-bytes", 0, "pre-load up to this many bytes of most-recently-used results from -cache-dir into memory at startup (0 = off)")
+		scrubbery = flag.Duration("scrub-interval", 0, "background store integrity scrub cadence; corrupt entries are quarantined (0 = off)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
 	cacheF := cli.RegisterCache(flag.CommandLine)
@@ -74,6 +90,8 @@ func main() {
 		AuthToken:      *authToken,
 		MaxInflight:    *inflight,
 		Store:          st,
+		JobWorkers:     *jobWork,
+		JobQueue:       *jobQueue,
 	})
 	common.Announce("ovserve")
 	if common.Verbose && *authToken != "" {
@@ -81,6 +99,18 @@ func main() {
 	}
 	if common.Verbose && st != nil {
 		fmt.Fprintf(os.Stderr, "ovserve: durable result store at %s (%d byte bound)\n", st.Dir(), st.MaxBytes())
+	}
+	// Warm start: repopulate the memory tier from the store's MRU entries
+	// so the first repeated requests after a restart are memory hits.
+	if n := srv.WarmStart(*warmBytes); n > 0 && common.Verbose {
+		fmt.Fprintf(os.Stderr, "ovserve: warm start pre-loaded %d results\n", n)
+	}
+	// The background integrity scrubber re-validates store entry CRCs on
+	// idle time, quarantining silent corruption before a request pays for
+	// its discovery.
+	stopScrub := func() {}
+	if st != nil {
+		stopScrub = st.StartScrubber(*scrubbery)
 	}
 
 	httpSrv := &http.Server{
@@ -98,8 +128,12 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	// closeStore flushes write-behind saves so results computed before the
-	// exit are durable — the restart-warm guarantee.
+	// exit are durable — the restart-warm guarantee. The job layer must be
+	// closed first (Drain does it; this is the belt for the error paths):
+	// canceled jobs persist their checkpoints through the still-open store.
 	closeStore := func() {
+		stopScrub()
+		srv.JobsClose()
 		if st != nil {
 			st.Close()
 		}

@@ -1,0 +1,37 @@
+package bpred
+
+// BTBEntryState is the exported form of one BTB entry.
+type BTBEntryState struct {
+	Valid       bool
+	Tag, Target uint64
+	Ctr         uint8
+}
+
+// State is the serialisable mid-run state of a Predictor (see package sched
+// on checkpointing).
+type State struct {
+	BTB        [BTBEntries]BTBEntryState
+	RAS        [RASDepth]uint64
+	Top        int
+	Lookups    int64
+	Mispredict int64
+}
+
+// Snapshot captures the predictor state.
+func (p *Predictor) Snapshot() State {
+	st := State{RAS: p.ras, Top: p.top, Lookups: p.lookups, Mispredict: p.mispredict}
+	for i, e := range p.btb {
+		st.BTB[i] = BTBEntryState{Valid: e.valid, Tag: e.tag, Target: e.target, Ctr: uint8(e.ctr)}
+	}
+	return st
+}
+
+// Restore replaces the predictor state with st.
+func (p *Predictor) Restore(st State) {
+	for i, e := range st.BTB {
+		p.btb[i] = btbEntry{valid: e.Valid, tag: e.Tag, target: e.Target, ctr: counter(e.Ctr)}
+	}
+	p.ras = st.RAS
+	p.top = st.Top
+	p.lookups, p.mispredict = st.Lookups, st.Mispredict
+}

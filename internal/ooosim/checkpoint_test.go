@@ -1,0 +1,199 @@
+package ooosim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"oovec/internal/rob"
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+func checkpointTestTrace(t *testing.T, name string, insns int) *trace.Trace {
+	t.Helper()
+	p, ok := tgen.PresetByName(name)
+	if !ok {
+		t.Fatalf("no preset %q", name)
+	}
+	p.Insns = insns
+	return tgen.Generate(p)
+}
+
+func checkpointConfigs() map[string]Config {
+	late := DefaultConfig()
+	late.Commit = rob.PolicyLate
+	elim := DefaultConfig()
+	elim.LoadElim = ElimSLEVLE
+	banked := DefaultConfig()
+	banked.BankedPorts = true
+	elide := DefaultConfig()
+	elide.LoadElim = ElimSLEVLE
+	elide.ElideDeadSpillStores = true
+	records := DefaultConfig()
+	records.CollectRecords = true
+	return map[string]Config{
+		"default": DefaultConfig(),
+		"late":    late,
+		"elim":    elim,
+		"banked":  banked,
+		"elide":   elide,
+		"records": records,
+	}
+}
+
+// TestRunCheckpointedMatchesRun asserts that the checkpointable run path
+// with no cancellation and no resume is observationally identical to Run.
+func TestRunCheckpointedMatchesRun(t *testing.T) {
+	tr := checkpointTestTrace(t, "hydro2d", 3000)
+	for name, cfg := range checkpointConfigs() {
+		want := Run(tr, cfg).Stats
+		got, ck, err := NewMachine(cfg).RunCheckpointed(tr, RunOpts{Ctx: context.Background()})
+		if err != nil || ck != nil {
+			t.Fatalf("%s: unexpected (ck=%v, err=%v)", name, ck != nil, err)
+		}
+		if !reflect.DeepEqual(got.Stats, want) {
+			t.Errorf("%s: RunCheckpointed stats differ from Run\ngot:  %+v\nwant: %+v",
+				name, got.Stats, want)
+		}
+	}
+}
+
+// TestCheckpointResumeDeterminism cancels a run every few hundred
+// instructions, serialises the checkpoint through gob, restores it into a
+// brand-new machine and continues — repeatedly, until the trace finishes —
+// and asserts the final measurements are identical to an uninterrupted run.
+// This is the correctness contract the kill-and-resume server flow depends
+// on: a checkpoint captures ALL deterministic machine state.
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	tr := checkpointTestTrace(t, "bdna", 4000)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	const every = 700
+
+	for name, cfg := range checkpointConfigs() {
+		want := Run(tr, cfg)
+
+		var ck *Checkpoint
+		var got *Result
+		segments := 0
+		for {
+			// A fresh machine per segment proves the checkpoint carries the
+			// state, not the machine instance.
+			mm := NewMachine(cfg)
+			var err error
+			var stop *Checkpoint
+			got, stop, err = mm.RunCheckpointed(tr, RunOpts{
+				Ctx: canceled, CheckEvery: every, Resume: ck,
+			})
+			if stop == nil {
+				if err != nil {
+					t.Fatalf("%s: completed segment returned error %v", name, err)
+				}
+				break
+			}
+			if err == nil {
+				t.Fatalf("%s: canceled segment returned nil error", name)
+			}
+			if stop.NextInsn <= segments*every {
+				t.Fatalf("%s: segment %d made no progress (stopped at %d)",
+					name, segments, stop.NextInsn)
+			}
+			// Round-trip through the wire format, as the store does.
+			b, err := stop.Encode()
+			if err != nil {
+				t.Fatalf("%s: encode: %v", name, err)
+			}
+			ck, err = DecodeCheckpoint(b)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			segments++
+			if segments > tr.Len()/every+2 {
+				t.Fatalf("%s: too many segments (%d), resume not progressing", name, segments)
+			}
+		}
+		if segments < 2 {
+			t.Fatalf("%s: only %d segments, test exercised no resume", name, segments)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Errorf("%s: resumed stats differ from uninterrupted run\ngot:  %+v\nwant: %+v",
+				name, got.Stats, want.Stats)
+		}
+		if cfg.CollectRecords && !reflect.DeepEqual(got.Records, want.Records) {
+			t.Errorf("%s: resumed records differ from uninterrupted run", name)
+		}
+	}
+}
+
+// TestPeriodicCheckpointResume runs uninterrupted while collecting periodic
+// checkpoints, then resumes from each one on a fresh machine and asserts
+// every resumed result matches — the crash-recovery path, where the last
+// periodic checkpoint (not a cancellation checkpoint) is all that survives.
+func TestPeriodicCheckpointResume(t *testing.T) {
+	tr := checkpointTestTrace(t, "trfd", 3000)
+	cfg := DefaultConfig()
+	cfg.LoadElim = ElimSLEVLE
+	want := Run(tr, cfg).Stats
+
+	var cks []*Checkpoint
+	res, _, err := NewMachine(cfg).RunCheckpointed(tr, RunOpts{
+		CheckpointEvery: 800,
+		OnCheckpoint: func(ck *Checkpoint) {
+			b, err := ck.Encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			dec, err := DecodeCheckpoint(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			cks = append(cks, dec)
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !reflect.DeepEqual(res.Stats, want) {
+		t.Fatalf("checkpointing run differs from plain run")
+	}
+	if len(cks) < 3 {
+		t.Fatalf("expected >= 3 periodic checkpoints, got %d", len(cks))
+	}
+	for _, ck := range cks {
+		got, _, err := NewMachine(cfg).RunCheckpointed(tr, RunOpts{Resume: ck})
+		if err != nil {
+			t.Fatalf("resume from %d: %v", ck.NextInsn, err)
+		}
+		if !reflect.DeepEqual(got.Stats, want) {
+			t.Errorf("resume from instruction %d: stats differ from uninterrupted run", ck.NextInsn)
+		}
+	}
+}
+
+// TestCheckpointConfigMismatch asserts restore fails loudly rather than
+// silently corrupting a run when the machine shape does not match.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	tr := checkpointTestTrace(t, "trfd", 2000)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, ck, err := NewMachine(DefaultConfig()).RunCheckpointed(tr, RunOpts{Ctx: canceled, CheckEvery: 500})
+	if ck == nil || err == nil {
+		t.Fatalf("expected a cancellation checkpoint")
+	}
+	big := DefaultConfig()
+	big.PhysVRegs = 32
+	if _, _, err := NewMachine(big).RunCheckpointed(tr, RunOpts{Resume: ck}); err == nil {
+		t.Errorf("resume under a different register-file size succeeded; want error")
+	}
+	banked := DefaultConfig()
+	banked.BankedPorts = true
+	if _, _, err := NewMachine(banked).RunCheckpointed(tr, RunOpts{Resume: ck}); err == nil {
+		t.Errorf("resume under a different port organisation succeeded; want error")
+	}
+	short := *tr
+	short.Insns = short.Insns[:1000]
+	if _, _, err := NewMachine(DefaultConfig()).RunCheckpointed(&short, RunOpts{Resume: ck}); err == nil {
+		t.Errorf("resume on a different trace succeeded; want error")
+	}
+}

@@ -1,0 +1,190 @@
+package refsim
+
+// Mid-run checkpointing for the reference machine, mirroring
+// ooosim.Checkpoint: the complete deterministic machine state at an
+// instruction boundary, serialisable with encoding/gob, restorable into any
+// machine reset to the same configuration.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"oovec/internal/isa"
+	"oovec/internal/metrics"
+	"oovec/internal/sched"
+	"oovec/internal/trace"
+	"oovec/internal/vregfile"
+)
+
+// DefaultCheckEvery is the abort-check granularity of RunCheckpointed (see
+// ooosim.DefaultCheckEvery).
+const DefaultCheckEvery = 2048
+
+// VRegSnapshot is the exported form of one logical vector register's hazard
+// state.
+type VRegSnapshot struct {
+	Timing        vregfile.Timing
+	LastReadStart int64
+	HasValue      bool
+}
+
+// Checkpoint is the complete deterministic state of a reference-machine
+// simulation at an instruction boundary: instructions [0, NextInsn) have
+// been simulated.
+type Checkpoint struct {
+	// NextInsn is the index of the first instruction not yet simulated.
+	NextInsn int
+	// TraceLen guards against resuming on the wrong trace.
+	TraceLen int
+
+	FU1, FU2, Bus sched.MonotonicState
+	Ports         vregfile.BankedFileState
+
+	AReady [isa.NumLogicalA]int64
+	SReady [isa.NumLogicalS]int64
+	VRegs  [isa.NumLogicalV]VRegSnapshot
+
+	MaskT        vregfile.Timing
+	MaskHasValue bool
+
+	PrevIssue, LastVLTime, Bubble, LastCycle, MemRequests int64
+}
+
+// Encode serialises the checkpoint with encoding/gob.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint deserialises a checkpoint produced by Encode.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	ck := new(Checkpoint)
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(ck); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// snapshot captures the full machine state at instruction boundary nextInsn.
+func (m *machine) snapshot(nextInsn, traceLen int) *Checkpoint {
+	ck := &Checkpoint{
+		NextInsn: nextInsn,
+		TraceLen: traceLen,
+
+		FU1:   m.fu1.Snapshot(),
+		FU2:   m.fu2.Snapshot(),
+		Bus:   m.bus.Snapshot(),
+		Ports: m.ports.Snapshot(),
+
+		AReady: m.aReady,
+		SReady: m.sReady,
+
+		MaskT:        m.maskT,
+		MaskHasValue: m.maskHasValue,
+
+		PrevIssue:   m.prevIssue,
+		LastVLTime:  m.lastVLTime,
+		Bubble:      m.bubble,
+		LastCycle:   m.lastCycle,
+		MemRequests: m.memRequests,
+	}
+	for i := range m.vregs {
+		v := &m.vregs[i]
+		ck.VRegs[i] = VRegSnapshot{Timing: v.timing, LastReadStart: v.lastReadStart, HasValue: v.hasValue}
+	}
+	return ck
+}
+
+// restore replaces the machine state with ck.
+func (m *machine) restore(ck *Checkpoint) {
+	m.fu1.Restore(ck.FU1)
+	m.fu2.Restore(ck.FU2)
+	m.bus.Restore(ck.Bus)
+	m.ports.Restore(ck.Ports)
+	m.aReady = ck.AReady
+	m.sReady = ck.SReady
+	for i := range m.vregs {
+		s := &ck.VRegs[i]
+		m.vregs[i] = vregState{timing: s.Timing, lastReadStart: s.LastReadStart, hasValue: s.HasValue}
+	}
+	m.maskT = ck.MaskT
+	m.maskHasValue = ck.MaskHasValue
+	m.prevIssue = ck.PrevIssue
+	m.lastVLTime = ck.LastVLTime
+	m.bubble = ck.Bubble
+	m.lastCycle = ck.LastCycle
+	m.memRequests = ck.MemRequests
+}
+
+// RunOpts configures a cancellable, checkpointable run; the fields mirror
+// ooosim.RunOpts.
+type RunOpts struct {
+	// Ctx, when non-nil, cancels the run mid-trace (polled every CheckEvery
+	// instructions); on cancellation RunCheckpointed returns a checkpoint of
+	// the current instruction boundary along with ctx's error.
+	Ctx context.Context
+	// CheckEvery is the abort-check/progress granularity in instructions
+	// (<= 0 selects DefaultCheckEvery).
+	CheckEvery int
+	// CheckpointEvery, when > 0, invokes OnCheckpoint at every multiple of
+	// this many instructions.
+	CheckpointEvery int
+	// OnCheckpoint receives the periodic checkpoints (taken synchronously;
+	// the checkpoint shares no state with the machine).
+	OnCheckpoint func(*Checkpoint)
+	// OnProgress, when non-nil, receives the instructions-simulated count at
+	// CheckEvery granularity.
+	OnProgress func(done int)
+	// Resume, when non-nil, restores this checkpoint instead of starting
+	// from instruction zero.
+	Resume *Checkpoint
+}
+
+// RunCheckpointed simulates the trace like Run, with cooperative
+// cancellation and checkpointing. On completion it returns (stats, nil,
+// nil); on cancellation (nil, checkpoint, ctx error). A resumed run's final
+// stats are byte-identical to an uninterrupted run's.
+func (mm *Machine) RunCheckpointed(t *trace.Trace, opts RunOpts) (*metrics.RunStats, *Checkpoint, error) {
+	if mm.dirty {
+		mm.Reset(mm.m.cfg)
+	}
+	mm.dirty = true
+	m := mm.m
+	start := 0
+	if opts.Resume != nil {
+		if opts.Resume.TraceLen != t.Len() {
+			return nil, nil, fmt.Errorf("refsim: checkpoint is for a %d-instruction trace, got %d",
+				opts.Resume.TraceLen, t.Len())
+		}
+		m.restore(opts.Resume)
+		start = opts.Resume.NextInsn
+	}
+	m.reserveFor(t)
+	check := opts.CheckEvery
+	if check <= 0 {
+		check = DefaultCheckEvery
+	}
+	for i := start; i < t.Len(); i++ {
+		if i > start && i%check == 0 {
+			if opts.OnProgress != nil {
+				opts.OnProgress(i)
+			}
+			if opts.Ctx != nil {
+				if err := opts.Ctx.Err(); err != nil {
+					return nil, m.snapshot(i, t.Len()), err
+				}
+			}
+		}
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil &&
+			i > start && i%opts.CheckpointEvery == 0 {
+			opts.OnCheckpoint(m.snapshot(i, t.Len()))
+		}
+		m.step(i, &t.Insns[i])
+	}
+	return m.finish(t), nil, nil
+}

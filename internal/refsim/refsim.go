@@ -131,6 +131,14 @@ type machine struct {
 	maskT        vregfile.Timing
 	maskHasValue bool
 
+	// In-order front-end state, kept on the machine (rather than as run
+	// locals) so a mid-run checkpoint captures it.
+	prevIssue   int64 // issue cycle of the previous instruction (-1 at start)
+	lastVLTime  int64 // completion of the last SetVL/SetVS
+	bubble      int64 // extra delay for the next instruction (taken branch)
+	lastCycle   int64
+	memRequests int64
+
 	readX, writeX int64
 
 	// Per-instruction scratch buffers and the state-breakdown edge buffer,
@@ -142,13 +150,14 @@ type machine struct {
 
 func newMachine(cfg Config) *machine {
 	return &machine{
-		cfg:    cfg.withDefaults(),
-		fu1:    sched.NewMonotonic(),
-		fu2:    sched.NewMonotonic(),
-		bus:    sched.NewMonotonic(),
-		ports:  vregfile.NewBankedFile(isa.NumLogicalV),
-		readX:  int64(isa.ReadXbar(isa.MachineRef)),
-		writeX: int64(isa.WriteXbar(isa.MachineRef)),
+		cfg:       cfg.withDefaults(),
+		fu1:       sched.NewMonotonic(),
+		fu2:       sched.NewMonotonic(),
+		bus:       sched.NewMonotonic(),
+		ports:     vregfile.NewBankedFile(isa.NumLogicalV),
+		prevIssue: -1,
+		readX:     int64(isa.ReadXbar(isa.MachineRef)),
+		writeX:    int64(isa.WriteXbar(isa.MachineRef)),
 	}
 }
 
@@ -164,6 +173,8 @@ func (m *machine) reset(cfg Config) {
 	m.vregs = [isa.NumLogicalV]vregState{}
 	m.maskT = vregfile.Timing{}
 	m.maskHasValue = false
+	m.prevIssue = -1
+	m.lastVLTime, m.bubble, m.lastCycle, m.memRequests = 0, 0, 0, 0
 }
 
 // reserveFor sizes the unit interval lists from the trace so a reused
@@ -188,223 +199,223 @@ func (m *machine) reserveFor(t *trace.Trace) {
 
 // run executes the whole trace and assembles the measurements.
 func (m *machine) run(t *trace.Trace) *metrics.RunStats {
+	for i := range t.Insns {
+		m.step(i, &t.Insns[i])
+	}
+	return m.finish(t)
+}
+
+// note tracks the latest activity for end-of-run accounting.
+func (m *machine) note(c int64) {
+	if c > m.lastCycle {
+		m.lastCycle = c
+	}
+}
+
+// scalarReady returns when a scalar operand can be read.
+func (m *machine) scalarReady(r isa.Reg) int64 {
+	switch r.Class {
+	case isa.RegA:
+		return m.aReady[r.Idx]
+	case isa.RegS:
+		return m.sReady[r.Idx]
+	}
+	return 0
+}
+
+// step processes one dynamic instruction through the in-order pipeline.
+func (m *machine) step(i int, in *isa.Instruction) {
 	cfg := m.cfg
-
-	var prevIssue int64 = -1
-	var lastVLTime int64 // completion of the last SetVL/SetVS
-	var bubble int64     // extra delay for the next instruction (taken branch)
-	var lastCycle int64
-	var memRequests int64
-
-	note := func(c int64) {
-		if c > lastCycle {
-			lastCycle = c
-		}
-	}
-
-	// scalarReady returns when a scalar operand can be read.
-	scalarReady := func(r isa.Reg) int64 {
-		switch r.Class {
-		case isa.RegA:
-			return m.aReady[r.Idx]
-		case isa.RegS:
-			return m.sReady[r.Idx]
-		}
-		return 0
-	}
-
 	fu1, fu2, bus, ports := m.fu1, m.fu2, m.bus, m.ports
 	aReady, sReady, vregs := &m.aReady, &m.sReady, &m.vregs
 	readX, writeX := m.readX, m.writeX
-
 	const vstart = int64(isa.VectorStartup)
-	vReadsBuf := &m.vReadsBuf
-	rbuf := &m.rbuf
-	for i := range t.Insns {
-		in := &t.Insns[i]
-		vl := int64(in.EffVL())
-		occ := vl // unit occupancy: startup dead time + one cycle per element
-		if in.Op.IsVector() {
-			occ += vstart
-		}
 
-		// In-order single issue: one instruction per cycle, plus any branch
-		// bubble from the previous instruction.
-		cand := prevIssue + 1 + bubble
-		bubble = 0
+	vl := int64(in.EffVL())
+	occ := vl // unit occupancy: startup dead time + one cycle per element
+	if in.Op.IsVector() {
+		occ += vstart
+	}
 
-		// Operand readiness.
-		vReads := vReadsBuf[:0]
-		consumerChainable := in.Op.ExecUnit() == isa.UnitV || in.Op.IsStore()
-		for _, r := range in.Reads(rbuf[:]) {
-			switch r.Class {
-			case isa.RegA, isa.RegS:
-				if rdy := scalarReady(r); rdy > cand {
+	// In-order single issue: one instruction per cycle, plus any branch
+	// bubble from the previous instruction.
+	cand := m.prevIssue + 1 + m.bubble
+	m.bubble = 0
+
+	// Operand readiness.
+	vReads := m.vReadsBuf[:0]
+	consumerChainable := in.Op.ExecUnit() == isa.UnitV || in.Op.IsStore()
+	for _, r := range in.Reads(m.rbuf[:]) {
+		switch r.Class {
+		case isa.RegA, isa.RegS:
+			if rdy := m.scalarReady(r); rdy > cand {
+				cand = rdy
+			}
+		case isa.RegV:
+			st := &vregs[r.Idx]
+			if st.hasValue {
+				if rdy := st.timing.ReadyFor(consumerChainable); rdy > cand {
 					cand = rdy
 				}
-			case isa.RegV:
-				st := &vregs[r.Idx]
-				if st.hasValue {
-					if rdy := st.timing.ReadyFor(consumerChainable); rdy > cand {
-						cand = rdy
-					}
-				}
-				vReads = append(vReads, int(r.Idx))
-			case isa.RegM:
-				if m.maskHasValue {
-					if rdy := m.maskT.ReadyFor(consumerChainable); rdy > cand {
-						cand = rdy
-					}
+			}
+			vReads = append(vReads, int(r.Idx))
+		case isa.RegM:
+			if m.maskHasValue {
+				if rdy := m.maskT.ReadyFor(consumerChainable); rdy > cand {
+					cand = rdy
 				}
 			}
-		}
-
-		// Vector instructions execute under the architected VL/VS, so they
-		// serialise behind the last SetVL/SetVS.
-		if in.Op.IsVector() && lastVLTime > cand {
-			cand = lastVLTime
-		}
-
-		// Register hazards on the destination (no renaming): WAW waits for
-		// the previous value's last element; WAR waits for the most recent
-		// reader to have started (it then stays one element ahead).
-		vWrite := -1
-		if in.WritesReg() {
-			switch in.Dst.Class {
-			case isa.RegV:
-				st := &vregs[in.Dst.Idx]
-				if st.hasValue && st.timing.Complete+1 > cand {
-					cand = st.timing.Complete + 1 // WAW
-				}
-				if st.lastReadStart+1 > cand {
-					cand = st.lastReadStart + 1 // WAR
-				}
-				vWrite = int(in.Dst.Idx)
-			case isa.RegM:
-				if m.maskHasValue && m.maskT.Complete+1 > cand {
-					cand = m.maskT.Complete + 1
-				}
-			}
-		}
-
-		var issue int64
-		switch in.Op.ExecUnit() {
-		case isa.UnitV:
-			// Pick the functional unit: FU2-only ops go to FU2; flexible
-			// ops go to whichever frees first (FU1 preferred on ties).
-			fu := fu1
-			if in.Op.NeedsFU2() || fu2.NextFree() < fu1.NextFree() {
-				fu = fu2
-			}
-			if in.Op.NeedsFU2() {
-				fu = fu2
-			}
-			if nf := fu.NextFree(); nf > cand {
-				cand = nf
-			}
-			// Reading operands costs the crossbar traversal.
-			cand += readX
-			issue = ports.Acquire(vReads, vWrite, cand, occ)
-			fu.Allocate(issue, occ)
-			lat := int64(isa.ExecLatency(in.Op)) + vstart
-			tm := vregfile.Timing{
-				ChainStart: issue + lat + writeX,
-				Complete:   issue + lat + writeX + vl - 1,
-			}
-			if in.Dst.Class == isa.RegV {
-				st := &vregs[in.Dst.Idx]
-				st.timing, st.hasValue = tm, true
-			} else if in.Dst.Class == isa.RegM {
-				m.maskT, m.maskHasValue = tm, true
-			} else if in.Dst.Class == isa.RegS {
-				// Reductions deliver a scalar.
-				sReady[in.Dst.Idx] = tm.Complete
-			}
-			note(tm.Complete)
-
-		case isa.UnitMem:
-			if nf := bus.NextFree(); nf > cand {
-				cand = nf
-			}
-			var issuePorts int64 = cand
-			if in.Op.IsVector() {
-				issuePorts = ports.Acquire(vReads, vWrite, cand, occ)
-			}
-			issue = bus.Allocate(issuePorts, occ)
-			memRequests += vl
-			if in.Op.IsLoad() {
-				if in.Op.IsVector() {
-					tm := vregfile.Timing{
-						ChainStart: issue + vstart + cfg.MemLatency + writeX,
-						Complete:   issue + vstart + cfg.MemLatency + writeX + vl - 1,
-						FromMem:    true,
-					}
-					st := &vregs[in.Dst.Idx]
-					st.timing, st.hasValue = tm, true
-					note(tm.Complete)
-				} else {
-					rdy := issue + cfg.ScalarMemLatency + 1
-					if in.Dst.Class == isa.RegA {
-						aReady[in.Dst.Idx] = rdy
-					} else {
-						sReady[in.Dst.Idx] = rdy
-					}
-					note(rdy)
-				}
-			} else {
-				// Stores: no observed latency; done when last request issued.
-				note(issue + occ)
-			}
-
-		case isa.UnitA, isa.UnitS:
-			issue = cand
-			lat := int64(isa.ExecLatency(in.Op))
-			done := issue + lat
-			if in.Dst.Class == isa.RegA {
-				aReady[in.Dst.Idx] = done
-			} else if in.Dst.Class == isa.RegS {
-				sReady[in.Dst.Idx] = done
-			}
-			if in.Op == isa.OpSetVL || in.Op == isa.OpSetVS {
-				lastVLTime = done
-			}
-			note(done)
-
-		case isa.UnitCtl:
-			issue = cand
-			if in.Taken {
-				bubble = cfg.TakenBranchPenalty
-			}
-			note(issue + 1)
-
-		default: // OpNop
-			issue = cand
-			note(issue + 1)
-		}
-
-		// Record reader starts for WAR tracking.
-		for _, vr := range vReads {
-			if issue > vregs[vr].lastReadStart {
-				vregs[vr].lastReadStart = issue
-			}
-		}
-		prevIssue = issue
-
-		if cfg.Probe != nil {
-			cfg.Probe(i, issue, lastCycle)
 		}
 	}
 
-	total := lastCycle + 1
+	// Vector instructions execute under the architected VL/VS, so they
+	// serialise behind the last SetVL/SetVS.
+	if in.Op.IsVector() && m.lastVLTime > cand {
+		cand = m.lastVLTime
+	}
+
+	// Register hazards on the destination (no renaming): WAW waits for
+	// the previous value's last element; WAR waits for the most recent
+	// reader to have started (it then stays one element ahead).
+	vWrite := -1
+	if in.WritesReg() {
+		switch in.Dst.Class {
+		case isa.RegV:
+			st := &vregs[in.Dst.Idx]
+			if st.hasValue && st.timing.Complete+1 > cand {
+				cand = st.timing.Complete + 1 // WAW
+			}
+			if st.lastReadStart+1 > cand {
+				cand = st.lastReadStart + 1 // WAR
+			}
+			vWrite = int(in.Dst.Idx)
+		case isa.RegM:
+			if m.maskHasValue && m.maskT.Complete+1 > cand {
+				cand = m.maskT.Complete + 1
+			}
+		}
+	}
+
+	var issue int64
+	switch in.Op.ExecUnit() {
+	case isa.UnitV:
+		// Pick the functional unit: FU2-only ops go to FU2; flexible
+		// ops go to whichever frees first (FU1 preferred on ties).
+		fu := fu1
+		if in.Op.NeedsFU2() || fu2.NextFree() < fu1.NextFree() {
+			fu = fu2
+		}
+		if in.Op.NeedsFU2() {
+			fu = fu2
+		}
+		if nf := fu.NextFree(); nf > cand {
+			cand = nf
+		}
+		// Reading operands costs the crossbar traversal.
+		cand += readX
+		issue = ports.Acquire(vReads, vWrite, cand, occ)
+		fu.Allocate(issue, occ)
+		lat := int64(isa.ExecLatency(in.Op)) + vstart
+		tm := vregfile.Timing{
+			ChainStart: issue + lat + writeX,
+			Complete:   issue + lat + writeX + vl - 1,
+		}
+		if in.Dst.Class == isa.RegV {
+			st := &vregs[in.Dst.Idx]
+			st.timing, st.hasValue = tm, true
+		} else if in.Dst.Class == isa.RegM {
+			m.maskT, m.maskHasValue = tm, true
+		} else if in.Dst.Class == isa.RegS {
+			// Reductions deliver a scalar.
+			sReady[in.Dst.Idx] = tm.Complete
+		}
+		m.note(tm.Complete)
+
+	case isa.UnitMem:
+		if nf := bus.NextFree(); nf > cand {
+			cand = nf
+		}
+		var issuePorts int64 = cand
+		if in.Op.IsVector() {
+			issuePorts = ports.Acquire(vReads, vWrite, cand, occ)
+		}
+		issue = bus.Allocate(issuePorts, occ)
+		m.memRequests += vl
+		if in.Op.IsLoad() {
+			if in.Op.IsVector() {
+				tm := vregfile.Timing{
+					ChainStart: issue + vstart + cfg.MemLatency + writeX,
+					Complete:   issue + vstart + cfg.MemLatency + writeX + vl - 1,
+					FromMem:    true,
+				}
+				st := &vregs[in.Dst.Idx]
+				st.timing, st.hasValue = tm, true
+				m.note(tm.Complete)
+			} else {
+				rdy := issue + cfg.ScalarMemLatency + 1
+				if in.Dst.Class == isa.RegA {
+					aReady[in.Dst.Idx] = rdy
+				} else {
+					sReady[in.Dst.Idx] = rdy
+				}
+				m.note(rdy)
+			}
+		} else {
+			// Stores: no observed latency; done when last request issued.
+			m.note(issue + occ)
+		}
+
+	case isa.UnitA, isa.UnitS:
+		issue = cand
+		lat := int64(isa.ExecLatency(in.Op))
+		done := issue + lat
+		if in.Dst.Class == isa.RegA {
+			aReady[in.Dst.Idx] = done
+		} else if in.Dst.Class == isa.RegS {
+			sReady[in.Dst.Idx] = done
+		}
+		if in.Op == isa.OpSetVL || in.Op == isa.OpSetVS {
+			m.lastVLTime = done
+		}
+		m.note(done)
+
+	case isa.UnitCtl:
+		issue = cand
+		if in.Taken {
+			m.bubble = cfg.TakenBranchPenalty
+		}
+		m.note(issue + 1)
+
+	default: // OpNop
+		issue = cand
+		m.note(issue + 1)
+	}
+
+	// Record reader starts for WAR tracking.
+	for _, vr := range vReads {
+		if issue > vregs[vr].lastReadStart {
+			vregs[vr].lastReadStart = issue
+		}
+	}
+	m.prevIssue = issue
+
+	if cfg.Probe != nil {
+		cfg.Probe(i, issue, m.lastCycle)
+	}
+}
+
+// finish assembles the run statistics.
+func (m *machine) finish(t *trace.Trace) *metrics.RunStats {
+	total := m.lastCycle + 1
 	st := &metrics.RunStats{
 		Machine:                "REF",
 		Program:                t.Name,
 		Cycles:                 total,
 		Instructions:           int64(t.Len()),
-		MemPortBusy:            bus.BusyCycles(),
-		MemRequests:            memRequests,
-		VRegPortConflictCycles: ports.ConflictCycles(),
+		MemPortBusy:            m.bus.BusyCycles(),
+		MemRequests:            m.memRequests,
+		VRegPortConflictCycles: m.ports.ConflictCycles(),
 	}
-	st.States = m.bdScratch.StateBreakdown(fu2.Intervals(), fu1.Intervals(), bus.Intervals(), total)
+	st.States = m.bdScratch.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(), m.bus.Intervals(), total)
 	return st
 }

@@ -1,0 +1,70 @@
+package rename
+
+// Snapshot/Restore support for mid-run checkpointing (see package sched).
+
+// FreeEntry is the exported form of one free-list entry.
+type FreeEntry struct {
+	Phys    int
+	ReadyAt int64
+}
+
+// TableState is the serialisable mid-run state of a rename Table. The free
+// list is stored in logical (oldest-first) order, normalising the ring
+// rotation away: the table's behaviour depends only on the order entries
+// pop, not on where the ring happens to start.
+type TableState struct {
+	Mapping []int
+	Refcnt  []int
+	Free    []FreeEntry
+}
+
+// Snapshot captures the table state (deep copy).
+func (t *Table) Snapshot() TableState {
+	st := TableState{
+		Mapping: append([]int(nil), t.mapping...),
+		Refcnt:  append([]int(nil), t.refcnt...),
+		Free:    make([]FreeEntry, t.count),
+	}
+	for i := 0; i < t.count; i++ {
+		e := t.free[(t.head+i)%len(t.free)]
+		st.Free[i] = FreeEntry{Phys: e.Phys, ReadyAt: e.ReadyAt}
+	}
+	return st
+}
+
+// Restore replaces the table state with st. The table's structural sizes
+// (NumLogical, NumPhysical) are configuration, not state, and must match
+// the snapshotted table's.
+func (t *Table) Restore(st TableState) {
+	copy(t.mapping, st.Mapping)
+	copy(t.refcnt, st.Refcnt)
+	t.head, t.count = 0, 0
+	for _, e := range st.Free {
+		t.push(freeEntry{Phys: e.Phys, ReadyAt: e.ReadyAt})
+	}
+}
+
+// TagFileState is the serialisable mid-run state of a TagFile.
+type TagFileState struct {
+	Tags          []Tag
+	Matches       int64
+	Invalidations int64
+}
+
+// Snapshot captures the tag-file state (deep copy).
+func (f *TagFile) Snapshot() TagFileState {
+	return TagFileState{
+		Tags:          append([]Tag(nil), f.tags...),
+		Matches:       f.matches,
+		Invalidations: f.invalidations,
+	}
+}
+
+// Restore replaces the tag-file state with st.
+func (f *TagFile) Restore(st TagFileState) {
+	if len(f.tags) != len(st.Tags) {
+		f.tags = make([]Tag, len(st.Tags))
+	}
+	copy(f.tags, st.Tags)
+	f.matches, f.invalidations = st.Matches, st.Invalidations
+}

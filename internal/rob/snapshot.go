@@ -1,0 +1,34 @@
+package rob
+
+import "oovec/internal/sched"
+
+// State is the serialisable mid-run state of a ROB (see package sched on
+// checkpointing). Size and width are capacity parameters, not state.
+type State struct {
+	Window sched.RingWindowState
+	Recent []int64
+	RI     int
+	Filled int
+	Last   int64
+}
+
+// Snapshot captures the ROB state (deep copy).
+func (r *ROB) Snapshot() State {
+	return State{
+		Window: r.window.Snapshot(),
+		Recent: append([]int64(nil), r.recent...),
+		RI:     r.ri,
+		Filled: r.filled,
+		Last:   r.last,
+	}
+}
+
+// Restore replaces the ROB state with st.
+func (r *ROB) Restore(st State) {
+	r.window.Restore(st.Window)
+	if len(r.recent) != len(st.Recent) {
+		r.recent = make([]int64, len(st.Recent))
+	}
+	copy(r.recent, st.Recent)
+	r.ri, r.filled, r.last = st.RI, st.Filled, st.Last
+}

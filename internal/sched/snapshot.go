@@ -1,0 +1,77 @@
+package sched
+
+// Snapshot/Restore support for checkpointing (ooosim/refsim checkpoints
+// serialise the full allocator state mid-run and revive it, possibly in a
+// different process, so a preempted simulation resumes instead of
+// restarting). State types carry only exported fields so encoding/gob can
+// round-trip them; Snapshot deep-copies the interval storage because the
+// allocator keeps mutating it after the snapshot is taken.
+
+// MonotonicState is the serialisable state of a Monotonic allocator.
+type MonotonicState struct {
+	NextFree int64
+	Busy     int64
+	IV       []Interval
+}
+
+// Snapshot captures the allocator state. The returned state shares nothing
+// with the allocator.
+func (m *Monotonic) Snapshot() MonotonicState {
+	return MonotonicState{
+		NextFree: m.nextFree,
+		Busy:     m.busy,
+		IV:       append([]Interval(nil), m.iv...),
+	}
+}
+
+// Restore replaces the allocator state with st, reusing storage when it fits.
+func (m *Monotonic) Restore(st MonotonicState) {
+	m.nextFree, m.busy = st.NextFree, st.Busy
+	m.iv = append(m.iv[:0], st.IV...)
+}
+
+// GapState is the serialisable state of a Gap allocator.
+type GapState struct {
+	IV   []Interval
+	Busy int64
+}
+
+// Snapshot captures the allocator state (deep copy).
+func (g *Gap) Snapshot() GapState {
+	return GapState{IV: append([]Interval(nil), g.iv...), Busy: g.busy}
+}
+
+// Restore replaces the allocator state with st, reusing storage when it fits.
+func (g *Gap) Restore(st GapState) {
+	g.iv = append(g.iv[:0], st.IV...)
+	g.busy = st.Busy
+}
+
+// RingWindowState is the serialisable state of a RingWindow.
+type RingWindowState struct {
+	Leave []int64
+	N     int
+	Next  int
+	Count int
+}
+
+// Snapshot captures the window state (deep copy).
+func (w *RingWindow) Snapshot() RingWindowState {
+	return RingWindowState{
+		Leave: append([]int64(nil), w.leave...),
+		N:     w.n,
+		Next:  w.next,
+		Count: w.count,
+	}
+}
+
+// Restore replaces the window state with st. The window's capacity follows
+// the state (a checkpoint is only restored into a machine built from the
+// same configuration, so in practice the capacity never changes).
+func (w *RingWindow) Restore(st RingWindowState) {
+	if len(w.leave) != len(st.Leave) {
+		w.leave = make([]int64, len(st.Leave))
+	}
+	copy(w.leave, st.Leave)
+	w.n, w.next, w.count = st.N, st.Next, st.Count
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"os"
 	"regexp"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -18,36 +19,45 @@ func TestAPIDocMatchesRoutes(t *testing.T) {
 	}
 	doc := string(b)
 
-	headingRE := regexp.MustCompile(`(?m)^### (GET|POST) (/\S+)$`)
-	documented := map[string]string{} // path -> method
+	headingRE := regexp.MustCompile(`(?m)^### (GET|POST|DELETE) (/\S+)$`)
+	documented := map[string]map[string]bool{} // path -> method set
 	for _, m := range headingRE.FindAllStringSubmatch(doc, -1) {
-		documented[m[2]] = m[1]
+		if documented[m[2]] == nil {
+			documented[m[2]] = map[string]bool{}
+		}
+		documented[m[2]][m[1]] = true
 	}
 
 	// `routes` is the server's own route list — the same slice the mux
 	// registrations and the /metrics request-counter buckets are built
-	// from, so it cannot drift from what is actually served.
-	methods := map[string]string{
-		"/v1/sim": "POST", "/v1/sweep": "POST",
-		"/v1/presets": "GET", "/v1/cache": "GET",
-		"/healthz": "GET", "/metrics": "GET",
+	// from, so it cannot drift from what is actually served. A path may
+	// serve several methods (/v1/jobs/{id} answers GET and DELETE).
+	methods := map[string][]string{
+		"/v1/sim": {"POST"}, "/v1/sweep": {"POST"},
+		"/v1/jobs": {"POST"}, "/v1/jobs/{id}": {"GET", "DELETE"},
+		"/v1/presets": {"GET"}, "/v1/cache": {"GET"},
+		"/healthz": {"GET"}, "/metrics": {"GET"},
 	}
 	if len(methods) != len(routes) {
 		t.Fatalf("test method table has %d routes, server has %d — update both this test and docs/API.md", len(methods), len(routes))
 	}
 	for _, route := range routes {
-		method, ok := documented[route]
-		if !ok {
-			t.Errorf("docs/API.md has no `### %s %s` heading for registered route %s", methods[route], route, route)
-			continue
-		}
-		if method != methods[route] {
-			t.Errorf("docs/API.md documents %s as %s, server registers %s", route, method, methods[route])
+		for _, method := range methods[route] {
+			if !documented[route][method] {
+				t.Errorf("docs/API.md has no `### %s %s` heading for registered route %s", method, route, route)
+			}
 		}
 	}
-	for path := range documented {
-		if _, ok := methods[path]; !ok {
+	for path, methodSet := range documented {
+		want, ok := methods[path]
+		if !ok {
 			t.Errorf("docs/API.md documents %s, which is not a registered route", path)
+			continue
+		}
+		for method := range methodSet {
+			if !slices.Contains(want, method) {
+				t.Errorf("docs/API.md documents %s %s, which the server does not register", method, path)
+			}
 		}
 	}
 

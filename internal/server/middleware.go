@@ -27,6 +27,10 @@ type routeOpts struct {
 	limit bool
 	// timeout applies Opts.Timeout as the request context's deadline.
 	timeout bool
+	// interactive brackets the request with the job layer's
+	// BeginInteractive/EndInteractive: while it is in flight, background
+	// jobs are preempted (checkpoint-and-park) and stay parked.
+	interactive bool
 }
 
 // instrument wraps a handler in the middleware chain. Order matters:
@@ -44,6 +48,10 @@ func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.
 		if o.gate {
 			if !s.enter() {
 				s.rejected.Add(1)
+				// Draining means a replacement process is moments away:
+				// tell the client when to come back, exactly like the 429
+				// limiter does.
+				sw.Header().Set("Retry-After", "5")
 				httpError(sw, http.StatusServiceUnavailable, "server is draining")
 				return
 			}
@@ -75,6 +83,10 @@ func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.
 			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 			defer cancel()
 			r = r.WithContext(ctx)
+		}
+		if o.interactive {
+			s.jobs.BeginInteractive()
+			defer s.jobs.EndInteractive()
 		}
 		h(sw, r)
 	}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"oovec/internal/engine"
+	"oovec/internal/jobs"
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
 	"oovec/internal/simcache"
@@ -81,6 +82,13 @@ type Opts struct {
 	// of re-simulated, which is what makes a restarted server warm. The
 	// caller owns the store's lifecycle (Close after Drain).
 	Store *store.Store
+	// JobWorkers is the async job worker pool size (0 = 1): how many
+	// /v1/jobs simulations run concurrently when no interactive traffic is
+	// in flight.
+	JobWorkers int
+	// JobQueue bounds the job queue (0 = 16); submissions beyond it are
+	// shed with 503 + Retry-After.
+	JobQueue int
 }
 
 // Server is the ovserve request handler set. Construct with New; serve
@@ -99,6 +107,13 @@ type Server struct {
 	oooPool ooosim.MachinePool
 	refPool refsim.MachinePool
 
+	// The async job layer (jobs.go). jobInfos ties job ids to their result
+	// keys and parked checkpoints; jobsOnce makes shutdown idempotent.
+	jobs     *jobs.Manager
+	jobsMu   sync.Mutex
+	jobInfos map[string]*jobInfo
+	jobsOnce sync.Once
+
 	mux   *http.ServeMux
 	start time.Time
 
@@ -114,6 +129,10 @@ type Server struct {
 	// Counters exported by /metrics.
 	nInflight   atomic.Int64
 	simsTotal   atomic.Int64
+	simInsns    atomic.Int64 // instructions actually simulated by jobs (resumes count only their tail)
+	ckSaved     atomic.Int64 // checkpoints persisted to the store
+	ckResumed   atomic.Int64 // job run segments that resumed from a checkpoint
+	warmLoaded  atomic.Int64 // results pre-loaded into memory by WarmStart
 	sweepRows   atomic.Int64
 	sweepErrors atomic.Int64
 	rejected    atomic.Int64 // requests refused with 503 while draining
@@ -137,7 +156,7 @@ type Server struct {
 }
 
 // routes are the request-counter buckets of /metrics.
-var routes = []string{"/v1/sim", "/v1/sweep", "/v1/presets", "/v1/cache", "/healthz", "/metrics"}
+var routes = []string{"/v1/sim", "/v1/sweep", "/v1/jobs", "/v1/jobs/{id}", "/v1/presets", "/v1/cache", "/healthz", "/metrics"}
 
 // New builds a server.
 func New(opts Opts) *Server {
@@ -152,6 +171,9 @@ func New(opts Opts) *Server {
 	if opts.Store != nil {
 		disk = opts.Store
 	}
+	if opts.JobQueue <= 0 {
+		opts.JobQueue = 16
+	}
 	s := &Server{
 		workers:        opts.Workers,
 		maxUploadBytes: opts.MaxUploadBytes,
@@ -161,6 +183,8 @@ func New(opts Opts) *Server {
 		maxInflight:    opts.MaxInflight,
 		results:        simcache.NewResults(opts.CacheEntries, disk),
 		store:          opts.Store,
+		jobs:           jobs.New(opts.JobWorkers, opts.JobQueue),
+		jobInfos:       make(map[string]*jobInfo),
 		mux:            http.NewServeMux(),
 		start:          time.Now(),
 		requests:       make(map[string]*atomic.Int64, len(routes)),
@@ -179,10 +203,16 @@ func New(opts Opts) *Server {
 	// routes get the full production stack, the cheap introspection routes
 	// only what they need — /healthz must answer during drain and without
 	// credentials, or it is useless to a load balancer.
-	sim := routeOpts{gate: true, auth: true, limit: true, timeout: true}
+	// The interactive flag marks the routes whose arrival preempts batch
+	// jobs: an interactive caller never queues behind a million-instruction
+	// background run.
+	sim := routeOpts{gate: true, auth: true, limit: true, timeout: true, interactive: true}
 	meta := routeOpts{gate: true, auth: true}
 	s.mux.HandleFunc("POST /v1/sim", s.instrument("/v1/sim", sim, s.handleSim))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", sim, s.handleSweep))
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", meta, s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", meta, s.handleJobGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", meta, s.handleJobCancel))
 	s.mux.HandleFunc("GET /v1/presets", s.instrument("/v1/presets", meta, s.handlePresets))
 	s.mux.HandleFunc("GET /v1/cache", s.instrument("/v1/cache", meta, s.handleCache))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", routeOpts{}, s.handleHealthz))
@@ -197,10 +227,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Workers() int { return engine.Workers(s.workers) }
 
 // Drain puts the server into shutdown: new API requests are refused with
-// 503 while requests already in flight run to completion. It returns once
-// the last in-flight request has finished, or with ctx's error if the
-// context expires first.
+// 503 + Retry-After while requests already in flight run to completion,
+// and the job layer is closed — running jobs are canceled and persist
+// their checkpoints (resumable by the next process sharing the store
+// directory). It returns once the last in-flight request has finished,
+// or with ctx's error if the context expires first; the job layer is
+// closed on every path, before the caller closes the store.
 func (s *Server) Drain(ctx context.Context) error {
+	defer s.JobsClose()
 	s.gateMu.Lock()
 	s.draining.Store(true)
 	if s.active == 0 {
@@ -309,8 +343,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if uptime > 0 {
 		fmt.Fprintf(w, "ovserve_sims_per_second %.3f\n", float64(sims)/uptime)
 	}
+	fmt.Fprintf(w, "ovserve_sim_insns_total %d\n", s.simInsns.Load())
 	fmt.Fprintf(w, "ovserve_sweep_rows_total %d\n", s.sweepRows.Load())
 	fmt.Fprintf(w, "ovserve_sweep_errors_total %d\n", s.sweepErrors.Load())
+	jm := s.jobs.Metrics()
+	fmt.Fprintf(w, "ovserve_jobs_submitted_total %d\n", jm.Submitted)
+	fmt.Fprintf(w, "ovserve_jobs_shed_total %d\n", jm.Shed)
+	fmt.Fprintf(w, "ovserve_jobs_done_total %d\n", jm.Done)
+	fmt.Fprintf(w, "ovserve_jobs_failed_total %d\n", jm.Failed)
+	fmt.Fprintf(w, "ovserve_jobs_canceled_total %d\n", jm.Canceled)
+	fmt.Fprintf(w, "ovserve_jobs_preempted_total %d\n", jm.Preempted)
+	fmt.Fprintf(w, "ovserve_jobs_queued %d\n", jm.Queued)
+	fmt.Fprintf(w, "ovserve_jobs_running %d\n", jm.Running)
+	fmt.Fprintf(w, "ovserve_checkpoints_saved_total %d\n", s.ckSaved.Load())
+	fmt.Fprintf(w, "ovserve_checkpoints_resumed_total %d\n", s.ckResumed.Load())
+	fmt.Fprintf(w, "ovserve_warm_preloaded %d\n", s.warmLoaded.Load())
 	writeCacheMetrics(w, "result", s.results.MemStats())
 	writeCacheMetrics(w, "trace", simcache.TraceStats())
 	s.writeStoreMetrics(w)
@@ -341,6 +388,8 @@ func (s *Server) writeStoreMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "ovserve_store_write_errors_total %d\n", st.WriteErrors)
 	fmt.Fprintf(w, "ovserve_store_corrupt_total %d\n", st.Corrupt)
 	fmt.Fprintf(w, "ovserve_store_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "ovserve_store_scrubbed_total %d\n", st.Scrubbed)
+	fmt.Fprintf(w, "ovserve_store_quarantined_total %d\n", st.Corrupt)
 	fmt.Fprintf(w, "ovserve_store_bytes %d\n", st.Bytes)
 	fmt.Fprintf(w, "ovserve_store_files %d\n", st.Files)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -151,59 +152,166 @@ func (s *Server) loadTrace(req *SimRequest) (func() *trace.Trace, string, error)
 	return nil, "", errors.New("one of bench or trace is required")
 }
 
+// simPlan is a fully resolved simulation request: the content-address key
+// plus runners for both execution modes. handleSim uses the plain run; the
+// async job layer (jobs.go) uses the checkpointable one.
+type simPlan struct {
+	key   string
+	run   func() *metrics.RunStats
+	runCk ckRunner
+}
+
+// ckRunner executes a checkpointable simulation. resume, when non-empty,
+// is an encoded checkpoint to continue from (silently ignored when it does
+// not decode or belongs to a different trace — the run then starts fresh
+// rather than failing). On completion it returns (stats, nil, traceLen,
+// nil); on cancellation (nil, encoded checkpoint, next instruction, ctx
+// error).
+type ckRunner func(ctx context.Context, resume []byte, ckEvery int, cb ckCallbacks) (*metrics.RunStats, []byte, int, error)
+
+// ckCallbacks observe a checkpointable run: onStart reports the resume
+// position and total before simulation begins, onProgress the instruction
+// count at the abort-check cadence, onCheckpoint each periodic encoded
+// checkpoint.
+type ckCallbacks struct {
+	onStart      func(start, total int)
+	onProgress   func(done int)
+	onCheckpoint func(b []byte)
+}
+
+// planSim resolves a SimRequest into a simPlan, validating exactly what
+// handleSim always validated. The key construction (simcache keys.go — the
+// same scheme sweep grid points use, so single runs, jobs and sweeps share
+// entries) keys on the resolved (WithDefaults) form, so explicit defaults
+// and omitted fields share one cache entry.
+func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
+	getTrace, traceKey, err := s.loadTrace(req)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Machine {
+	case "", "ooo":
+		cfg, err := req.Config.toOOO()
+		if err != nil {
+			return nil, err
+		}
+		return &simPlan{
+			key: simcache.ResultKey(simcache.OOOConfigKey(cfg), traceKey),
+			run: func() *metrics.RunStats {
+				m := s.oooPool.Get(cfg)
+				defer s.oooPool.Put(m)
+				return m.Run(getTrace()).Stats
+			},
+			runCk: func(ctx context.Context, resume []byte, ckEvery int, cb ckCallbacks) (*metrics.RunStats, []byte, int, error) {
+				t := getTrace()
+				var res *ooosim.Checkpoint
+				if len(resume) > 0 {
+					if ck, err := ooosim.DecodeCheckpoint(resume); err == nil && ck.TraceLen == t.Len() {
+						res = ck
+					}
+				}
+				start := 0
+				if res != nil {
+					start = res.NextInsn
+				}
+				if cb.onStart != nil {
+					cb.onStart(start, t.Len())
+				}
+				m := s.oooPool.Get(cfg)
+				defer s.oooPool.Put(m)
+				r, stop, err := m.RunCheckpointed(t, ooosim.RunOpts{
+					Ctx:             ctx,
+					CheckpointEvery: ckEvery,
+					OnCheckpoint: func(ck *ooosim.Checkpoint) {
+						if b, err := ck.Encode(); err == nil {
+							cb.onCheckpoint(b)
+						}
+					},
+					OnProgress: cb.onProgress,
+					Resume:     res,
+				})
+				if err != nil {
+					var b []byte
+					next := start
+					if stop != nil {
+						b, _ = stop.Encode()
+						next = stop.NextInsn
+					}
+					return nil, b, next, err
+				}
+				return r.Stats, nil, t.Len(), nil
+			},
+		}, nil
+	case "ref":
+		cfg, err := req.Config.toRef()
+		if err != nil {
+			return nil, err
+		}
+		return &simPlan{
+			key: simcache.ResultKey(simcache.RefConfigKey(cfg), traceKey),
+			run: func() *metrics.RunStats {
+				m := s.refPool.Get(cfg)
+				defer s.refPool.Put(m)
+				return m.Run(getTrace())
+			},
+			runCk: func(ctx context.Context, resume []byte, ckEvery int, cb ckCallbacks) (*metrics.RunStats, []byte, int, error) {
+				t := getTrace()
+				var res *refsim.Checkpoint
+				if len(resume) > 0 {
+					if ck, err := refsim.DecodeCheckpoint(resume); err == nil && ck.TraceLen == t.Len() {
+						res = ck
+					}
+				}
+				start := 0
+				if res != nil {
+					start = res.NextInsn
+				}
+				if cb.onStart != nil {
+					cb.onStart(start, t.Len())
+				}
+				m := s.refPool.Get(cfg)
+				defer s.refPool.Put(m)
+				st, stop, err := m.RunCheckpointed(t, refsim.RunOpts{
+					Ctx:             ctx,
+					CheckpointEvery: ckEvery,
+					OnCheckpoint: func(ck *refsim.Checkpoint) {
+						if b, err := ck.Encode(); err == nil {
+							cb.onCheckpoint(b)
+						}
+					},
+					OnProgress: cb.onProgress,
+					Resume:     res,
+				})
+				if err != nil {
+					var b []byte
+					next := start
+					if stop != nil {
+						b, _ = stop.Encode()
+						next = stop.NextInsn
+					}
+					return nil, b, next, err
+				}
+				return st, nil, t.Len(), nil
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (ooo | ref)", req.Machine)
+	}
+}
+
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-
-	getTrace, traceKey, err := s.loadTrace(&req)
+	plan, err := s.planSim(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-
-	// Resolve the machine + configuration into a runner and the canonical
-	// configuration string that keys the result cache (simcache keys.go —
-	// the same scheme sweep grid points use, so single runs and sweeps
-	// share entries). Keying on the resolved (WithDefaults) form means
-	// explicit defaults and omitted fields share one cache entry.
-	var canonical string
-	var run func() *metrics.RunStats
-	switch req.Machine {
-	case "", "ooo":
-		cfg, err := req.Config.toOOO()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		canonical = simcache.OOOConfigKey(cfg)
-		run = func() *metrics.RunStats {
-			m := s.oooPool.Get(cfg)
-			defer s.oooPool.Put(m)
-			return m.Run(getTrace()).Stats
-		}
-	case "ref":
-		cfg, err := req.Config.toRef()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		canonical = simcache.RefConfigKey(cfg)
-		run = func() *metrics.RunStats {
-			m := s.refPool.Get(cfg)
-			defer s.refPool.Put(m)
-			return m.Run(getTrace())
-		}
-	default:
-		httpError(w, http.StatusBadRequest, "unknown machine %q (ooo | ref)", req.Machine)
-		return
-	}
-
-	key := simcache.ResultKey(canonical, traceKey)
-	st, cached := s.results.Do(key, func() *metrics.RunStats {
+	st, cached := s.results.Do(plan.key, func() *metrics.RunStats {
 		s.simsTotal.Add(1)
-		return run()
+		return plan.run()
 	})
-	writeJSON(w, http.StatusOK, SimResponse{Key: key, Cached: cached, Metrics: st})
+	writeJSON(w, http.StatusOK, SimResponse{Key: plan.key, Cached: cached, Metrics: st})
 }

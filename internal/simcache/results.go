@@ -85,6 +85,32 @@ func (r *Results) Do(key string, fill func() *metrics.RunStats) (*metrics.RunSta
 // probing the store or filling.
 func (r *Results) Get(key string) (*metrics.RunStats, bool) { return r.mem.Get(key) }
 
+// Preload pulls the given keys from the backing store into the memory tier
+// and returns how many loaded. It is the warm-start path: after a restart
+// the memory tier is empty while the store holds everything the previous
+// process computed, so pre-loading the most-recently-used keys (see
+// store.RecentKeys) lets the first interactive requests hit memory instead
+// of each paying a disk probe. Keys already resident or absent from the
+// store are skipped; Preload never simulates.
+func (r *Results) Preload(keys []string) int {
+	if r.disk == nil {
+		return 0
+	}
+	loaded := 0
+	for _, key := range keys {
+		if _, ok := r.mem.Get(key); ok {
+			continue
+		}
+		st, ok := r.disk.Load(key)
+		if !ok {
+			continue
+		}
+		r.mem.Do(key, func() *metrics.RunStats { return st })
+		loaded++
+	}
+	return loaded
+}
+
 // MemStats snapshots the memory tier's counters. The disk tier keeps its
 // own stats (see internal/store).
 func (r *Results) MemStats() Stats { return r.mem.Stats() }

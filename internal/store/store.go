@@ -94,7 +94,10 @@ type Stats struct {
 	Corrupt int64 `json:"corrupt"`
 	// Evictions counts entry files deleted by the size-bound GC.
 	Evictions int64 `json:"evictions"`
-	// Bytes and Files size the store right now (entry files only).
+	// Scrubbed counts files the background integrity scrubber has verified;
+	// files it found invalid are quarantined and counted in Corrupt.
+	Scrubbed int64 `json:"scrubbed"`
+	// Bytes and Files size the store right now (entry and blob files).
 	Bytes int64 `json:"bytes"`
 	Files int64 `json:"files"`
 }
@@ -112,6 +115,7 @@ type Store struct {
 	writeErrors atomic.Int64
 	corrupt     atomic.Int64
 	evictions   atomic.Int64
+	scrubbed    atomic.Int64
 	bytes       atomic.Int64
 	files       atomic.Int64
 
@@ -168,7 +172,7 @@ func (s *Store) scan() error {
 		switch {
 		case strings.HasPrefix(name, tmpPrefix):
 			os.Remove(path) // a crash mid-write; the rename never happened
-		case strings.HasSuffix(name, entrySuffix):
+		case strings.HasSuffix(name, entrySuffix), strings.HasSuffix(name, blobSuffix):
 			if info, err := d.Info(); err == nil {
 				s.bytes.Add(info.Size())
 				s.files.Add(1)
@@ -406,7 +410,8 @@ func (s *Store) maybeGC() {
 	var entries []entryFile
 	var total int64
 	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), entrySuffix) {
+		if err != nil || d.IsDir() ||
+			(!strings.HasSuffix(d.Name(), entrySuffix) && !strings.HasSuffix(d.Name(), blobSuffix)) {
 			return nil
 		}
 		info, err := d.Info()
@@ -453,6 +458,7 @@ func (s *Store) Stats() Stats {
 		WriteErrors: s.writeErrors.Load(),
 		Corrupt:     s.corrupt.Load(),
 		Evictions:   s.evictions.Load(),
+		Scrubbed:    s.scrubbed.Load(),
 		Bytes:       s.bytes.Load(),
 		Files:       s.files.Load(),
 	}
@@ -479,22 +485,9 @@ func encodeEntry(st *metrics.RunStats) ([]byte, error) {
 // file, wrong magic, wrong epoch, length mismatch, CRC mismatch, gob
 // failure — is an error the caller treats as a quarantinable miss.
 func decodeEntry(b []byte) (*metrics.RunStats, error) {
-	if len(b) < headerSize {
-		return nil, fmt.Errorf("store: entry too short (%d bytes)", len(b))
-	}
-	if string(b[0:4]) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", b[0:4])
-	}
-	if epoch := binary.BigEndian.Uint32(b[4:8]); epoch != FormatEpoch {
-		return nil, fmt.Errorf("store: format epoch %d, want %d", epoch, FormatEpoch)
-	}
-	plen := binary.BigEndian.Uint32(b[8:12])
-	if int(plen) != len(b)-headerSize {
-		return nil, fmt.Errorf("store: payload length %d, have %d bytes", plen, len(b)-headerSize)
-	}
-	p := b[headerSize:]
-	if got, want := crc32.Checksum(p, crcTable), binary.BigEndian.Uint32(b[12:16]); got != want {
-		return nil, fmt.Errorf("store: payload CRC %08x, want %08x", got, want)
+	p, err := validateFile(b, magic)
+	if err != nil {
+		return nil, err
 	}
 	var st metrics.RunStats
 	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&st); err != nil {

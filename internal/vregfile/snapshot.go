@@ -1,0 +1,62 @@
+package vregfile
+
+// Snapshot/Restore support for mid-run checkpointing (see package sched).
+
+// BankedFileState is the serialisable state of a BankedFile.
+type BankedFileState struct {
+	ReadFree  [][ReadPortsPerBank]int64
+	WriteFree []int64
+	Conflicts int64
+}
+
+// Snapshot captures the banked file's port state (deep copy; the claims
+// scratch is per-call and carries no state).
+func (f *BankedFile) Snapshot() BankedFileState {
+	return BankedFileState{
+		ReadFree:  append([][ReadPortsPerBank]int64(nil), f.readFree...),
+		WriteFree: append([]int64(nil), f.writeFree...),
+		Conflicts: f.conflicts,
+	}
+}
+
+// Restore replaces the banked file's port state with st.
+func (f *BankedFile) Restore(st BankedFileState) {
+	if len(f.readFree) != len(st.ReadFree) {
+		f.readFree = make([][ReadPortsPerBank]int64, len(st.ReadFree))
+	}
+	copy(f.readFree, st.ReadFree)
+	if len(f.writeFree) != len(st.WriteFree) {
+		f.writeFree = make([]int64, len(st.WriteFree))
+	}
+	copy(f.writeFree, st.WriteFree)
+	f.conflicts = st.Conflicts
+}
+
+// FlatFileState is the serialisable state of a FlatFile.
+type FlatFileState struct {
+	ReadFree  []int64
+	WriteFree []int64
+	Conflicts int64
+}
+
+// Snapshot captures the flat file's port state (deep copy).
+func (f *FlatFile) Snapshot() FlatFileState {
+	return FlatFileState{
+		ReadFree:  append([]int64(nil), f.readFree...),
+		WriteFree: append([]int64(nil), f.writeFree...),
+		Conflicts: f.conflicts,
+	}
+}
+
+// Restore replaces the flat file's port state with st.
+func (f *FlatFile) Restore(st FlatFileState) {
+	if len(f.readFree) != len(st.ReadFree) {
+		f.readFree = make([]int64, len(st.ReadFree))
+	}
+	copy(f.readFree, st.ReadFree)
+	if len(f.writeFree) != len(st.WriteFree) {
+		f.writeFree = make([]int64, len(st.WriteFree))
+	}
+	copy(f.writeFree, st.WriteFree)
+	f.conflicts = st.Conflicts
+}
