@@ -1,0 +1,66 @@
+// Command ovlint runs the project's static-analysis suite (internal/analysis)
+// over the whole module: determinism, hotpath, snapshotcomplete, gobsafe and
+// ctxabort. It is a tier-1 CI gate: any diagnostic fails the build.
+//
+// Usage:
+//
+//	ovlint [-C dir] [-only name,name] [-list]
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oovec/internal/analysis"
+)
+
+func main() {
+	var (
+		dir  = flag.String("C", ".", "directory inside the module to lint (the module root is found by ascending to go.mod)")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ovlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ovlint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ovlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := prog.Run(analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ovlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

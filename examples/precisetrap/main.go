@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"oovec"
 )
@@ -47,7 +48,13 @@ func main() {
 	prefix := &oovec.Trace{Name: "prefix", Insns: tr.Insns[:faultIdx]}
 	want := oovec.RunOOOVA(prefix, cfg)
 	mismatches := 0
-	for class, table := range res.Tables {
+	classes := make([]oovec.RegClass, 0, len(res.Tables))
+	for class := range res.Tables {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		table := res.Tables[class]
 		for l := 0; l < class.NumLogical(); l++ {
 			if table.Lookup(l) != want.Tables[class].Lookup(l) {
 				mismatches++

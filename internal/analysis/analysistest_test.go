@@ -1,0 +1,88 @@
+package analysis
+
+// The test harness mirrors golang.org/x/tools/go/analysis/analysistest,
+// which the build environment does not vendor: each analyzer has a module
+// tree under testdata/src/<name>/ (module path "td", so the suffix-matched
+// package policies fire), and every expected diagnostic is declared in the
+// tree itself with a `// want "regexp"` comment on the line it is reported
+// on. The test fails on any unexpected diagnostic and on any unmatched want.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runTestdata loads testdata/src/<dir> as module "td", runs the analyzers,
+// and checks the diagnostics against the tree's want comments.
+func runTestdata(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	prog, err := LoadModule(root, "td")
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: unquoting want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: compiling want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no `// want` expectations found under %s", root)
+	}
+
+	for _, d := range prog.Run(analyzers) {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import "testing"
+
+func TestDeterminism(t *testing.T)      { runTestdata(t, "determinism", Determinism) }
+func TestHotpath(t *testing.T)          { runTestdata(t, "hotpath", Hotpath) }
+func TestSnapshotcomplete(t *testing.T) { runTestdata(t, "snapshotcomplete", Snapshotcomplete) }
+func TestGobsafe(t *testing.T)          { runTestdata(t, "gobsafe", Gobsafe) }
+func TestCtxabort(t *testing.T)         { runTestdata(t, "ctxabort", Ctxabort) }
+
+// TestSuiteCleanOnModule is the smoke test CI relies on: the full analyzer
+// suite must run clean over the real module — the same gate cmd/ovlint
+// enforces, minus the process boundary.
+func TestSuiteCleanOnModule(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if diags := prog.Run(All()); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestByName pins the analyzer registry cmd/ovlint's -only flag resolves
+// against.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ctxabort", "determinism", "gobsafe", "hotpath", "snapshotcomplete"} {
+		if a := ByName(name); a == nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v", name, a)
+		}
+	}
+	if a := ByName("nosuch"); a != nil {
+		t.Errorf("ByName(nosuch) unexpectedly resolved to %s", a.Name)
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repo's byte-identity contract.
+//
+// Module-wide, it flags `range` over a map whose loop body performs any
+// non-builtin call: Go randomises map iteration order, so a call inside the
+// loop (a write, an encode, an error construction, a cancellation) observes
+// the elements in a different order on every run. Pure accumulation —
+// append into a slice that is sorted afterwards, counter updates, map-to-map
+// copies — is order-insensitive and passes.
+//
+// Inside the simulator packages it additionally forbids the three things a
+// cycle-accurate, replayable simulator can never do: read the wall clock
+// (time.Now and friends), draw randomness (math/rand imports), or spawn
+// goroutines.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags order-dependent map iteration everywhere, and wall-clock reads, " +
+		"math/rand, and goroutine spawns inside simulator packages",
+	Run: runDeterminism,
+}
+
+// nondeterministicTimeFuncs are the package time functions that observe the
+// wall clock or schedule real-time events. Pure arithmetic on time.Duration
+// values remains fine.
+var nondeterministicTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+// orderSafeBuiltins are the builtins whose use inside a map-range body
+// cannot observe iteration order in output: they either accumulate
+// (append, copy) or interrogate/mutate containers element-wise.
+var orderSafeBuiltins = map[string]bool{
+	"append": true, "len": true, "cap": true, "copy": true,
+	"delete": true, "clear": true, "min": true, "max": true,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	sim := isSimPackage(pass.Pkg.Path)
+	for _, f := range pass.Pkg.Files {
+		if sim {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "simulator package imports %s: simulators must be deterministic; derive pseudo-randomness from the trace or configuration seed instead", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if call, name := firstOrderSensitiveCall(info, n.Body); call != nil {
+					pass.Reportf(n.For, "map iteration order is random, and this loop calls %s on each element: iterate sorted keys, or waive with //ovlint:allow determinism if the calls are provably order-independent", name)
+				}
+			case *ast.GoStmt:
+				if sim {
+					pass.Reportf(n.Pos(), "simulator package spawns a goroutine: simulation must be single-threaded and deterministic; parallelism belongs in internal/engine")
+				}
+			case *ast.CallExpr:
+				if !sim {
+					return true
+				}
+				obj := callee(info, n)
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && nondeterministicTimeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "simulator package calls time.%s: simulated time must come from the machine model, never the wall clock", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// firstOrderSensitiveCall returns the first non-builtin, non-conversion
+// call inside body, along with a printable name for it.
+func firstOrderSensitiveCall(info *types.Info, body ast.Node) (found *ast.CallExpr, name string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isConversion(info, call) {
+			return true
+		}
+		obj := callee(info, call)
+		if b, ok := obj.(*types.Builtin); ok {
+			if orderSafeBuiltins[b.Name()] {
+				return true
+			}
+			found, name = call, b.Name()
+			return false
+		}
+		found = call
+		if obj != nil {
+			name = obj.Name()
+		} else {
+			name = "a function value"
+		}
+		return false
+	})
+	return found, name
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked module package.
+type Package struct {
+	// Path is the import path ("oovec/internal/ooosim").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Program is a fully loaded and type-checked module: every non-test
+// package, a shared FileSet, and the cross-package indexes the analyzers
+// share.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Pkgs is sorted by import path.
+	Pkgs []*Package
+
+	// FuncDecl maps a function or method object to its declaration, across
+	// the whole module (the static call graph the hotpath analyzer walks).
+	funcDecls map[*types.Func]funcDecl
+
+	// directives indexes //ovlint: comments by file and line.
+	directives map[string]map[int][]directive
+}
+
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// Decl returns the module declaration of fn, if fn is declared in the
+// program.
+func (prog *Program) Decl(fn *types.Func) (*Package, *ast.FuncDecl, bool) {
+	fd, ok := prog.funcDecls[fn]
+	return fd.pkg, fd.decl, ok
+}
+
+// Load parses and type-checks every non-test package under root, which must
+// contain go.mod. Directories named testdata or vendor, and files or
+// directories with a "." or "_" prefix, are skipped, matching the go tool.
+func Load(root string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return LoadModule(root, modPath)
+}
+
+// LoadModule is Load with the module path supplied by the caller (the
+// analysistest harness loads testdata trees that carry no go.mod).
+func LoadModule(root, modPath string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		directives: make(map[string]map[int][]directive),
+	}
+
+	type rawPkg struct {
+		pkg     *Package
+		imports []string // module-internal imports only
+	}
+	raw := make(map[string]*rawPkg)
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := raw[importPath]
+		if rp == nil {
+			rp = &rawPkg{pkg: &Package{Path: importPath, Dir: dir}}
+			raw[importPath] = rp
+		}
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		rp.pkg.Files = append(rp.pkg.Files, f)
+		prog.directives[path] = collectDirectives(prog.Fset, f)
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == modPath || strings.HasPrefix(p, modPath+"/") {
+				rp.imports = append(rp.imports, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologically order packages so every module import is type-checked
+	// before its importers.
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		rp := raw[path]
+		if rp != nil {
+			for _, dep := range rp.imports {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = 2
+		if rp != nil {
+			order = append(order, path)
+		}
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		modPath:  modPath,
+		loaded:   make(map[string]*types.Package),
+		fallback: importer.ForCompiler(prog.Fset, "gc", nil),
+	}
+	for _, path := range order {
+		rp := raw[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, prog.Fset, rp.pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		rp.pkg.Types, rp.pkg.Info = tpkg, info
+		imp.loaded[path] = tpkg
+		prog.Pkgs = append(prog.Pkgs, rp.pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+
+	prog.funcDecls = make(map[*types.Func]funcDecl)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Name == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					prog.funcDecls[obj] = funcDecl{pkg: pkg, decl: fn}
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages already
+// type-checked (the topological order guarantees they exist) and everything
+// else — the standard library — through the toolchain's export data.
+type moduleImporter struct {
+	modPath  string
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		return nil, fmt.Errorf("module package %s imported before it was type-checked", path)
+	}
+	return m.fallback.Import(path)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}
+
+// FindModuleRoot ascends from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Snapshotcomplete guards the checkpoint/resume byte-identity contract
+// against its worst failure mode: a machine struct gains a field, the
+// Snapshot/Restore pair is not updated, and checkpoints silently resume
+// with stale state — wrong results with no error anywhere.
+//
+// For every type with a Snapshot/Restore method pair (exported or not),
+// every field of the struct must either be read through the receiver inside
+// the Snapshot method, or carry an //ovlint:config annotation stating that
+// it is configuration or per-call scratch rather than evolving machine
+// state.
+var Snapshotcomplete = &Analyzer{
+	Name: "snapshotcomplete",
+	Doc: "every field of a type with a Snapshot/Restore pair must be captured " +
+		"by Snapshot or marked //ovlint:config",
+	Run: runSnapshotcomplete,
+}
+
+func runSnapshotcomplete(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Group method declarations by receiver type.
+	type pair struct {
+		snapshot *ast.FuncDecl
+		restore  bool
+	}
+	pairs := make(map[*types.Named]*pair)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			named := receiverNamed(pass.Pkg, fd)
+			if named == nil {
+				continue
+			}
+			p := pairs[named]
+			if p == nil {
+				p = &pair{}
+				pairs[named] = p
+			}
+			switch strings.ToLower(fd.Name.Name) {
+			case "snapshot":
+				p.snapshot = fd
+			case "restore":
+				p.restore = true
+			}
+		}
+	}
+
+	// Iterate the receiver types in declaration order: diagnostics are
+	// sorted by position before reporting, but the analyzers hold
+	// themselves to the determinism rule they enforce.
+	var order []*types.Named
+	for named := range pairs {
+		order = append(order, named)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Obj().Pos() < order[j].Obj().Pos() })
+
+	for _, named := range order {
+		p := pairs[named]
+		if p.snapshot == nil || !p.restore || p.snapshot.Body == nil {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		captured := capturedFields(info, p.snapshot)
+		structAST := structASTFor(pass.Pkg, named.Obj().Name())
+		if structAST == nil {
+			continue
+		}
+		for _, field := range structAST.Fields.List {
+			if _, waived := fieldDirective(field, "config"); waived {
+				continue
+			}
+			for _, name := range field.Names {
+				obj, ok := info.Defs[name].(*types.Var)
+				if !ok || captured[obj] {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"field %s.%s is not captured by (%s).%s: a checkpoint restored without it resumes with stale state; capture it in the State struct, or mark it //ovlint:config if it is configuration or scratch",
+					named.Obj().Name(), name.Name, named.Obj().Name(), p.snapshot.Name.Name)
+			}
+		}
+	}
+}
+
+// capturedFields collects every struct field object read through a selector
+// inside the snapshot method's body (m.field, including range expressions
+// and type switches over m.field).
+func capturedFields(info *types.Info, snapshot *ast.FuncDecl) map[*types.Var]bool {
+	captured := make(map[*types.Var]bool)
+	ast.Inspect(snapshot.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				captured[v] = true
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+// structASTFor finds the struct type literal declared under the given type
+// name in the package, so field annotations and positions are available.
+func structASTFor(pkg *Package, name string) *ast.StructType {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}

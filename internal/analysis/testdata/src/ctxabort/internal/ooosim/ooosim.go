@@ -1,0 +1,28 @@
+// Package ooosim is the well-formed machine model: Run exists, and
+// RunCheckpointed threads a context and polls it inside the step loop, so
+// no ctxabort diagnostics fire. One `// want` expectation lives in the
+// sibling refsim package; this package is all negatives.
+package ooosim
+
+import "context"
+
+type Machine struct{}
+
+func (m *Machine) Run(n int) int64 {
+	total, _ := m.RunCheckpointed(context.Background(), n)
+	return total
+}
+
+// RunCheckpointed is the cancellable entry point check 3 requires.
+func (m *Machine) RunCheckpointed(ctx context.Context, n int) (int64, error) {
+	var total int64
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += m.step(i)
+	}
+	return total, nil
+}
+
+func (m *Machine) step(i int) int64 { return int64(i) }

@@ -1,0 +1,13 @@
+// Package refsim exercises ctxabort check 3: a machine model whose only
+// entry point cannot be cancelled.
+package refsim
+
+type Machine struct{} // want `machine model refsim.Machine has Run but no cancellable entry point`
+
+func (m *Machine) Run(n int) int64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(i)
+	}
+	return total
+}

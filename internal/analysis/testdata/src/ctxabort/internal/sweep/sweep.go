@@ -1,0 +1,49 @@
+// Package sweep exercises the ctxabort loop checks in a run-loop package:
+// unused context parameters, work loops that never poll, and the negative
+// shapes (polled loops, goroutine spawn loops).
+package sweep
+
+import "context"
+
+// Opts carries the context the way the real sweep.Opts does.
+type Opts struct {
+	Ctx context.Context
+}
+
+// Run stands in for a simulation entry point; calls to it mark a loop as
+// doing work.
+func Run(n int) int { return n }
+
+// fire drops its cancellation path on the floor.
+func fire(ctx context.Context) { // want `context parameter ctx is never used`
+	Run(1)
+}
+
+// GridSerial uses its context, but not inside the work loop: cancellation
+// silently waits for the whole grid.
+func GridSerial(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ { // want `never checks the context`
+		Run(i)
+	}
+	return ctx.Err()
+}
+
+// GridPolled threads the opts-carried context into the loop: no diagnostic.
+func GridPolled(o Opts, n int) error {
+	for i := 0; i < n; i++ {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			return o.Ctx.Err()
+		}
+		Run(i)
+	}
+	return nil
+}
+
+// Spawn's loop only starts goroutines — it finishes immediately, so it needs
+// no abort check of its own.
+func Spawn(ctx context.Context, fns []func()) {
+	for _, f := range fns {
+		go f()
+	}
+	<-ctx.Done()
+}

@@ -1,0 +1,53 @@
+// Package ooosim exercises the determinism analyzer's simulator-package
+// rules. The checkAll function reproduces the defect the analyzer caught in
+// the real repo's RunWithFault: ranging over a map of rename tables while
+// constructing the returned error, so the reported class depended on map
+// iteration order.
+package ooosim
+
+import (
+	"fmt"
+	_ "math/rand" // want `simulator package imports math/rand`
+	"sort"
+	"time"
+)
+
+type table struct{ bad bool }
+
+// checkAll models the pre-fix fault.go pattern: first corrupt table wins,
+// and "first" is whatever order the runtime hands out.
+func checkAll(tables map[int]*table) error {
+	for class, tb := range tables { // want `map iteration order is random`
+		if tb.bad {
+			return fmt.Errorf("class %d corrupt", class)
+		}
+	}
+	return nil
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `calls time.Now`
+}
+
+func spawn(f func()) {
+	go f() // want `spawns a goroutine`
+}
+
+// sortedKeys accumulates and sorts: order-insensitive, no diagnostic.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// drain is waived: the map holds cancellation callbacks whose invocation
+// order is unobservable.
+func drain(m map[int]func()) {
+	//ovlint:allow determinism cancellations are order-independent
+	for _, f := range m {
+		f()
+	}
+}

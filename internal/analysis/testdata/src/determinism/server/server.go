@@ -1,0 +1,34 @@
+// Package server exercises the module-wide map-order rule outside the
+// simulator packages, where wall-clock reads stay legal.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// stamp reads the wall clock outside a simulator package: no diagnostic.
+func stamp() time.Time { return time.Now() }
+
+func render(stats map[string]int64) string {
+	out := ""
+	for name, v := range stats { // want `map iteration order is random`
+		out += fmt.Sprintf("%s=%d\n", name, v)
+	}
+	return out
+}
+
+// renderSorted is the collect-then-sort rewrite: no diagnostic.
+func renderSorted(stats map[string]int64) string {
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		out += fmt.Sprintf("%s=%d\n", name, stats[name])
+	}
+	return out
+}

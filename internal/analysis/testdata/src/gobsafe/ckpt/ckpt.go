@@ -1,0 +1,49 @@
+// Package ckpt exercises the gobsafe analyzer: structs crossing a gob
+// boundary must not have unexported (silently dropped) fields or
+// interface-typed fields, recursively; self-encoding types are trusted.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Good round-trips faithfully: no diagnostics.
+type Good struct {
+	Cycle int64
+	Name  string
+}
+
+type Bad struct {
+	Cycle  int64
+	hidden int64 // want `unexported field Bad.hidden reaches encoding/gob`
+	Body   any   // want `interface-typed field Bad.Body reaches encoding/gob`
+}
+
+// Nested reaches Bad through a slice; the diagnostics stay on Bad's fields.
+type Nested struct {
+	Inner []Bad
+}
+
+// Opaque encodes itself, so its unexported field is fine.
+type Opaque struct {
+	raw []byte
+}
+
+func (o Opaque) MarshalBinary() ([]byte, error)  { return o.raw, nil }
+func (o *Opaque) UnmarshalBinary(b []byte) error { o.raw = append(o.raw[:0], b...); return nil }
+
+func roundTrip() error {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(Good{}); err != nil {
+		return err
+	}
+	if err := enc.Encode(Nested{}); err != nil {
+		return err
+	}
+	gob.Register(Opaque{})
+	dec := gob.NewDecoder(&buf)
+	var g Good
+	return dec.Decode(&g)
+}

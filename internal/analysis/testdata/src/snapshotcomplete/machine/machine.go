@@ -1,0 +1,44 @@
+// Package machine exercises the snapshotcomplete analyzer: every field of a
+// type with a Snapshot/Restore pair must be read by Snapshot or carry an
+// //ovlint:config annotation.
+package machine
+
+// State is the checkpoint payload.
+type State struct {
+	Cycle int64
+	PC    int64
+}
+
+type Machine struct {
+	cycle int64
+	pc    int64
+	heat  int64 // want `field Machine.heat is not captured`
+	width int   //ovlint:config structural size, fixed at construction
+}
+
+func (m *Machine) Snapshot() State {
+	return State{Cycle: m.cycle, PC: m.pc}
+}
+
+func (m *Machine) Restore(st State) {
+	m.cycle, m.pc = st.Cycle, st.PC
+}
+
+// core's unexported pair is matched case-insensitively, like the real
+// machines' snapshot/restore.
+type core struct {
+	ticks int64
+	skew  int64 // want `field core.skew is not captured`
+}
+
+func (c *core) snapshot() int64 { return c.ticks }
+func (c *core) restore(v int64) { c.ticks = v }
+
+// Sampler has Snapshot but no Restore: not a checkpointable machine, so its
+// uncaptured field is fine.
+type Sampler struct {
+	window int64
+	peak   int64
+}
+
+func (s *Sampler) Snapshot() int64 { return s.window }

@@ -45,6 +45,8 @@ func (q *Queue) AdmitConstraint() int64 { return q.window.FreeAt() }
 // operands are ready at `ready`, books the 1-per-cycle issue port at the
 // first free cycle at or after max(enter, ready), records the slot's
 // occupancy, and returns the issue cycle.
+//
+//ovlint:hotpath called once per queued instruction
 func (q *Queue) Issue(enter, ready int64) int64 {
 	at := enter
 	if ready > at {
@@ -93,7 +95,7 @@ type MemQueue struct {
 
 	entries [maxScan]memEntry
 	n       int // total entries recorded
-	scanWin int
+	scanWin int //ovlint:config structural size, fixed at construction
 
 	conflicts int64
 }
@@ -131,6 +133,8 @@ func (q *MemQueue) Reserve(n int) {
 // Advance pushes an instruction entering the queue at `enter` through the
 // three in-order front stages and returns the cycle it leaves the
 // Dependence stage (after which it may issue out of order).
+//
+//ovlint:hotpath called once per memory instruction
 func (q *MemQueue) Advance(enter int64) int64 {
 	s1 := q.issueRF.Allocate(enter, 1)
 	s2 := q.rangeSt.Allocate(s1+1, 1)
@@ -144,6 +148,8 @@ func (q *MemQueue) Advance(enter int64) int64 {
 // conflicts with an earlier one when their ranges overlap and at least one
 // of the two is a store; the younger access must then wait until the older
 // one has issued all its requests.
+//
+//ovlint:hotpath the scan runs once per memory instruction
 func (q *MemQueue) ConflictConstraint(start, end uint64, isStore bool) int64 {
 	var at int64
 	lo := q.n - q.scanWin
@@ -170,6 +176,8 @@ func (q *MemQueue) ConflictConstraint(start, end uint64, isStore bool) int64 {
 // Record registers an issued memory access for later disambiguation and
 // books its queue slot (the slot frees when the instruction proceeds to
 // issue requests, at busStart).
+//
+//ovlint:hotpath called once per memory instruction
 func (q *MemQueue) Record(start, end uint64, isStore bool, busStart, busEnd int64) {
 	q.entries[q.n%maxScan] = memEntry{start: start, end: end, isStore: isStore, busEnd: busEnd}
 	q.n++

@@ -307,6 +307,10 @@ func (m *Manager) BeginInteractive() {
 	defer m.mu.Unlock()
 	m.interactive++
 	if m.interactive == 1 {
+		// Cancellation order over the running set is unobservable: each
+		// preempted job re-enqueues at its recorded queue position, and
+		// delivery is asynchronous regardless of iteration order.
+		//ovlint:allow determinism cancellation fans out to an unordered set of goroutines; queue order is restored from each job's recorded position
 		for _, j := range m.jobs {
 			if j.state == StateRunning && !j.canceled {
 				j.cancel(ErrPreempted)
@@ -361,6 +365,7 @@ func (m *Manager) Close() {
 		m.finishLocked(j, StateCanceled, ErrShutdown)
 	}
 	m.queue = nil
+	//ovlint:allow determinism shutdown cancels every running job; the set is drained completely, so order is unobservable
 	for _, j := range m.jobs {
 		if j.state == StateRunning {
 			j.canceled = true

@@ -89,10 +89,8 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 	tables := m.tableMap()
 	rename.Rollback(tables, m.records[faultIdx:last+1])
 
-	for class, tb := range tables {
-		if err := tb.CheckInvariants(); err != nil {
-			return nil, fmt.Errorf("ooosim: post-rollback state of %v corrupt: %w", class, err)
-		}
+	if err := m.checkTables(); err != nil {
+		return nil, err
 	}
 	return &FaultResult{
 		FaultIndex:   faultIdx,
@@ -101,4 +99,19 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 		PreciseCycle: preciseAt,
 		Tables:       tables,
 	}, nil
+}
+
+// checkTables verifies every rename table's invariants after a rollback.
+// It scans the class-indexed array, not the map form: with several corrupt
+// tables the reported class must not depend on map iteration order.
+func (m *machine) checkTables() error {
+	for class, tb := range m.tables {
+		if tb == nil {
+			continue
+		}
+		if err := tb.CheckInvariants(); err != nil {
+			return fmt.Errorf("ooosim: post-rollback state of %v corrupt: %w", isa.RegClass(class), err)
+		}
+	}
+	return nil
 }

@@ -91,6 +91,8 @@ func NewMachine(cfg Config) *Machine {
 // run. The returned Result's Tables and Records alias machine state and are
 // invalidated by the next Run or Reset; callers that retain them (the
 // precise-trap demos) should use the package-level Run instead.
+//
+//ovlint:hotpath the reusable-machine run path is the sweep inner loop and must stay allocation-free
 func (mm *Machine) Run(t *trace.Trace) *Result {
 	if mm.dirty {
 		mm.Reset(mm.m.cfg)
@@ -105,6 +107,8 @@ func (mm *Machine) Run(t *trace.Trace) *Result {
 // (register files, queues, ROB, port organisation); otherwise the current
 // machine is retired to the shape cache and the new shape's machine is
 // revived from it — or built once, on first encounter.
+//
+//ovlint:coldpath shape changes rebuild storage once per shape, amortised over the sweep
 func (mm *Machine) Reset(cfg Config) {
 	cfg = cfg.WithDefaults()
 	if mm.m.sameShape(cfg) {
@@ -129,7 +133,7 @@ func (mm *Machine) Reset(cfg Config) {
 // run executes the whole trace and assembles the result.
 func (m *machine) run(t *trace.Trace) *Result {
 	if m.cfg.CollectRecords && cap(m.records) < t.Len() {
-		m.records = make([]rename.Record, 0, t.Len())
+		m.records = make([]rename.Record, 0, t.Len()) //ovlint:allow hotpath record collection is a precise-trap debug mode, off in sweeps; growth is once per trace length
 	}
 	for i := range t.Insns {
 		m.step(i, &t.Insns[i])
@@ -145,6 +149,8 @@ func (m *machine) run(t *trace.Trace) *Result {
 // store at most one pending-store record. Called on the Machine (reuse)
 // path only — a one-shot Run grows organically instead of paying the
 // upper bound.
+//
+//ovlint:coldpath one reservation pass per run, amortised over the whole trace
 func (m *machine) reserveFor(t *trace.Trace) {
 	nA, nS, nV, nMem, nStores := 0, 0, 0, 0, 0
 	for i := range t.Insns {
@@ -179,7 +185,7 @@ func (m *machine) reserveFor(t *trace.Trace) {
 
 // machine is the OOOVA simulation state.
 type machine struct {
-	cfg Config
+	cfg Config //ovlint:config a checkpoint is only restored into a machine already reset to the identical configuration
 
 	// tables is indexed by register class (RegNone unused); a flat array
 	// replaces a map lookup on every rename and operand lookup.
@@ -204,7 +210,7 @@ type machine struct {
 	rob        *rob.ROB
 	pred       *bpred.Predictor
 
-	readX, writeX int64
+	readX, writeX int64 //ovlint:config crossbar latencies, fixed by the ISA at construction
 
 	prevFetch    int64
 	nextFetchMin int64
@@ -231,14 +237,14 @@ type machine struct {
 	// Per-instruction scratch buffers. Keeping them on the (heap-allocated)
 	// machine rather than on step's stack keeps the hot path free of
 	// escape-analysis allocations when the slices cross interface calls.
-	srcBuf   [4]srcOp
-	vReadBuf [4]int
-	portBuf  [1]int
-	regBuf   [4]isa.Reg
+	srcBuf   [4]srcOp   //ovlint:config per-instruction scratch, dead between steps
+	vReadBuf [4]int     //ovlint:config per-instruction scratch, dead between steps
+	portBuf  [1]int     //ovlint:config per-instruction scratch, dead between steps
+	regBuf   [4]isa.Reg //ovlint:config per-instruction scratch, dead between steps
 
 	// bdScratch is the reusable state-breakdown edge buffer; without it,
 	// finish allocates two edges per busy interval on every run.
-	bdScratch metrics.Scratch
+	bdScratch metrics.Scratch //ovlint:config per-run scratch, rebuilt from the interval lists by finish
 }
 
 // srcOp is a resolved source operand (class + physical register).
@@ -304,6 +310,8 @@ func (m *machine) sameShape(cfg Config) bool {
 }
 
 // reset restores the power-on state in place; cfg must satisfy sameShape.
+//
+//ovlint:coldpath once per run, amortised over the whole trace
 func (m *machine) reset(cfg Config) {
 	m.cfg = cfg
 	for _, tb := range m.tables {
@@ -396,7 +404,7 @@ func (m *machine) allocDst(in *isa.Instruction) (rename.Record, int64) {
 	if !ok {
 		// Guaranteed impossible for numPhysical > numLogical: every prior
 		// allocation's matching release has already been recorded.
-		panic(fmt.Sprintf("ooosim: %v free list empty", in.Dst.Class))
+		panic(fmt.Sprintf("ooosim: %v free list empty", in.Dst.Class)) //ovlint:allow hotpath panic path, unreachable in a valid run
 	}
 	return rename.Record{
 		Class:     in.Dst.Class,
@@ -408,6 +416,8 @@ func (m *machine) allocDst(in *isa.Instruction) (rename.Record, int64) {
 }
 
 // step processes one dynamic instruction through the full pipeline.
+//
+//ovlint:hotpath runs once per dynamic instruction; any allocation here multiplies by trace length
 func (m *machine) step(idx int, in *isa.Instruction) {
 	cfg := &m.cfg
 	vl := int64(in.EffVL())
@@ -876,6 +886,8 @@ func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec
 }
 
 // finish assembles the run statistics.
+//
+//ovlint:coldpath once per run, amortised over the whole trace
 func (m *machine) finish(t *trace.Trace) *Result {
 	m.note(m.msched.finishAll())
 	total := m.lastCycle + 1

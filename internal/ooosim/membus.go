@@ -24,7 +24,7 @@ type memScheduler struct {
 
 	entries [memScanWindow]memEntry
 	n       int
-	scanWin int
+	scanWin int //ovlint:config structural size, fixed at construction
 
 	requests  int64
 	conflicts int64

@@ -102,6 +102,8 @@ func NewMachine(cfg Config) *Machine {
 
 // Run simulates the trace, resetting the machine first if it has already
 // run.
+//
+//ovlint:hotpath the reusable-machine run path is the sweep inner loop and must stay allocation-free
 func (mm *Machine) Run(t *trace.Trace) *metrics.RunStats {
 	if mm.dirty {
 		mm.Reset(mm.m.cfg)
@@ -120,7 +122,7 @@ func (mm *Machine) Reset(cfg Config) {
 
 // machine is the reference-simulator state.
 type machine struct {
-	cfg Config
+	cfg Config //ovlint:config a checkpoint is only restored into a machine already reset to the identical configuration
 
 	fu1, fu2, bus *sched.Monotonic
 	ports         *vregfile.BankedFile
@@ -139,13 +141,13 @@ type machine struct {
 	lastCycle   int64
 	memRequests int64
 
-	readX, writeX int64
+	readX, writeX int64 //ovlint:config crossbar latencies, fixed by the ISA at construction
 
 	// Per-instruction scratch buffers and the state-breakdown edge buffer,
 	// kept on the machine so reused runs allocate nothing for them.
-	vReadsBuf [4]int
-	rbuf      [4]isa.Reg
-	bdScratch metrics.Scratch
+	vReadsBuf [4]int          //ovlint:config per-instruction scratch, dead between steps
+	rbuf      [4]isa.Reg      //ovlint:config per-instruction scratch, dead between steps
+	bdScratch metrics.Scratch //ovlint:config per-run scratch, rebuilt from the interval lists by finish
 }
 
 func newMachine(cfg Config) *machine {
@@ -162,6 +164,8 @@ func newMachine(cfg Config) *machine {
 }
 
 // reset restores the power-on state in place, keeping allocated storage.
+//
+//ovlint:coldpath once per run, amortised over the whole trace
 func (m *machine) reset(cfg Config) {
 	m.cfg = cfg.withDefaults()
 	m.fu1.Reset()
@@ -182,6 +186,8 @@ func (m *machine) reset(cfg Config) {
 // at most one interval on each FU allocator and a memory instruction at
 // most one bus interval. Called on the Machine (reuse) path only — a
 // one-shot Run grows organically instead of paying the upper bound.
+//
+//ovlint:coldpath one reservation pass per run, amortised over the whole trace
 func (m *machine) reserveFor(t *trace.Trace) {
 	nV, nMem := 0, 0
 	for i := range t.Insns {
@@ -224,6 +230,8 @@ func (m *machine) scalarReady(r isa.Reg) int64 {
 }
 
 // step processes one dynamic instruction through the in-order pipeline.
+//
+//ovlint:hotpath runs once per dynamic instruction; any allocation here multiplies by trace length
 func (m *machine) step(i int, in *isa.Instruction) {
 	cfg := m.cfg
 	fu1, fu2, bus, ports := m.fu1, m.fu2, m.bus, m.ports
@@ -405,6 +413,8 @@ func (m *machine) step(i int, in *isa.Instruction) {
 }
 
 // finish assembles the run statistics.
+//
+//ovlint:coldpath once per run, amortised over the whole trace
 func (m *machine) finish(t *trace.Trace) *metrics.RunStats {
 	total := m.lastCycle + 1
 	st := &metrics.RunStats{

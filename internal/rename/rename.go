@@ -28,9 +28,9 @@ type freeEntry struct {
 // allocation-free (a plain slice would reallocate its backing array every
 // NumPhysical operations).
 type Table struct {
-	Class       isa.RegClass
-	NumLogical  int
-	NumPhysical int
+	Class       isa.RegClass //ovlint:config structural identity, fixed at construction
+	NumLogical  int          //ovlint:config structural size, fixed at construction
+	NumPhysical int          //ovlint:config structural size, fixed at construction
 
 	mapping []int       // logical -> physical
 	refcnt  []int       // physical -> number of mapping references
@@ -111,6 +111,8 @@ func (t *Table) FreeCount() int { return t.count }
 // register is actually available (decode must stall until then). ok is
 // false when the free list is empty — the caller must model a stall and may
 // not retry until a Release occurs.
+//
+//ovlint:hotpath called once per renamed instruction
 func (t *Table) Allocate(logical int) (newPhys, oldPhys int, readyAt int64, ok bool) {
 	if t.count == 0 {
 		return 0, 0, 0, false
@@ -128,9 +130,11 @@ func (t *Table) Allocate(logical int) (newPhys, oldPhys int, readyAt int64, ok b
 // last reference drops the register joins the free list, available from
 // `at`. Release times must be non-decreasing across calls (commit order),
 // which keeps the free list sorted by availability.
+//
+//ovlint:hotpath called once per committed instruction
 func (t *Table) Release(phys int, at int64) {
 	if t.refcnt[phys] <= 0 {
-		panic(fmt.Sprintf("rename: double release of %v physical %d", t.Class, phys))
+		panic(fmt.Sprintf("rename: double release of %v physical %d", t.Class, phys)) //ovlint:allow hotpath panic path, unreachable in a valid run
 	}
 	t.refcnt[phys]--
 	if t.refcnt[phys] == 0 {
@@ -143,6 +147,8 @@ func (t *Table) Release(phys int, at int64) {
 // free list ("matching is not restricted to live registers"); a free-list
 // target is removed from the list. It returns the old mapping for release
 // at commit.
+//
+//ovlint:hotpath called once per eliminated load
 func (t *Table) AliasTo(logical, phys int) (oldPhys int) {
 	if t.refcnt[phys] == 0 {
 		// Remove phys from the ring, preserving availability order.
@@ -171,6 +177,7 @@ func (t *Table) AliasTo(logical, phys int) (oldPhys int) {
 // Rollback walks reorder-buffer records newest-first.
 func (t *Table) Undo(logical, oldPhys, newPhys int) {
 	if t.mapping[logical] != newPhys {
+		//ovlint:allow hotpath panic path, unreachable in a valid rollback
 		panic(fmt.Sprintf("rename: undo mismatch on %v%d: mapped %d, undoing %d",
 			t.Class, logical, t.mapping[logical], newPhys))
 	}

@@ -48,8 +48,8 @@ func (p Policy) String() string {
 
 // ROB computes commit times for an in-order, width-limited commit stage.
 type ROB struct {
-	size   int
-	width  int
+	size   int //ovlint:config structural size, fixed at construction
+	width  int //ovlint:config structural size, fixed at construction
 	window *sched.RingWindow
 	recent []int64 // ring buffer of the last `width` commit times
 	ri     int
@@ -81,6 +81,8 @@ func (r *ROB) AdmitConstraint() int64 { return r.window.FreeAt() }
 // Commit records the next instruction's commit given the cycle it becomes
 // ready to commit, enforcing program order and the commit width, and books
 // its slot occupancy. It returns the commit cycle.
+//
+//ovlint:hotpath called once per dynamic instruction
 func (r *ROB) Commit(ready int64) int64 {
 	c := ready + 1 // committing takes a cycle after readiness
 	if c < r.last {

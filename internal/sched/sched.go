@@ -57,6 +57,8 @@ type Monotonic struct {
 func NewMonotonic() *Monotonic { return &Monotonic{} }
 
 // Allocate implements Allocator.
+//
+//ovlint:hotpath books one interval per instruction; steady-state appends stay within Reserve capacity
 func (m *Monotonic) Allocate(earliest, dur int64) int64 {
 	if dur <= 0 {
 		dur = 1
@@ -110,6 +112,8 @@ func NewGap() *Gap { return &Gap{} }
 
 // Allocate implements Allocator: it finds the earliest hole of length dur
 // starting at or after earliest and books it.
+//
+//ovlint:hotpath books one interval per instruction; steady-state appends stay within Reserve capacity
 func (g *Gap) Allocate(earliest, dur int64) int64 {
 	if dur <= 0 {
 		dur = 1
@@ -121,6 +125,8 @@ func (g *Gap) Allocate(earliest, dur int64) int64 {
 }
 
 // Peek returns the start Allocate would choose, without booking.
+//
+//ovlint:hotpath probed several times per memory instruction
 func (g *Gap) Peek(earliest, dur int64) int64 {
 	if dur <= 0 {
 		dur = 1

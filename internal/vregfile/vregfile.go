@@ -50,7 +50,7 @@ type BankedFile struct {
 	// claims is plan's scratch space (an instruction reads at most four
 	// registers); keeping it here keeps the per-instruction hot path
 	// allocation-free.
-	claims [4]portClaim
+	claims [4]portClaim //ovlint:config per-instruction scratch, dead between calls
 }
 
 // NewBankedFile returns a banked file for n vector registers (n must be a
@@ -120,6 +120,8 @@ func (f *BankedFile) plan(reads []int, write int, earliest int64) (int64, int) {
 }
 
 // Peek returns the start Acquire would choose, without booking.
+//
+//ovlint:hotpath probed once per vector operand set
 func (f *BankedFile) Peek(reads []int, write int, earliest int64) int64 {
 	start, _ := f.plan(reads, write, earliest)
 	return start
@@ -127,6 +129,8 @@ func (f *BankedFile) Peek(reads []int, write int, earliest int64) int64 {
 
 // Acquire implements PortFile. Reads from the same bank compete for that
 // bank's two read ports; the write competes for the bank's single write port.
+//
+//ovlint:hotpath called once per vector instruction through the portFile interface
 func (f *BankedFile) Acquire(reads []int, write int, earliest, dur int64) int64 {
 	if dur <= 0 {
 		dur = 1
@@ -183,6 +187,8 @@ func (f *FlatFile) Grow(n int) {
 }
 
 // Peek returns the start Acquire would choose, without booking the ports.
+//
+//ovlint:hotpath probed once per vector operand set
 func (f *FlatFile) Peek(reads []int, write int, earliest int64) int64 {
 	start := earliest
 	for _, r := range reads {
@@ -197,6 +203,8 @@ func (f *FlatFile) Peek(reads []int, write int, earliest int64) int64 {
 }
 
 // Acquire implements PortFile.
+//
+//ovlint:hotpath called once per vector instruction through the portFile interface
 func (f *FlatFile) Acquire(reads []int, write int, earliest, dur int64) int64 {
 	if dur <= 0 {
 		dur = 1

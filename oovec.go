@@ -58,6 +58,9 @@ import (
 type (
 	// Reg names an architectural register.
 	Reg = isa.Reg
+	// RegClass names a register file (address, scalar, vector, mask); it
+	// keys the rename tables a fault-injection result exposes.
+	RegClass = isa.RegClass
 	// Op is an operation code.
 	Op = isa.Op
 	// Instruction is one dynamic instruction.
