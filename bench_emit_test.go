@@ -1,0 +1,123 @@
+package oovec
+
+// TestEmitBench writes a machine-readable performance snapshot (BENCH_8.json)
+// for CI to archive: ns/op, allocs/op and B/op of the OOOVA and REF
+// simulators on a fixed trace, plus the cold-vs-warm latency of a small
+// sweep grid through the content-addressed result cache. Gated on the
+// BENCH_OUT environment variable so ordinary `go test ./...` runs skip it:
+//
+//	BENCH_OUT=BENCH_8.json go test -run TestEmitBench .
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"oovec/internal/simcache"
+	"oovec/internal/sweep"
+	"oovec/internal/tgen"
+)
+
+// benchRecord is one measured operation in the emitted snapshot.
+type benchRecord struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// benchSweep is the cold/warm sweep comparison: the same grid served once
+// by simulation and once from the result cache.
+type benchSweep struct {
+	Points int     `json:"points"`
+	ColdMs float64 `json:"cold_ms"`
+	WarmMs float64 `json:"warm_ms"`
+}
+
+// benchSnapshot is the BENCH_8.json schema.
+type benchSnapshot struct {
+	Insns      int           `json:"insns"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+	Sweep      benchSweep    `json:"sweep"`
+}
+
+func TestEmitBench(t *testing.T) {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		t.Skip("BENCH_OUT not set; set it to a path to emit the benchmark snapshot")
+	}
+
+	p, ok := tgen.PresetByName("swm256")
+	if !ok {
+		t.Fatal("no swm256 preset")
+	}
+	p.Insns = benchInsns
+	tr := tgen.Generate(p)
+
+	record := func(name string, r testing.BenchmarkResult) benchRecord {
+		return benchRecord{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	snap := benchSnapshot{Insns: benchInsns}
+
+	// Steady-state simulator throughput: a reusable machine, reset per run,
+	// the way sweep workers and the server machine pools drive it.
+	oooM := NewOOOVAMachine(DefaultOOOVAConfig())
+	snap.Benchmarks = append(snap.Benchmarks, record("ooova/swm256",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				oooM.Run(tr)
+			}
+		})))
+	refM := NewReferenceMachine(DefaultReferenceConfig())
+	snap.Benchmarks = append(snap.Benchmarks, record("ref/swm256",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				refM.Run(tr)
+			}
+		})))
+
+	// Cold vs warm sweep: identical grids, the second served entirely from
+	// the result cache. The ratio is the headline the cache earns its keep
+	// by; the snapshot records both absolute latencies.
+	cache := simcache.NewResults(1024, nil)
+	grid := func() int {
+		pts, err := sweep.OOOGridOpts(tr, DefaultOOOVAConfig(),
+			[]int{12, 16, 32}, []int64{1, 50}, sweep.Opts{
+				Workers: 1, Cache: cache, TraceKey: simcache.PresetKey(p),
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(pts)
+	}
+	start := time.Now()
+	n := grid()
+	cold := time.Since(start)
+	start = time.Now()
+	if n2 := grid(); n2 != n {
+		t.Fatalf("warm grid returned %d points, cold %d", n2, n)
+	}
+	warm := time.Since(start)
+	snap.Sweep = benchSweep{
+		Points: n,
+		ColdMs: float64(cold) / float64(time.Millisecond),
+		WarmMs: float64(warm) / float64(time.Millisecond),
+	}
+
+	b, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,6 +65,8 @@ func main() {
 		jobQueue  = flag.Int("job-queue", 16, "async job queue bound; submissions beyond it are shed with 503")
 		warmBytes = flag.Int64("warm-bytes", 0, "pre-load up to this many bytes of most-recently-used results from -cache-dir into memory at startup (0 = off)")
 		scrubbery = flag.Duration("scrub-interval", 0, "background store integrity scrub cadence; corrupt entries are quarantined (0 = off)")
+		logReqs   = flag.Bool("log-requests", false, "emit one structured JSON log line per request on stderr")
+		slowReq   = flag.Duration("slow-request", 0, "log requests at or beyond this duration at WARN with slow=true (0 = never; implies -log-requests)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
 	cacheF := cli.RegisterCache(flag.CommandLine)
@@ -81,6 +84,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The structured request log: one JSON line per finished request with
+	// the request id, route, status and duration — plus the operational
+	// breadcrumbs (job cancellations, sweep aborts). -slow-request flags
+	// outliers at WARN.
+	var logger *slog.Logger
+	if *logReqs || *slowReq > 0 {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	srv := server.New(server.Opts{
 		Workers:        common.Jobs,
 		CacheEntries:   *cacheN,
@@ -92,6 +104,8 @@ func main() {
 		Store:          st,
 		JobWorkers:     *jobWork,
 		JobQueue:       *jobQueue,
+		Log:            logger,
+		SlowRequest:    *slowReq,
 	})
 	common.Announce("ovserve")
 	if common.Verbose && *authToken != "" {

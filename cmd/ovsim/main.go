@@ -7,6 +7,8 @@
 //	ovsim -bench trfd -machine ooo -commit late -elim sle+vle
 //	ovsim -bench hydro2d -machine ref -latency 100
 //	ovsim -trace kernel.ovtr -machine ooo
+//	ovsim -bench swm256 -stalls               # stall-cause attribution
+//	ovsim -bench swm256 -pipetrace out.kanata # Kanata/Konata pipeline trace
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"oovec"
 	"oovec/internal/cli"
 	"oovec/internal/engine"
+	"oovec/internal/probe"
+	"oovec/internal/viz"
 )
 
 func main() {
@@ -30,6 +34,8 @@ func main() {
 		commit  = flag.String("commit", "early", "commit policy: early | late (OOOVA)")
 		elim    = flag.String("elim", "none", "load elimination: none | sle | sle+vle (OOOVA)")
 		insns   = flag.Int("insns", 0, "override benchmark instruction budget")
+		stalls  = flag.Bool("stalls", false, "print stall-cause attribution and occupancy histograms")
+		ptrace  = flag.String("pipetrace", "", "write a Kanata/Konata pipeline trace of the run to this file")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
 	flag.Parse()
@@ -41,17 +47,39 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The pipeline trace sink observes the run without changing its
+	// measurements; the Kanata file is flushed after the run completes.
+	var kan *probe.Kanata
+	var kanFile *os.File
+	if *ptrace != "" {
+		kanFile, err = os.Create(*ptrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ovsim:", err)
+			os.Exit(1)
+		}
+		kan = probe.NewKanata(kanFile)
+	}
+
 	switch *machine {
 	case "ref":
 		cfg := oovec.DefaultReferenceConfig()
 		cfg.MemLatency = *latency
+		if kan != nil {
+			cfg.Sink = kan
+		}
 		st := oovec.RunReference(tr, cfg)
 		printStats(st)
+		if *stalls {
+			printStalls(st)
+		}
 	case "ooo":
 		cfg := oovec.DefaultOOOVAConfig()
 		cfg.PhysVRegs = *vregs
 		cfg.QueueSlots = *queues
 		cfg.MemLatency = *latency
+		if kan != nil {
+			cfg.Sink = kan
+		}
 		if cfg.Commit, err = cli.ParseCommit(*commit); err != nil {
 			fmt.Fprintln(os.Stderr, "ovsim:", err)
 			os.Exit(1)
@@ -76,9 +104,23 @@ func main() {
 		printStats(res.Stats)
 		fmt.Printf("%-28s %.3f\n", "speedup over REF:", oovec.Speedup(ref, res.Stats))
 		fmt.Printf("%-28s %.3f\n", "IDEAL speedup bound:", oovec.IdealSpeedup(ref.Cycles, tr))
+		if *stalls {
+			printStalls(res.Stats)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "ovsim: unknown machine %q (ref | ooo)\n", *machine)
 		os.Exit(1)
+	}
+
+	if kan != nil {
+		if err := kan.Flush(); err == nil {
+			err = kanFile.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ovsim: pipetrace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ovsim: pipeline trace written to %s\n", *ptrace)
 	}
 }
 
@@ -129,4 +171,36 @@ func printStats(st *oovec.RunStats) {
 
 func stateName(s int) string {
 	return oovec.StateBreakdownName(s)
+}
+
+// printStalls renders the decode-stall attribution and the structure
+// occupancy histograms (-stalls). The REF machine models no decode window,
+// so for it only the memory-bus row is ever non-zero and the occupancy
+// histograms are empty (skipped).
+func printStalls(st *oovec.RunStats) {
+	fmt.Print(viz.HBar("stall cycles by cause:", []viz.BarRow{
+		{Label: "rob-full", Value: float64(st.Stalls.ROBFull)},
+		{Label: "iq-full", Value: float64(st.Stalls.IQFull())},
+		{Label: "no-phys-reg", Value: float64(st.Stalls.NoPhysReg())},
+		{Label: "port-conflict", Value: float64(st.Stalls.PortConflict)},
+		{Label: "mem-bus-busy", Value: float64(st.Stalls.MemBusBusy)},
+	}, 40))
+	for _, h := range []struct {
+		name string
+		hist *oovec.OccupancyHist
+	}{
+		{"ROB", &st.Occupancy.ROB},
+		{"IQ (address)", &st.Occupancy.IQA},
+		{"IQ (scalar)", &st.Occupancy.IQS},
+		{"IQ (vector)", &st.Occupancy.IQV},
+		{"IQ (memory)", &st.Occupancy.IQM},
+	} {
+		if h.hist.Samples() == 0 {
+			continue
+		}
+		counts := make([]int64, len(h.hist.Counts))
+		copy(counts, h.hist.Counts[:])
+		fmt.Print(viz.Occupancy(
+			fmt.Sprintf("%s occupancy (fraction of %d):", h.name, h.hist.Cap), counts, 40))
+	}
 }

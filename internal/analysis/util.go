@@ -12,7 +12,7 @@ import (
 // trees (module "td") exercise the same policy.
 var simPackages = []string{
 	"ooosim", "refsim", "rename", "iq", "rob", "bpred",
-	"vregfile", "sched", "funcsim", "mem", "metrics",
+	"vregfile", "sched", "funcsim", "mem", "metrics", "probe",
 }
 
 // isSimPackage reports whether the import path names one of the simulator

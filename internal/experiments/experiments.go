@@ -82,7 +82,7 @@ type refKey struct {
 }
 
 // oooKey identifies one OOOVA run. The configuration is keyed by its
-// rendered form: Config holds a func field (Probe), so it cannot be a map
+// rendered form: Config holds an interface field (Sink), so it cannot be a map
 // key itself, and rendering tracks future Config fields automatically.
 type oooKey struct {
 	name string
@@ -236,10 +236,10 @@ func throughStore(s *Suite, canonicalCfg, bench string, run func() *metrics.RunS
 
 // OOO returns (running and caching) the OOOVA result for a configuration,
 // simulating on the worker's pooled machine on a miss. Configurations
-// carrying a Probe are not cacheable and run directly.
+// carrying a probe Sink are not cacheable and run directly.
 func (w *Worker) OOO(name string, cfg ooosim.Config) *metrics.RunStats {
 	s := w.s
-	if cfg.Probe != nil {
+	if cfg.Sink != nil {
 		return w.runOOO(s.Trace(name), cfg).Stats
 	}
 	// Key on the resolved configuration so zero fields and explicit

@@ -61,6 +61,9 @@ func (q *Queue) Issue(enter, ready int64) int64 {
 // Issued returns the number of instructions issued.
 func (q *Queue) Issued() int64 { return q.issued }
 
+// Occupied returns the number of queue slots held at the given cycle.
+func (q *Queue) Occupied(now int64) int { return q.window.Occupied(now) }
+
 // Reserve sizes the issue-port interval list for n bookings so
 // steady-state appends never reallocate (each issued instruction books at
 // most one interval).
@@ -188,6 +191,9 @@ func (q *MemQueue) Record(start, end uint64, isStore bool, busStart, busEnd int6
 // track disambiguation themselves use this to model slot occupancy only.
 // The slot frees when the instruction leaves the queue (issues requests).
 func (q *MemQueue) Admit(leaveAt int64) { q.window.Admit(leaveAt) }
+
+// Occupied returns the number of queue slots held at the given cycle.
+func (q *MemQueue) Occupied(now int64) int { return q.window.Occupied(now) }
 
 // Conflicts returns the number of accesses delayed by disambiguation.
 func (q *MemQueue) Conflicts() int64 { return q.conflicts }

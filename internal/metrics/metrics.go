@@ -146,6 +146,104 @@ func (sc *Scratch) StateBreakdown(fu2, fu1, mem []sched.Interval, total int64) B
 	return b
 }
 
+// StallBreakdown attributes pipeline stall cycles to the specific hardware
+// resource that caused them — the per-cause refinement of the coarse
+// DecodeStall* counters. The paper's 8-state breakdown says the machine was
+// stalled; this says why. All counters are exact cycle counts accumulated
+// deterministically during the run, so they are part of the result (and of
+// checkpoints), never an optional probe artifact.
+type StallBreakdown struct {
+	// ROBFull counts decode stalls waiting for a reorder-buffer slot.
+	ROBFull int64
+	// IQFullA/S/V/M count decode stalls waiting for a slot in the named
+	// issue queue.
+	IQFullA int64
+	IQFullS int64
+	IQFullV int64
+	IQFullM int64
+	// NoPhysA/S/V/M count decode stalls waiting for a free physical
+	// register of the destination's class.
+	NoPhysA int64
+	NoPhysS int64
+	NoPhysV int64
+	NoPhysM int64
+	// PortConflict counts cycles lost to vector register-file port
+	// conflicts (equals VRegPortConflictCycles; derived at end of run).
+	PortConflict int64
+	// MemBusBusy counts cycles memory accesses waited for the shared
+	// address bus after being otherwise ready to issue requests.
+	MemBusBusy int64
+}
+
+// IQFull returns the total issue-queue-full stall cycles across queues.
+func (b *StallBreakdown) IQFull() int64 {
+	return b.IQFullA + b.IQFullS + b.IQFullV + b.IQFullM
+}
+
+// NoPhysReg returns the total free-list-empty stall cycles across classes.
+func (b *StallBreakdown) NoPhysReg() int64 {
+	return b.NoPhysA + b.NoPhysS + b.NoPhysV + b.NoPhysM
+}
+
+// Total returns the sum of all attributed stall cycles.
+func (b *StallBreakdown) Total() int64 {
+	return b.ROBFull + b.IQFull() + b.NoPhysReg() + b.PortConflict + b.MemBusBusy
+}
+
+// OccBuckets is the number of occupancy histogram buckets: bucket i covers
+// occupancies of i eighths of the structure's capacity, with the last bucket
+// meaning completely full.
+const OccBuckets = 9
+
+// OccHist is a fixed-bucket occupancy histogram for a bounded structure (an
+// issue queue, the reorder buffer). Occupancy is sampled once per
+// instruction at its decode cycle and recorded as a fraction of capacity, so
+// histograms from differently sized configurations are comparable.
+type OccHist struct {
+	// Cap is the structure capacity the samples were taken against.
+	Cap int64
+	// Counts[i] is the number of samples whose occupancy fell in bucket i
+	// (floor(occ * (OccBuckets-1) / Cap), clamped).
+	Counts [OccBuckets]int64
+}
+
+// Observe records one occupancy sample against the given capacity.
+// Allocation-free: called from the simulator hot path.
+func (h *OccHist) Observe(occ, capacity int) {
+	if capacity <= 0 {
+		return
+	}
+	h.Cap = int64(capacity)
+	b := occ * (OccBuckets - 1) / capacity
+	if b < 0 {
+		b = 0
+	}
+	if b > OccBuckets-1 {
+		b = OccBuckets - 1
+	}
+	h.Counts[b]++
+}
+
+// Samples returns the total number of recorded samples.
+func (h *OccHist) Samples() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Occupancy bundles the per-structure occupancy histograms of one OOOVA
+// run. The reference machine has no bounded windows, so its runs leave the
+// zero value.
+type Occupancy struct {
+	ROB OccHist
+	IQA OccHist
+	IQS OccHist
+	IQV OccHist
+	IQM OccHist
+}
+
 // RunStats is the measurement record produced by one simulator run. Both the
 // reference and OOOVA simulators fill one.
 type RunStats struct {
@@ -186,6 +284,11 @@ type RunStats struct {
 	DecodeStallQueue int64
 	// DecodeStallROB counts decode stalls waiting for a reorder-buffer slot.
 	DecodeStallROB int64
+	// Stalls refines the DecodeStall* sums into per-resource causes and adds
+	// port-conflict and memory-bus wait attribution.
+	Stalls StallBreakdown
+	// Occupancy holds the per-structure occupancy histograms (OOOVA only).
+	Occupancy Occupancy
 }
 
 // MemPortIdlePct returns the Figure 4/6 metric: the percentage of execution

@@ -1,0 +1,92 @@
+package metrics
+
+import "testing"
+
+func TestOccHistBucketMapping(t *testing.T) {
+	var h OccHist
+	const capacity = 64
+	// Empty, half-full and full occupancy land in the first, middle and
+	// last buckets respectively.
+	h.Observe(0, capacity)
+	h.Observe(capacity/2, capacity)
+	h.Observe(capacity, capacity)
+	if h.Cap != capacity {
+		t.Errorf("Cap = %d, want %d", h.Cap, capacity)
+	}
+	if h.Counts[0] != 1 {
+		t.Errorf("empty sample not in bucket 0: %v", h.Counts)
+	}
+	if h.Counts[(OccBuckets-1)/2] != 1 {
+		t.Errorf("half-full sample not in the middle bucket: %v", h.Counts)
+	}
+	if h.Counts[OccBuckets-1] != 1 {
+		t.Errorf("full sample not in the last bucket: %v", h.Counts)
+	}
+	if h.Samples() != 3 {
+		t.Errorf("Samples = %d, want 3", h.Samples())
+	}
+}
+
+func TestOccHistClampsAndGuards(t *testing.T) {
+	var h OccHist
+	h.Observe(5, 0)  // zero capacity: ignored, no panic
+	h.Observe(-1, 0) // nonsense: ignored
+	if h.Samples() != 0 {
+		t.Errorf("guarded observes counted: %v", h.Counts)
+	}
+	h.Observe(100, 8) // over-capacity clamps into the last bucket
+	h.Observe(-3, 8)  // negative clamps into the first
+	if h.Counts[OccBuckets-1] != 1 || h.Counts[0] != 1 {
+		t.Errorf("clamping broken: %v", h.Counts)
+	}
+}
+
+// TestOccHistEveryOccupancyLands sweeps every occupancy of a small
+// structure and asserts the samples distribute over all buckets without
+// loss — the total always equals the number of observes, and the bucket
+// index is monotone in the occupancy.
+func TestOccHistEveryOccupancyLands(t *testing.T) {
+	const capacity = 16
+	var h OccHist
+	prev := 0
+	for occ := 0; occ <= capacity; occ++ {
+		before := h
+		h.Observe(occ, capacity)
+		// Find the bucket this observe incremented.
+		hit := -1
+		for i := range h.Counts {
+			if h.Counts[i] != before.Counts[i] {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Fatalf("occ %d: no bucket incremented", occ)
+		}
+		if hit < prev {
+			t.Errorf("occ %d: bucket %d below previous %d — mapping not monotone", occ, hit, prev)
+		}
+		prev = hit
+	}
+	if h.Samples() != capacity+1 {
+		t.Errorf("Samples = %d, want %d", h.Samples(), capacity+1)
+	}
+}
+
+func TestStallBreakdownAggregates(t *testing.T) {
+	s := StallBreakdown{
+		ROBFull: 10,
+		IQFullA: 1, IQFullS: 2, IQFullV: 3, IQFullM: 4,
+		NoPhysA: 5, NoPhysS: 6, NoPhysV: 7, NoPhysM: 8,
+		PortConflict: 20, MemBusBusy: 30,
+	}
+	if got := s.IQFull(); got != 10 {
+		t.Errorf("IQFull = %d, want 10", got)
+	}
+	if got := s.NoPhysReg(); got != 26 {
+		t.Errorf("NoPhysReg = %d, want 26", got)
+	}
+	if got := s.Total(); got != 10+10+26+20+30 {
+		t.Errorf("Total = %d, want %d", got, 10+10+26+20+30)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"oovec/internal/bpred"
 	"oovec/internal/iq"
 	"oovec/internal/isa"
+	"oovec/internal/metrics"
 	"oovec/internal/rename"
 	"oovec/internal/rob"
 	"oovec/internal/sched"
@@ -144,7 +145,8 @@ type Checkpoint struct {
 
 	EliminatedLoads, EliminatedRequests int64
 	ElidedStores, ElidedRequests        int64
-	StallRegs, StallQueue, StallROB     int64
+	Stalls                              metrics.StallBreakdown
+	Occ                                 metrics.Occupancy
 
 	SuppressFrom int
 	SpillPend    map[[2]uint64]int
@@ -204,9 +206,8 @@ func (m *machine) snapshot(nextInsn, traceLen int) *Checkpoint {
 		EliminatedRequests: m.eliminatedRequests,
 		ElidedStores:       m.elidedStores,
 		ElidedRequests:     m.elidedRequests,
-		StallRegs:          m.stallRegs,
-		StallQueue:         m.stallQueue,
-		StallROB:           m.stallROB,
+		Stalls:             m.stalls,
+		Occ:                m.occ,
 
 		SuppressFrom: m.suppressFrom,
 	}
@@ -292,9 +293,8 @@ func (m *machine) restore(ck *Checkpoint) error {
 	m.eliminatedRequests = ck.EliminatedRequests
 	m.elidedStores = ck.ElidedStores
 	m.elidedRequests = ck.ElidedRequests
-	m.stallRegs = ck.StallRegs
-	m.stallQueue = ck.StallQueue
-	m.stallROB = ck.StallROB
+	m.stalls = ck.Stalls
+	m.occ = ck.Occ
 
 	m.suppressFrom = ck.SuppressFrom
 	if ck.SpillPend != nil {

@@ -23,6 +23,7 @@
 package ooosim
 
 import (
+	"oovec/internal/probe"
 	"oovec/internal/rob"
 )
 
@@ -114,9 +115,11 @@ type Config struct {
 	// late commit executes stores at the ROB head, before the overwrite
 	// arrives.
 	ElideDeadSpillStores bool
-	// Probe, when non-nil, observes every instruction's decode, issue and
-	// completion cycles. Used by tests.
-	Probe func(i int, decode, issue, complete int64)
+	// Sink, when non-nil, receives per-instruction pipeline lifecycle
+	// events and stall-cause notifications (package probe). Observation
+	// only: attaching a sink never changes the run's RunStats — everything
+	// it is told is accumulated into the stats regardless.
+	Sink probe.Sink
 }
 
 // DefaultConfig returns the paper's headline OOOVA configuration: 16

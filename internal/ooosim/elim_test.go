@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"oovec/internal/isa"
+	"oovec/internal/probe"
 	"oovec/internal/rob"
 	"oovec/internal/trace"
 )
@@ -210,11 +211,11 @@ func TestEliminationNearZeroTime(t *testing.T) {
 
 	probeIssue := func(cfg Config) int64 {
 		var mulIssue int64
-		cfg.Probe = func(i int, dec, issue, complete int64) {
-			if i == 4 {
-				mulIssue = issue
+		cfg.Sink = probe.InsnFunc(func(e probe.Event) {
+			if e.Index == 4 {
+				mulIssue = e.Issue
 			}
-		}
+		})
 		Run(tr, cfg)
 		return mulIssue
 	}

@@ -4,9 +4,37 @@ import (
 	"fmt"
 
 	"oovec/internal/isa"
+	"oovec/internal/probe"
 	"oovec/internal/rename"
 	"oovec/internal/trace"
 )
+
+// faultSink records the decode/issue cycles RunWithFault needs while
+// forwarding every event to the caller's sink, if any.
+type faultSink struct {
+	inner    probe.Sink
+	decodes  []int64
+	faultIdx int
+	detect   int64
+}
+
+// Insn implements probe.Sink.
+func (p *faultSink) Insn(e probe.Event) {
+	p.decodes = append(p.decodes, e.Decode)
+	if e.Index == p.faultIdx {
+		p.detect = e.Issue
+	}
+	if p.inner != nil {
+		p.inner.Insn(e)
+	}
+}
+
+// Stall implements probe.Sink.
+func (p *faultSink) Stall(c probe.Cause, cycles int64) {
+	if p.inner != nil {
+		p.inner.Stall(c, cycles)
+	}
+}
 
 // FaultResult describes a precise-trap experiment (§5): a fault injected at
 // one instruction, the in-flight younger instructions squashed, and the
@@ -47,18 +75,8 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 	m := newMachine(cfg)
 	m.suppressFrom = faultIdx
 
-	decodes := make([]int64, 0, t.Len())
-	var detect int64
-	probe := cfg.Probe
-	m.cfg.Probe = func(i int, dec, issue, complete int64) {
-		decodes = append(decodes, dec)
-		if i == faultIdx {
-			detect = issue
-		}
-		if probe != nil {
-			probe(i, dec, issue, complete)
-		}
-	}
+	sink := &faultSink{inner: cfg.Sink, decodes: make([]int64, 0, t.Len()), faultIdx: faultIdx}
+	m.cfg.Sink = sink
 
 	// Process the faulting instruction, then every younger instruction that
 	// would have entered the pipeline before the fault was detected —
@@ -74,7 +92,7 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 			preciseAt = m.rob.LastCommit()
 		}
 		if i > faultIdx {
-			if i >= faultIdx+cfg.ROBSize || decodes[i-1] > detect {
+			if i >= faultIdx+cfg.ROBSize || sink.decodes[i-1] > sink.detect {
 				break
 			}
 			if in.WritesReg() && m.tables[in.Dst.Class].FreeCount() == 0 {
@@ -95,7 +113,7 @@ func RunWithFault(t *trace.Trace, cfg Config, faultIdx int) (*FaultResult, error
 	return &FaultResult{
 		FaultIndex:   faultIdx,
 		InFlight:     inflight,
-		DetectCycle:  detect,
+		DetectCycle:  sink.detect,
 		PreciseCycle: preciseAt,
 		Tables:       tables,
 	}, nil

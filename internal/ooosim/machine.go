@@ -7,6 +7,7 @@ import (
 	"oovec/internal/iq"
 	"oovec/internal/isa"
 	"oovec/internal/metrics"
+	"oovec/internal/probe"
 	"oovec/internal/rename"
 	"oovec/internal/rob"
 	"oovec/internal/sched"
@@ -223,9 +224,13 @@ type machine struct {
 	elidedStores       int64
 	elidedRequests     int64
 	spillPend          map[[2]uint64]int
-	stallRegs          int64
-	stallQueue         int64
-	stallROB           int64
+
+	// stalls and occ accumulate the per-cause stall attribution and the
+	// per-structure occupancy histograms. Always on (cheap, deterministic,
+	// allocation-free), so a run's stats never depend on whether a probe
+	// sink was attached.
+	stalls metrics.StallBreakdown
+	occ    metrics.Occupancy
 
 	// suppressFrom, when >= 0, marks the first instruction of a squashed
 	// window (fault injection): those instructions never commit, so their
@@ -349,7 +354,8 @@ func (m *machine) reset(cfg Config) {
 	m.nextFetchMin, m.lastVLReady, m.lastCycle = 0, 0, 0
 	m.eliminatedLoads, m.eliminatedRequests = 0, 0
 	m.elidedStores, m.elidedRequests = 0, 0
-	m.stallRegs, m.stallQueue, m.stallROB = 0, 0, 0
+	m.stalls = metrics.StallBreakdown{}
+	m.occ = metrics.Occupancy{}
 	m.suppressFrom = -1
 	m.records = m.records[:0]
 	if cfg.ElideDeadSpillStores {
@@ -436,22 +442,29 @@ func (m *machine) step(idx int, in *isa.Instruction) {
 		dec = m.prevDecode + 1
 	}
 	if c := m.rob.AdmitConstraint(); c > dec {
-		m.stallROB += c - dec
+		m.stalls.ROBFull += c - dec
+		if s := cfg.Sink; s != nil {
+			s.Stall(probe.CauseROBFull, c-dec)
+		}
 		dec = c
 	}
 	var qAdmit int64
+	var qFull *int64
 	switch in.Op.ExecUnit() {
 	case isa.UnitA, isa.UnitCtl:
-		qAdmit = m.aQ.AdmitConstraint()
+		qAdmit, qFull = m.aQ.AdmitConstraint(), &m.stalls.IQFullA
 	case isa.UnitS:
-		qAdmit = m.sQ.AdmitConstraint()
+		qAdmit, qFull = m.sQ.AdmitConstraint(), &m.stalls.IQFullS
 	case isa.UnitV:
-		qAdmit = m.vQ.AdmitConstraint()
+		qAdmit, qFull = m.vQ.AdmitConstraint(), &m.stalls.IQFullV
 	case isa.UnitMem:
-		qAdmit = m.mQ.AdmitConstraint()
+		qAdmit, qFull = m.mQ.AdmitConstraint(), &m.stalls.IQFullM
 	}
 	if qAdmit > dec {
-		m.stallQueue += qAdmit - dec
+		*qFull += qAdmit - dec
+		if s := cfg.Sink; s != nil {
+			s.Stall(probe.CauseIQFull, qAdmit-dec)
+		}
 		dec = qAdmit
 	}
 
@@ -475,11 +488,25 @@ func (m *machine) step(idx int, in *isa.Instruction) {
 	if writesReg && !deferredAlloc {
 		rec, dstReadyAt = m.allocDst(in)
 		if dstReadyAt > dec && !vleDefer {
-			m.stallRegs += dstReadyAt - dec
+			m.noteNoPhys(in.Dst.Class, dstReadyAt-dec)
 			dec = dstReadyAt
 		}
 	}
 	m.prevDecode = dec
+
+	// Occupancy sampling: how full the reorder buffer and the target issue
+	// queue were at the cycle this instruction cleared decode.
+	m.occ.ROB.Observe(m.rob.Occupied(dec), cfg.ROBSize)
+	switch in.Op.ExecUnit() {
+	case isa.UnitA, isa.UnitCtl:
+		m.occ.IQA.Observe(m.aQ.Occupied(dec), cfg.QueueSlots)
+	case isa.UnitS:
+		m.occ.IQS.Observe(m.sQ.Occupied(dec), cfg.QueueSlots)
+	case isa.UnitV:
+		m.occ.IQV.Observe(m.vQ.Occupied(dec), cfg.QueueSlots)
+	case isa.UnitMem:
+		m.occ.IQM.Observe(m.mQ.Occupied(dec), cfg.QueueSlots)
+	}
 
 	var issue, execStart, complete int64
 	switch in.Op.ExecUnit() {
@@ -563,8 +590,31 @@ func (m *machine) step(idx int, in *isa.Instruction) {
 	m.note(complete)
 	m.note(commit)
 
-	if cfg.Probe != nil {
-		cfg.Probe(idx, dec, issue, complete)
+	if s := cfg.Sink; s != nil {
+		s.Insn(probe.Event{
+			Index: idx, Op: in.Op,
+			Fetch: fetch, Decode: dec, Issue: issue,
+			Exec: execStart, Complete: complete, Commit: commit,
+		})
+	}
+}
+
+// noteNoPhys charges free-list-empty stall cycles to the destination class.
+//
+//ovlint:hotpath called on the decode path when the free list is the constraint
+func (m *machine) noteNoPhys(class isa.RegClass, cycles int64) {
+	switch class {
+	case isa.RegA:
+		m.stalls.NoPhysA += cycles
+	case isa.RegS:
+		m.stalls.NoPhysS += cycles
+	case isa.RegV:
+		m.stalls.NoPhysV += cycles
+	case isa.RegM:
+		m.stalls.NoPhysM += cycles
+	}
+	if s := m.cfg.Sink; s != nil {
+		s.Stall(probe.CauseNoPhysReg, cycles)
 	}
 }
 
@@ -794,6 +844,7 @@ func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec
 
 	if in.Op.IsLoad() {
 		busStart := m.msched.placeLoad(ready, occ, vl, rstart, rend)
+		m.noteBusWait(busStart - ready)
 		m.mQ.Admit(busStart)
 		if isVector {
 			dataAt := busStart + int64(isa.VectorStartup) + cfg.MemLatency
@@ -837,6 +888,7 @@ func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec
 	var busStart, storeDone int64
 	if cfg.Commit == rob.PolicyLate {
 		busStart = m.msched.placeStoreNow(ready, occ, vl, rstart, rend)
+		m.noteBusWait(busStart - ready)
 		storeDone = ready
 	} else if elide {
 		// Hold the spill in the store buffer; if a later spill overwrites
@@ -885,6 +937,20 @@ func (m *machine) execMem(in *isa.Instruction, dec, vl int64, vleDefer bool, rec
 	return busStart, busStart, storeDone
 }
 
+// noteBusWait charges cycles a ready memory access waited for the address
+// bus.
+//
+//ovlint:hotpath called once per placed memory access
+func (m *machine) noteBusWait(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	m.stalls.MemBusBusy += cycles
+	if s := m.cfg.Sink; s != nil {
+		s.Stall(probe.CauseMemBusBusy, cycles)
+	}
+}
+
 // finish assembles the run statistics.
 //
 //ovlint:coldpath once per run, amortised over the whole trace
@@ -904,10 +970,16 @@ func (m *machine) finish(t *trace.Trace) *Result {
 		EliminatedRequests:     m.eliminatedRequests,
 		ElidedStores:           m.elidedStores,
 		ElidedRequests:         m.elidedRequests,
-		DecodeStallRegs:        m.stallRegs,
-		DecodeStallQueue:       m.stallQueue,
-		DecodeStallROB:         m.stallROB,
+		DecodeStallRegs:        m.stalls.NoPhysReg(),
+		DecodeStallQueue:       m.stalls.IQFull(),
+		DecodeStallROB:         m.stalls.ROBFull,
+		Stalls:                 m.stalls,
+		Occupancy:              m.occ,
 	}
+	// PortConflict is derived from the port file at end of run (it is part
+	// of the port state, so it is not accumulated — and not checkpointed —
+	// separately).
+	st.Stalls.PortConflict = st.VRegPortConflictCycles
 	st.States = m.bdScratch.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(),
 		m.msched.bus.Intervals(), total)
 	return &Result{Stats: st, Records: m.records, Tables: m.tableMap()}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"oovec/internal/isa"
+	"oovec/internal/probe"
 	"oovec/internal/refsim"
 	"oovec/internal/rob"
 	"oovec/internal/trace"
@@ -60,11 +61,11 @@ func TestLoadsSlipAheadOfComputation(t *testing.T) {
 
 	var busStarts []int64
 	cfg := cfgN(16)
-	cfg.Probe = func(i int, dec, issue, complete int64) {
-		if i == 1 || i == 4 {
-			busStarts = append(busStarts, issue)
+	cfg.Sink = probe.InsnFunc(func(e probe.Event) {
+		if e.Index == 1 || e.Index == 4 {
+			busStarts = append(busStarts, e.Issue)
 		}
-	}
+	})
 	Run(tr, cfg)
 	if len(busStarts) != 2 {
 		t.Fatalf("probe captured %d entries", len(busStarts))
@@ -224,14 +225,14 @@ func TestDisambiguationBlocksRAW(t *testing.T) {
 	tr := b.Build()
 	var storeBus, loadBus int64
 	cfg := cfgN(16)
-	cfg.Probe = func(i int, dec, issue, complete int64) {
-		switch i {
+	cfg.Sink = probe.InsnFunc(func(e probe.Event) {
+		switch e.Index {
 		case 2:
-			storeBus = issue
+			storeBus = e.Issue
 		case 3:
-			loadBus = issue
+			loadBus = e.Issue
 		}
-	}
+	})
 	Run(tr, cfg)
 	if loadBus < storeBus+64 {
 		t.Errorf("overlapping load issued at %d before store finished its requests (%d+64)",
@@ -251,14 +252,14 @@ func TestDisjointLoadPassesStore(t *testing.T) {
 	tr := b.Build()
 	var storeBus, loadBus int64
 	cfg := cfgN(16)
-	cfg.Probe = func(i int, dec, issue, complete int64) {
-		switch i {
+	cfg.Sink = probe.InsnFunc(func(e probe.Event) {
+		switch e.Index {
 		case 3:
-			storeBus = issue
+			storeBus = e.Issue
 		case 4:
-			loadBus = issue
+			loadBus = e.Issue
 		}
-	}
+	})
 	Run(tr, cfg)
 	if loadBus >= storeBus {
 		t.Errorf("disjoint load (bus %d) failed to pass the blocked store (bus %d)",

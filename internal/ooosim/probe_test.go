@@ -1,0 +1,212 @@
+package ooosim
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oovec/internal/isa"
+	"oovec/internal/probe"
+	"oovec/internal/trace"
+)
+
+// encodeStats canonicalises a RunStats for byte comparison.
+func encodeStats(t *testing.T, st any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestProbeDoesNotPerturbResults is the observation-only contract: a run
+// with any sink attached produces RunStats byte-identical to the same run
+// with no sink. The stall and occupancy aggregates are accumulated
+// unconditionally, so the sink can only watch.
+func TestProbeDoesNotPerturbResults(t *testing.T) {
+	tr := checkpointTestTrace(t, "hydro2d", 3000)
+	for name, cfg := range checkpointConfigs() {
+		off := encodeStats(t, Run(tr, cfg).Stats)
+
+		counting := cfg
+		counting.Sink = &probe.Counter{}
+		if got := encodeStats(t, Run(tr, counting).Stats); !bytes.Equal(got, off) {
+			t.Errorf("%s: Counter sink perturbed RunStats", name)
+		}
+
+		tracing := cfg
+		tracing.Sink = probe.NewKanata(io.Discard)
+		if got := encodeStats(t, Run(tr, tracing).Stats); !bytes.Equal(got, off) {
+			t.Errorf("%s: Kanata sink perturbed RunStats", name)
+		}
+	}
+}
+
+// TestProbeByteIdentityAcrossResume runs probe-on through the cancel /
+// serialise / restore cycle and compares against an uninterrupted probe-off
+// run: checkpoints must neither carry sink state nor lose stall/occupancy
+// aggregates.
+func TestProbeByteIdentityAcrossResume(t *testing.T) {
+	tr := checkpointTestTrace(t, "bdna", 4000)
+	cfg := DefaultConfig()
+	want := encodeStats(t, Run(tr, cfg).Stats)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	probed := cfg
+	probed.Sink = &probe.Counter{}
+	var ck *Checkpoint
+	var got *Result
+	segments := 0
+	for {
+		var stop *Checkpoint
+		var err error
+		got, stop, err = NewMachine(probed).RunCheckpointed(tr, RunOpts{
+			Ctx: canceled, CheckEvery: 700, Resume: ck,
+		})
+		if stop == nil {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		b, err := stop.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck, err = DecodeCheckpoint(b); err != nil {
+			t.Fatal(err)
+		}
+		if segments++; segments > tr.Len()/700+2 {
+			t.Fatal("resume not progressing")
+		}
+	}
+	if segments < 2 {
+		t.Fatalf("only %d segments, no resume exercised", segments)
+	}
+	if !bytes.Equal(encodeStats(t, got.Stats), want) {
+		t.Error("probe-on resumed RunStats differ from probe-off uninterrupted run")
+	}
+}
+
+// TestStallAttributionAccounts ties the new attribution to the aggregate
+// counters that predate it: the legacy DecodeStall* fields must equal their
+// breakdown counterparts, and a register-starved configuration must show
+// its pressure in the vector no-phys-reg bucket.
+func TestStallAttributionAccounts(t *testing.T) {
+	tr := checkpointTestTrace(t, "swm256", 3000)
+	cfg := DefaultConfig()
+	cfg.PhysVRegs = 9 // minimum legal: heavy renaming pressure
+	st := Run(tr, cfg).Stats
+	if st.DecodeStallRegs != st.Stalls.NoPhysReg() {
+		t.Errorf("DecodeStallRegs %d != Stalls.NoPhysReg %d", st.DecodeStallRegs, st.Stalls.NoPhysReg())
+	}
+	if st.DecodeStallQueue != st.Stalls.IQFull() {
+		t.Errorf("DecodeStallQueue %d != Stalls.IQFull %d", st.DecodeStallQueue, st.Stalls.IQFull())
+	}
+	if st.DecodeStallROB != st.Stalls.ROBFull {
+		t.Errorf("DecodeStallROB %d != Stalls.ROBFull %d", st.DecodeStallROB, st.Stalls.ROBFull)
+	}
+	if st.Stalls.PortConflict != st.VRegPortConflictCycles {
+		t.Errorf("Stalls.PortConflict %d != VRegPortConflictCycles %d",
+			st.Stalls.PortConflict, st.VRegPortConflictCycles)
+	}
+	if st.Stalls.NoPhysV == 0 {
+		t.Error("9 physical vector registers produced zero vector no-phys-reg stalls")
+	}
+	if st.Occupancy.ROB.Samples() != int64(tr.Len()) {
+		t.Errorf("ROB occupancy samples %d != trace length %d",
+			st.Occupancy.ROB.Samples(), tr.Len())
+	}
+}
+
+// TestProbeStallCyclesMatchStats asserts the sink hears exactly the stall
+// cycles the stats record: the Counter's per-cause totals must equal the
+// breakdown's accumulated fields (PortConflict is derived at finish and
+// deliberately not reported through the sink).
+func TestProbeStallCyclesMatchStats(t *testing.T) {
+	tr := checkpointTestTrace(t, "swm256", 3000)
+	cfg := DefaultConfig()
+	cfg.PhysVRegs = 9
+	var c probe.Counter
+	cfg.Sink = &c
+	st := Run(tr, cfg).Stats
+	if c.Insns != int64(tr.Len()) {
+		t.Errorf("sink saw %d instructions, trace has %d", c.Insns, tr.Len())
+	}
+	checks := []struct {
+		cause probe.Cause
+		want  int64
+	}{
+		{probe.CauseROBFull, st.Stalls.ROBFull},
+		{probe.CauseIQFull, st.Stalls.IQFull()},
+		{probe.CauseNoPhysReg, st.Stalls.NoPhysReg()},
+		{probe.CauseMemBusBusy, st.Stalls.MemBusBusy},
+		{probe.CausePortConflict, 0},
+	}
+	for _, ch := range checks {
+		if got := c.StallCycles[ch.cause]; got != ch.want {
+			t.Errorf("sink %v cycles = %d, stats say %d", ch.cause, got, ch.want)
+		}
+	}
+}
+
+// TestKanataTraceFromRun pins the pipeline trace of a tiny deterministic
+// kernel end to end: builder → simulator → Kanata rendering. The golden
+// form locks both the event timings and the format, so either drifting
+// fails loudly.
+func TestKanataTraceFromRun(t *testing.T) {
+	b := trace.NewBuilder("tiny")
+	b.SetVL(8, isa.A(0))
+	b.VLoad(isa.V(0), 0x10000)
+	b.Vector(isa.OpVAdd, isa.V(1), isa.V(0), isa.V(0))
+	tr := b.Build()
+
+	var sb strings.Builder
+	cfg := DefaultConfig()
+	cfg.MemLatency = 1
+	cfg.Sink = probe.NewKanata(&sb)
+	res1 := Run(tr, cfg)
+	if err := cfg.Sink.(*probe.Kanata).Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Determinism of the rendered trace itself.
+	var sb2 strings.Builder
+	cfg2 := cfg
+	cfg2.Sink = probe.NewKanata(&sb2)
+	res2 := Run(tr, cfg2)
+	if err := cfg2.Sink.(*probe.Kanata).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("identical runs rendered different Kanata traces")
+	}
+	if !reflect.DeepEqual(res1.Stats, res2.Stats) {
+		t.Fatal("identical runs produced different stats")
+	}
+
+	got := sb.String()
+	if !strings.HasPrefix(got, "Kanata\t0004\n") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	// Every instruction appears with a full lifecycle: inserted, staged
+	// through F/D/X, ended and retired.
+	for _, want := range []string{
+		"I\t0\t0\t0", "I\t1\t1\t0", "I\t2\t2\t0",
+		"L\t1\t0\t1: v.ld", "L\t2\t0\t2: v.add",
+		"S\t1\t0\tF", "S\t1\t0\tD", "S\t1\t0\tX",
+		"S\t2\t0\tF", "S\t2\t0\tD", "S\t2\t0\tX",
+		"E\t1\t0\tX", "E\t2\t0\tX",
+		"R\t0\t0\t0", "R\t1\t1\t0", "R\t2\t2\t0",
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("trace lacks %q:\n%s", want, got)
+		}
+	}
+}

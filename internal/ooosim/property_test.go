@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"oovec/internal/isa"
+	"oovec/internal/probe"
 	"oovec/internal/refsim"
 	"oovec/internal/rob"
 	"oovec/internal/trace"
@@ -44,11 +45,11 @@ func TestVReduceDeliversScalar(t *testing.T) {
 	tr := b.Build()
 	var addIssue int64
 	cfg := cfgN(16)
-	cfg.Probe = func(i int, dec, issue, complete int64) {
-		if i == 2 {
-			addIssue = issue
+	cfg.Sink = probe.InsnFunc(func(e probe.Event) {
+		if e.Index == 2 {
+			addIssue = e.Issue
 		}
-	}
+	})
 	Run(tr, cfg)
 	// The consumer waits for the full reduction (startup + lat + VL).
 	if addIssue < 64 {

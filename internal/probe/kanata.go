@@ -1,0 +1,102 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kanata is a Sink that records instruction lifecycles and renders them as
+// a Kanata/Konata pipeline trace (the format the Konata visualiser reads:
+// https://github.com/shioyadan/Konata). Events are buffered in memory and
+// written on Flush, because the format interleaves commands in cycle order
+// while the simulators deliver events in trace order.
+//
+// Stage mapping: F covers fetch→decode, D covers decode/rename→queue issue,
+// X covers issue→completion; the R command marks the commit (or, on
+// machines without a commit stage, completion) cycle. Stages a machine does
+// not model (negative cycles in the Event) are omitted.
+type Kanata struct {
+	w      io.Writer
+	events []Event
+}
+
+// NewKanata returns a Kanata sink writing to w on Flush.
+func NewKanata(w io.Writer) *Kanata { return &Kanata{w: w} }
+
+// Insn implements Sink.
+func (k *Kanata) Insn(e Event) { k.events = append(k.events, e) }
+
+// Stall implements Sink as a no-op: the trace shows stalls as stage length.
+func (Kanata) Stall(Cause, int64) {}
+
+// kcmd is one rendered trace command with the cycle it belongs to.
+type kcmd struct {
+	cycle int64
+	text  string
+}
+
+// Flush renders the buffered events and writes the complete trace. The
+// output is deterministic: commands are ordered by cycle, ties broken by
+// trace order.
+func (k *Kanata) Flush() error {
+	cmds := make([]kcmd, 0, len(k.events)*6)
+	for i := range k.events {
+		e := &k.events[i]
+		id := e.Index
+		first := e.Fetch
+		if first < 0 {
+			first = e.Decode
+		}
+		if first < 0 {
+			first = e.Issue
+		}
+		if first < 0 {
+			first = 0
+		}
+		cmds = append(cmds,
+			kcmd{first, fmt.Sprintf("I\t%d\t%d\t0", id, id)},
+			kcmd{first, fmt.Sprintf("L\t%d\t0\t%d: %v", id, e.Index, e.Op)})
+		if e.Fetch >= 0 {
+			cmds = append(cmds, kcmd{e.Fetch, fmt.Sprintf("S\t%d\t0\tF", id)})
+		}
+		if e.Decode >= 0 {
+			cmds = append(cmds, kcmd{e.Decode, fmt.Sprintf("S\t%d\t0\tD", id)})
+		}
+		if e.Issue >= 0 {
+			cmds = append(cmds, kcmd{e.Issue, fmt.Sprintf("S\t%d\t0\tX", id)})
+			end := e.Complete
+			if end < e.Issue {
+				end = e.Issue
+			}
+			cmds = append(cmds, kcmd{end, fmt.Sprintf("E\t%d\t0\tX", id)})
+		}
+		retire := e.Commit
+		if retire < 0 {
+			retire = e.Complete
+		}
+		if retire < first {
+			retire = first
+		}
+		cmds = append(cmds, kcmd{retire, fmt.Sprintf("R\t%d\t%d\t0", id, id)})
+	}
+	sort.SliceStable(cmds, func(i, j int) bool { return cmds[i].cycle < cmds[j].cycle })
+
+	bw := bufio.NewWriter(k.w)
+	fmt.Fprintf(bw, "Kanata\t0004\n")
+	var cur int64
+	if len(cmds) > 0 {
+		cur = cmds[0].cycle
+		fmt.Fprintf(bw, "C=\t%d\n", cur)
+	}
+	for _, c := range cmds {
+		if c.cycle > cur {
+			fmt.Fprintf(bw, "C\t%d\n", c.cycle-cur)
+			cur = c.cycle
+		}
+		bw.WriteString(c.text)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,109 @@
+// Package probe defines the simulator observability interface: a Sink
+// receives per-instruction pipeline lifecycle events and per-cause stall
+// notifications as the trace is simulated.
+//
+// Probes are strictly observational. Everything a sink is told is also
+// accumulated into metrics.RunStats by the simulator itself (stall-cause
+// counters, occupancy histograms), so attaching a sink never changes a
+// run's result — the byte-identity tests in ooosim/refsim enforce this.
+// The nil-sink path is allocation-free: the simulators guard every call
+// with a nil check inside their //ovlint:hotpath step loops, and Event is
+// a plain value struct.
+package probe
+
+import "oovec/internal/isa"
+
+// Cause identifies the hardware resource a stall is attributed to.
+type Cause uint8
+
+const (
+	// CauseROBFull: decode stalled waiting for a reorder-buffer slot.
+	CauseROBFull Cause = iota
+	// CauseIQFull: decode stalled waiting for an issue-queue slot.
+	CauseIQFull
+	// CauseNoPhysReg: decode stalled waiting for a free physical register
+	// in the destination's class.
+	CauseNoPhysReg
+	// CausePortConflict: issue delayed by a register-file port conflict.
+	CausePortConflict
+	// CauseMemBusBusy: a ready memory access waited for the address bus.
+	CauseMemBusBusy
+
+	// NumCauses is the number of distinct causes.
+	NumCauses
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseROBFull:
+		return "rob-full"
+	case CauseIQFull:
+		return "iq-full"
+	case CauseNoPhysReg:
+		return "no-phys-reg"
+	case CausePortConflict:
+		return "port-conflict"
+	case CauseMemBusBusy:
+		return "mem-bus-busy"
+	}
+	return "unknown"
+}
+
+// Event is one instruction's pipeline lifecycle, in cycle numbers. Stages a
+// machine does not model are -1: the in-order reference machine reports
+// only Issue/Exec/Complete.
+type Event struct {
+	// Index is the dynamic instruction's trace index.
+	Index int
+	// Op is the instruction's opcode.
+	Op isa.Op
+	// Fetch, Decode, Issue, Exec, Complete and Commit are the cycles the
+	// instruction passed each stage: fetched, decoded/renamed, issued from
+	// its queue, began execution, produced its last result, and committed.
+	Fetch    int64
+	Decode   int64
+	Issue    int64
+	Exec     int64
+	Complete int64
+	Commit   int64
+}
+
+// Sink receives simulation events. Implementations must not retain pointers
+// into simulator state (events are self-contained values) and must be fast:
+// both methods are called from the per-instruction hot loop.
+type Sink interface {
+	// Insn reports one instruction's completed lifecycle, in trace order.
+	Insn(e Event)
+	// Stall reports stall cycles attributed to a cause, as they accrue.
+	Stall(c Cause, cycles int64)
+}
+
+// InsnFunc adapts a function to a Sink that ignores stall events — the
+// common shape for tests that only need lifecycle cycles.
+type InsnFunc func(Event)
+
+// Insn implements Sink.
+func (f InsnFunc) Insn(e Event) { f(e) }
+
+// Stall implements Sink as a no-op.
+func (InsnFunc) Stall(Cause, int64) {}
+
+// Counter is a Sink that tallies events — a ready-made probe for tests and
+// tools that only need aggregate confirmation that events flowed.
+type Counter struct {
+	// Insns is the number of lifecycle events received.
+	Insns int64
+	// StallCycles accumulates reported stall cycles per cause.
+	StallCycles [NumCauses]int64
+}
+
+// Insn implements Sink.
+func (c *Counter) Insn(Event) { c.Insns++ }
+
+// Stall implements Sink.
+func (c *Counter) Stall(cause Cause, cycles int64) {
+	if cause < NumCauses {
+		c.StallCycles[cause] += cycles
+	}
+}

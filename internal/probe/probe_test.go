@@ -1,0 +1,109 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"oovec/internal/isa"
+)
+
+func TestCauseStrings(t *testing.T) {
+	want := map[Cause]string{
+		CauseROBFull:      "rob-full",
+		CauseIQFull:       "iq-full",
+		CauseNoPhysReg:    "no-phys-reg",
+		CausePortConflict: "port-conflict",
+		CauseMemBusBusy:   "mem-bus-busy",
+	}
+	if len(want) != int(NumCauses) {
+		t.Fatalf("test covers %d causes, taxonomy has %d", len(want), NumCauses)
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Cause(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestCounterSink(t *testing.T) {
+	var c Counter
+	c.Insn(Event{Index: 0, Op: isa.OpVAdd, Issue: 5})
+	c.Insn(Event{Index: 1, Op: isa.OpVLoad, Issue: 9})
+	c.Stall(CauseROBFull, 7)
+	c.Stall(CauseROBFull, 3)
+	c.Stall(CauseMemBusBusy, 11)
+	if c.Insns != 2 {
+		t.Errorf("Insns = %d, want 2", c.Insns)
+	}
+	if got := c.StallCycles[CauseROBFull]; got != 10 {
+		t.Errorf("StallCycles[rob-full] = %d, want 10", got)
+	}
+	if got := c.StallCycles[CauseMemBusBusy]; got != 11 {
+		t.Errorf("StallCycles[mem-bus-busy] = %d, want 11", got)
+	}
+	if got := c.StallCycles[CauseIQFull]; got != 0 {
+		t.Errorf("StallCycles[iq-full] = %d, want 0", got)
+	}
+}
+
+// TestKanataGolden pins the exact rendering of a hand-built event pair: one
+// fully modeled OOOVA-style lifecycle and one REF-style lifecycle with no
+// fetch/decode/commit stages. Every command type and the cycle-delta
+// encoding appear.
+func TestKanataGolden(t *testing.T) {
+	var sb strings.Builder
+	k := NewKanata(&sb)
+	k.Insn(Event{Index: 0, Op: isa.OpVLoad, Fetch: 0, Decode: 1, Issue: 2, Exec: 2, Complete: 10, Commit: 11})
+	k.Insn(Event{Index: 1, Op: isa.OpVAdd, Fetch: -1, Decode: -1, Issue: 3, Exec: 3, Complete: 12, Commit: -1})
+	k.Stall(CauseROBFull, 4) // must not affect the trace
+	if err := k.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"Kanata\t0004",
+		"C=\t0",
+		"I\t0\t0\t0",
+		"L\t0\t0\t0: v.ld",
+		"S\t0\t0\tF",
+		"C\t1",
+		"S\t0\t0\tD",
+		"C\t1",
+		"S\t0\t0\tX",
+		"C\t1",
+		"I\t1\t1\t0",
+		"L\t1\t0\t1: v.add",
+		"S\t1\t0\tX",
+		"C\t7",
+		"E\t0\t0\tX",
+		"C\t1",
+		"R\t0\t0\t0",
+		"C\t1",
+		"E\t1\t0\tX",
+		"R\t1\t1\t0",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("Kanata trace mismatch\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestKanataEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewKanata(&sb).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "Kanata\t0004\n" {
+		t.Errorf("empty trace = %q, want header only", sb.String())
+	}
+}
+
+func TestInsnFunc(t *testing.T) {
+	var got []int
+	var s Sink = InsnFunc(func(e Event) { got = append(got, e.Index) })
+	s.Insn(Event{Index: 3})
+	s.Insn(Event{Index: 7})
+	s.Stall(CauseIQFull, 1) // no-op by contract
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("InsnFunc saw %v, want [3 7]", got)
+	}
+}

@@ -50,6 +50,8 @@ type Checkpoint struct {
 	MaskHasValue bool
 
 	PrevIssue, LastVLTime, Bubble, LastCycle, MemRequests int64
+
+	Stalls metrics.StallBreakdown
 }
 
 // Encode serialises the checkpoint with encoding/gob.
@@ -92,6 +94,8 @@ func (m *machine) snapshot(nextInsn, traceLen int) *Checkpoint {
 		Bubble:      m.bubble,
 		LastCycle:   m.lastCycle,
 		MemRequests: m.memRequests,
+
+		Stalls: m.stalls,
 	}
 	for i := range m.vregs {
 		v := &m.vregs[i]
@@ -119,6 +123,7 @@ func (m *machine) restore(ck *Checkpoint) {
 	m.bubble = ck.Bubble
 	m.lastCycle = ck.LastCycle
 	m.memRequests = ck.MemRequests
+	m.stalls = ck.Stalls
 }
 
 // RunOpts configures a cancellable, checkpointable run; the fields mirror

@@ -1,0 +1,120 @@
+package refsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"io"
+	"testing"
+
+	"oovec/internal/probe"
+	"oovec/internal/tgen"
+	"oovec/internal/trace"
+)
+
+func refProbeTrace(t *testing.T, name string, insns int) *trace.Trace {
+	t.Helper()
+	p, ok := tgen.PresetByName(name)
+	if !ok {
+		t.Fatalf("no preset %q", name)
+	}
+	p.Insns = insns
+	return tgen.Generate(p)
+}
+
+func encodeStats(t *testing.T, st any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRefProbeDoesNotPerturbResults is the reference machine's
+// observation-only contract, mirroring the OOOVA test.
+func TestRefProbeDoesNotPerturbResults(t *testing.T) {
+	tr := refProbeTrace(t, "hydro2d", 3000)
+	cfg := DefaultConfig()
+	off := encodeStats(t, Run(tr, cfg))
+
+	counting := cfg
+	counting.Sink = &probe.Counter{}
+	if !bytes.Equal(encodeStats(t, Run(tr, counting)), off) {
+		t.Error("Counter sink perturbed REF RunStats")
+	}
+	tracing := cfg
+	tracing.Sink = probe.NewKanata(io.Discard)
+	if !bytes.Equal(encodeStats(t, Run(tr, tracing)), off) {
+		t.Error("Kanata sink perturbed REF RunStats")
+	}
+}
+
+// TestRefProbeByteIdentityAcrossResume: probe-on checkpointed segments must
+// reproduce the probe-off uninterrupted measurements exactly.
+func TestRefProbeByteIdentityAcrossResume(t *testing.T) {
+	tr := refProbeTrace(t, "bdna", 4000)
+	cfg := DefaultConfig()
+	want := encodeStats(t, Run(tr, cfg))
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	probed := cfg
+	probed.Sink = &probe.Counter{}
+	var ck *Checkpoint
+	var got []byte
+	segments := 0
+	for {
+		st, stop, err := NewMachine(probed).RunCheckpointed(tr, RunOpts{
+			Ctx: canceled, CheckEvery: 700, Resume: ck,
+		})
+		if stop == nil {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = encodeStats(t, st)
+			break
+		}
+		b, err := stop.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck, err = DecodeCheckpoint(b); err != nil {
+			t.Fatal(err)
+		}
+		if segments++; segments > tr.Len()/700+2 {
+			t.Fatal("resume not progressing")
+		}
+	}
+	if segments < 2 {
+		t.Fatalf("only %d segments, no resume exercised", segments)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("probe-on resumed REF RunStats differ from probe-off uninterrupted run")
+	}
+}
+
+// TestRefStallAttribution: the reference machine models exactly one stall
+// cause — the shared memory bus — and its sink-visible cycles must match
+// the stats, with the port-conflict figure derived from port state.
+func TestRefStallAttribution(t *testing.T) {
+	tr := refProbeTrace(t, "swm256", 3000)
+	cfg := DefaultConfig()
+	var c probe.Counter
+	cfg.Sink = &c
+	st := Run(tr, cfg)
+	if c.Insns != int64(tr.Len()) {
+		t.Errorf("sink saw %d instructions, trace has %d", c.Insns, tr.Len())
+	}
+	if c.StallCycles[probe.CauseMemBusBusy] != st.Stalls.MemBusBusy {
+		t.Errorf("sink mem-bus cycles %d != stats %d",
+			c.StallCycles[probe.CauseMemBusBusy], st.Stalls.MemBusBusy)
+	}
+	if st.Stalls.PortConflict != st.VRegPortConflictCycles {
+		t.Errorf("Stalls.PortConflict %d != VRegPortConflictCycles %d",
+			st.Stalls.PortConflict, st.VRegPortConflictCycles)
+	}
+	if st.Stalls.ROBFull != 0 || st.Stalls.IQFull() != 0 || st.Stalls.NoPhysReg() != 0 {
+		t.Error("in-order machine reported out-of-order stall causes")
+	}
+}

@@ -26,6 +26,7 @@ package refsim
 import (
 	"oovec/internal/isa"
 	"oovec/internal/metrics"
+	"oovec/internal/probe"
 	"oovec/internal/sched"
 	"oovec/internal/trace"
 	"oovec/internal/vregfile"
@@ -45,9 +46,11 @@ type Config struct {
 	// TakenBranchPenalty is the fetch-bubble charged for taken branches
 	// (the in-order machine has no branch prediction). Default 2.
 	TakenBranchPenalty int64
-	// Probe, when non-nil, is called for every instruction with its index,
-	// issue cycle and completion cycle. Used by tests.
-	Probe func(i int, issue, complete int64)
+	// Sink, when non-nil, receives per-instruction lifecycle events and
+	// stall-cause notifications (package probe). Observation only: attaching
+	// a sink never changes the run's RunStats. The in-order machine models
+	// no fetch/decode/commit stages, so those event fields are -1.
+	Sink probe.Sink
 }
 
 // DefaultConfig returns the paper's reference configuration.
@@ -141,6 +144,11 @@ type machine struct {
 	lastCycle   int64
 	memRequests int64
 
+	// stalls accumulates the per-cause stall attribution; on the in-order
+	// machine only the shared-address-bus wait is tracked incrementally
+	// (port conflicts are derived from the port file at end of run).
+	stalls metrics.StallBreakdown
+
 	readX, writeX int64 //ovlint:config crossbar latencies, fixed by the ISA at construction
 
 	// Per-instruction scratch buffers and the state-breakdown edge buffer,
@@ -179,6 +187,7 @@ func (m *machine) reset(cfg Config) {
 	m.maskHasValue = false
 	m.prevIssue = -1
 	m.lastVLTime, m.bubble, m.lastCycle, m.memRequests = 0, 0, 0, 0
+	m.stalls = metrics.StallBreakdown{}
 }
 
 // reserveFor sizes the unit interval lists from the trace so a reused
@@ -341,6 +350,10 @@ func (m *machine) step(i int, in *isa.Instruction) {
 
 	case isa.UnitMem:
 		if nf := bus.NextFree(); nf > cand {
+			m.stalls.MemBusBusy += nf - cand
+			if s := cfg.Sink; s != nil {
+				s.Stall(probe.CauseMemBusBusy, nf-cand)
+			}
 			cand = nf
 		}
 		var issuePorts int64 = cand
@@ -407,8 +420,12 @@ func (m *machine) step(i int, in *isa.Instruction) {
 	}
 	m.prevIssue = issue
 
-	if cfg.Probe != nil {
-		cfg.Probe(i, issue, m.lastCycle)
+	if s := cfg.Sink; s != nil {
+		s.Insn(probe.Event{
+			Index: i, Op: in.Op,
+			Fetch: -1, Decode: -1, Issue: issue,
+			Exec: issue, Complete: m.lastCycle, Commit: -1,
+		})
 	}
 }
 
@@ -425,7 +442,9 @@ func (m *machine) finish(t *trace.Trace) *metrics.RunStats {
 		MemPortBusy:            m.bus.BusyCycles(),
 		MemRequests:            m.memRequests,
 		VRegPortConflictCycles: m.ports.ConflictCycles(),
+		Stalls:                 m.stalls,
 	}
+	st.Stalls.PortConflict = st.VRegPortConflictCycles
 	st.States = m.bdScratch.StateBreakdown(m.fu2.Intervals(), m.fu1.Intervals(), m.bus.Intervals(), total)
 	return st
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"oovec/internal/isa"
+	"oovec/internal/probe"
 	"oovec/internal/trace"
 )
 
@@ -13,7 +14,7 @@ func cfg50() Config { return Config{MemLatency: 50, TakenBranchPenalty: 2} }
 // run is a helper that simulates and returns (issue times, stats).
 func runWithProbe(t *trace.Trace, cfg Config) ([]int64, []int64) {
 	issues := make([]int64, t.Len())
-	cfg.Probe = func(i int, issue, complete int64) { issues[i] = issue }
+	cfg.Sink = probe.InsnFunc(func(e probe.Event) { issues[e.Index] = e.Issue })
 	st := Run(t, cfg)
 	return issues, []int64{st.Cycles}
 }

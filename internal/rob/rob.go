@@ -113,6 +113,9 @@ func (r *ROB) LastCommit() int64 { return r.last }
 // Size returns the capacity.
 func (r *ROB) Size() int { return r.size }
 
+// Occupied returns the number of buffer slots held at the given cycle.
+func (r *ROB) Occupied(now int64) int { return r.window.Occupied(now) }
+
 // Reset empties the buffer for reuse, keeping its capacity and width.
 func (r *ROB) Reset() {
 	r.window.Reset()

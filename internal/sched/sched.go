@@ -255,6 +255,22 @@ func (w *RingWindow) Admit(departAt int64) {
 	}
 }
 
+// Occupied returns the number of tracked occupants still resident at the
+// given cycle: those admitted but not yet departed (leave time > now). The
+// scan is linear over at most the window capacity (16–64 in every
+// configuration), and unbounded windows report zero.
+//
+//ovlint:hotpath sampled once per instruction for occupancy histograms; a bounded scan with no allocation
+func (w *RingWindow) Occupied(now int64) int {
+	occ := 0
+	for i := 0; i < w.count; i++ {
+		if w.leave[i] > now {
+			occ++
+		}
+	}
+	return occ
+}
+
 // Reset clears the window.
 func (w *RingWindow) Reset() {
 	w.next, w.count = 0, 0

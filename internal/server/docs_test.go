@@ -37,6 +37,7 @@ func TestAPIDocMatchesRoutes(t *testing.T) {
 		"/v1/jobs": {"POST"}, "/v1/jobs/{id}": {"GET", "DELETE"},
 		"/v1/presets": {"GET"}, "/v1/cache": {"GET"},
 		"/healthz": {"GET"}, "/metrics": {"GET"},
+		"/debug/pprof/": {"GET"},
 	}
 	if len(methods) != len(routes) {
 		t.Fatalf("test method table has %d routes, server has %d — update both this test and docs/API.md", len(methods), len(routes))

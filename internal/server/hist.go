@@ -1,0 +1,70 @@
+package server
+
+// Fixed-bucket latency histograms in the Prometheus text-exposition shape:
+// cumulative `_bucket{le=...}` lines, a `_sum` in seconds and a `_count`.
+// One instance per route (request latency) and one per result-resolution
+// tier (memory hit / disk hit / simulate). Everything is atomics — observe
+// is a two-add hot path safe under concurrent request handlers, and write
+// renders a snapshot whose cumulative counts are monotone by construction.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latBounds are the finite bucket upper bounds in seconds. They span the
+// service's real dynamic range: a memory cache hit lands in the first
+// buckets, a disk probe in the middle, a cold million-instruction
+// simulation in the top ones.
+var latBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// latHist is one fixed-bucket latency histogram. The zero value is ready to
+// use. counts[i] holds the samples in (latBounds[i-1], latBounds[i]]; the
+// final slot is the +Inf overflow bucket.
+type latHist struct {
+	counts [len(latBounds) + 1]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// observe records one sample.
+func (h *latHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latBounds) && s > latBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// count returns the total number of samples observed.
+func (h *latHist) count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// write renders the histogram as Prometheus text lines under the given
+// metric name; label is a preformatted `key="value"` pair appearing in
+// every line. The cumulative bucket counts are computed left to right from
+// the per-bucket atomics, so they are non-decreasing even while observes
+// race the render, and the `_count` equals the +Inf bucket exactly.
+func (h *latHist) write(w io.Writer, name, label string) {
+	var cum int64
+	for i, b := range latBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, label, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(latBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %.6f\n", name, label, time.Duration(h.sum.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, cum)
+}

@@ -237,6 +237,15 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no job %q", snap.ID)
 		return
 	}
+	// The operator breadcrumb: a cancellation destroys queued work, so the
+	// log records who asked (request id), which job, and the result key the
+	// parked checkpoint stays addressable under.
+	if s.log != nil {
+		s.log.Info("job canceled",
+			"request_id", RequestID(r.Context()),
+			"job_id", snap.ID,
+			"key", info.key)
+	}
 	// 202: cancellation is in flight. A running job stops within one
 	// abort-check interval and persists its checkpoint first; poll GET
 	// /v1/jobs/{id} for the terminal "canceled" state.

@@ -42,7 +42,17 @@ func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		defer func() { s.observe(route, sw.Status(), time.Since(start)) }()
+		// Resolve the request id first so every outcome — including the
+		// middleware refusals below — carries it on the response and in the
+		// request log line.
+		rid := requestID(r)
+		sw.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+		defer func() {
+			d := time.Since(start)
+			s.observe(route, sw.Status(), d)
+			s.logRequest(r, route, rid, sw.Status(), d)
+		}()
 		s.requests[route].Add(1)
 
 		if o.gate {
@@ -107,10 +117,10 @@ func (s *Server) authorize(r *http.Request) bool {
 	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(s.authToken)) == 1
 }
 
-// observe records one finished request in the per-route latency sum and
-// response-code counters.
+// observe records one finished request in the per-route latency histogram
+// and response-code counters.
 func (s *Server) observe(route string, code int, d time.Duration) {
-	s.durations[route].Add(int64(d))
+	s.durations[route].observe(d)
 	s.respMu.Lock()
 	s.responses[route][code]++
 	s.respMu.Unlock()

@@ -1,0 +1,328 @@
+package server
+
+// Tests for the observability surface: latency histograms (shape and
+// monotonicity), per-tier resolution histograms, request ids, structured
+// request logs, breadcrumb logging, build info and the auth-gated pprof.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// histBuckets parses the cumulative bucket counts of one histogram/label
+// pair out of a /metrics exposition, in declaration order, +Inf last.
+func histBuckets(t *testing.T, body, name, label string) []int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `_bucket\{` +
+		regexp.QuoteMeta(label) + `,le="([^"]+)"\} (\d+)$`)
+	var counts []int64
+	for _, m := range re.FindAllStringSubmatch(body, -1) {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func TestLatHistBucketsMonotone(t *testing.T) {
+	var h latHist
+	// One sample per bucket boundary (inclusive upper bound), plus overflow.
+	for _, b := range latBounds {
+		h.observe(time.Duration(b * float64(time.Second)))
+	}
+	h.observe(time.Hour) // +Inf bucket
+
+	var sb strings.Builder
+	h.write(&sb, "x", `l="v"`)
+	counts := histBuckets(t, sb.String(), "x", `l="v"`)
+	if len(counts) != len(latBounds)+1 {
+		t.Fatalf("got %d bucket lines, want %d", len(counts), len(latBounds)+1)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Errorf("bucket %d count %d below bucket %d count %d — not cumulative",
+				i, counts[i], i-1, counts[i-1])
+		}
+	}
+	// A sample equal to a bound is ≤ the bound: bucket i holds i+1 samples.
+	for i := range latBounds {
+		if counts[i] != int64(i+1) {
+			t.Errorf("bucket le=%g = %d, want %d", latBounds[i], counts[i], i+1)
+		}
+	}
+	if inf := counts[len(counts)-1]; inf != h.count() {
+		t.Errorf("+Inf bucket %d != count() %d", inf, h.count())
+	}
+	if !strings.Contains(sb.String(), fmt.Sprintf(`x_count{l="v"} %d`, h.count())) {
+		t.Errorf("_count line wrong:\n%s", sb.String())
+	}
+}
+
+func TestLatHistConcurrentObserve(t *testing.T) {
+	var h latHist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.observe(time.Duration(i*w) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.count())
+	}
+}
+
+// TestRequestAndTierHistograms drives two identical /v1/sim requests and
+// asserts the exact histogram counts CI's serve-smoke step also checks:
+// both land in the request-latency histogram, the first resolves by
+// simulation, the second from memory.
+func TestRequestAndTierHistograms(t *testing.T) {
+	s := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		if rec := post(t, s, "/v1/sim", SimRequest{Bench: "trfd", Insns: testInsns}); rec.Code != 200 {
+			t.Fatalf("sim %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	body := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		`ovserve_request_duration_seconds_bucket{path="/v1/sim",le="+Inf"} 2`,
+		`ovserve_request_duration_seconds_count{path="/v1/sim"} 2`,
+		`ovserve_request_duration_seconds_sum{path="/v1/sim"} `,
+		`ovserve_resolve_duration_seconds_count{tier="simulate"} 1`,
+		`ovserve_resolve_duration_seconds_count{tier="memory"} 1`,
+		`ovserve_resolve_duration_seconds_count{tier="disk"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	counts := histBuckets(t, body, "ovserve_request_duration_seconds", `path="/v1/sim"`)
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("request histogram not monotone: %v", counts)
+		}
+	}
+}
+
+func TestRequestIDGeneratedAndPropagated(t *testing.T) {
+	s := newTestServer(t)
+
+	// No inbound id: one is generated (16 hex chars) and echoed.
+	rec := get(t, s, "/healthz")
+	rid := rec.Header().Get(RequestIDHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(rid) {
+		t.Errorf("generated id %q is not 16 hex chars", rid)
+	}
+
+	// A well-formed inbound id is propagated verbatim.
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(RequestIDHeader, "upstream-42.a_b")
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "upstream-42.a_b" {
+		t.Errorf("propagated id = %q, want upstream-42.a_b", got)
+	}
+
+	// A hostile inbound id (header-splitting, log-forging characters) is
+	// replaced, never echoed.
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(RequestIDHeader, "bad\tid")
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); strings.Contains(got, "\t") || got == "" {
+		t.Errorf("hostile id echoed or dropped: %q", got)
+	}
+}
+
+// logLines decodes a JSON-handler slog buffer into one map per line.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestStructuredRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Opts{Workers: 2, Log: slog.New(slog.NewJSONHandler(&buf, nil))})
+
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(RequestIDHeader, "joinme-1")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1: %s", len(lines), buf.String())
+	}
+	l := lines[0]
+	if l["msg"] != "request" || l["level"] != "INFO" {
+		t.Errorf("line = %v, want INFO request", l)
+	}
+	if l["request_id"] != "joinme-1" || l["path"] != "/healthz" ||
+		l["method"] != "GET" || l["status"] != float64(200) {
+		t.Errorf("log fields wrong: %v", l)
+	}
+	if _, ok := l["duration_ms"].(float64); !ok {
+		t.Errorf("duration_ms missing: %v", l)
+	}
+}
+
+func TestSlowRequestLoggedAtWarn(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Opts{Workers: 2,
+		Log:         slog.New(slog.NewJSONHandler(&buf, nil)),
+		SlowRequest: time.Nanosecond}) // everything is slow
+
+	get(t, s, "/healthz")
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1", len(lines))
+	}
+	l := lines[0]
+	if l["level"] != "WARN" || l["msg"] != "slow request" || l["slow"] != true {
+		t.Errorf("slow request not flagged: %v", l)
+	}
+}
+
+// TestJobCancelBreadcrumb: cancelling a job leaves a structured log line
+// carrying the request id, the job id and the result key — the operator's
+// only in-band record of destroyed work.
+func TestJobCancelBreadcrumb(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Opts{Workers: 2, Log: slog.New(slog.NewJSONHandler(&buf, nil))})
+	defer s.JobsClose()
+
+	// Park the job layer so the submitted job deterministically never
+	// starts — cancellation then always succeeds.
+	s.jobs.BeginInteractive()
+	defer s.jobs.EndInteractive()
+
+	rec := post(t, s, "/v1/jobs", JobRequest{Sim: SimRequest{Bench: "trfd", Insns: testInsns}})
+	if rec.Code != 202 {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body.String())
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest("DELETE", "/v1/jobs/"+sub.ID, nil)
+	req.Header.Set(RequestIDHeader, "cancel-req-1")
+	del := httptest.NewRecorder()
+	s.Handler().ServeHTTP(del, req)
+	if del.Code != 202 {
+		t.Fatalf("cancel: %d %s", del.Code, del.Body.String())
+	}
+
+	var crumb map[string]any
+	for _, l := range logLines(t, &buf) {
+		if l["msg"] == "job canceled" {
+			crumb = l
+		}
+	}
+	if crumb == nil {
+		t.Fatalf("no 'job canceled' breadcrumb in log:\n%s", buf.String())
+	}
+	if crumb["job_id"] != sub.ID || crumb["key"] != sub.Key || crumb["request_id"] != "cancel-req-1" {
+		t.Errorf("breadcrumb fields wrong: %v", crumb)
+	}
+}
+
+// TestSweepAbortBreadcrumb: a sweep that dies mid-stream logs the abort
+// with the request id and row count.
+func TestSweepAbortBreadcrumb(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Opts{Workers: 2, Log: slog.New(slog.NewJSONHandler(&buf, nil))})
+	s.testHookSweepSim = func() { panic("injected grid failure") }
+
+	body, _ := json.Marshal(SweepRequest{Bench: []string{"trfd"}, Insns: testInsns})
+	req := httptest.NewRequest("POST", "/v1/sweep", bytes.NewReader(body))
+	req.Header.Set(RequestIDHeader, "sweep-req-1")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	var crumb map[string]any
+	for _, l := range logLines(t, &buf) {
+		if l["msg"] == "sweep aborted" {
+			crumb = l
+		}
+	}
+	if crumb == nil {
+		t.Fatalf("no 'sweep aborted' breadcrumb in log:\n%s", buf.String())
+	}
+	if crumb["request_id"] != "sweep-req-1" || crumb["level"] != "ERROR" {
+		t.Errorf("breadcrumb fields wrong: %v", crumb)
+	}
+	if _, ok := crumb["error"].(string); !ok {
+		t.Errorf("breadcrumb lacks error: %v", crumb)
+	}
+}
+
+func TestBuildInfoMetric(t *testing.T) {
+	s := newTestServer(t)
+	body := get(t, s, "/metrics").Body.String()
+	re := regexp.MustCompile(`(?m)^ovserve_build_info\{version="[^"]+",go="go[^"]+"\} 1$`)
+	if !re.MatchString(body) {
+		t.Errorf("metrics lack a well-formed ovserve_build_info gauge:\n%s", body)
+	}
+	if !strings.Contains(body, "ovserve_uptime_seconds ") {
+		t.Error("metrics lack ovserve_uptime_seconds")
+	}
+}
+
+// TestPprofAuth: without a configured token the profiling surface refuses
+// outright; with one, it requires the bearer token like every API route.
+func TestPprofAuth(t *testing.T) {
+	open := newTestServer(t)
+	if rec := get(t, open, "/debug/pprof/"); rec.Code != 403 {
+		t.Errorf("tokenless server served pprof: %d", rec.Code)
+	}
+
+	locked := New(Opts{Workers: 2, AuthToken: "s3cret"})
+	if rec := get(t, locked, "/debug/pprof/"); rec.Code != 401 {
+		t.Errorf("unauthenticated pprof = %d, want 401", rec.Code)
+	}
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	rec := httptest.NewRecorder()
+	locked.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("authenticated pprof index = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+
+	req = httptest.NewRequest("GET", "/debug/pprof/goroutine?debug=1", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	rec = httptest.NewRecorder()
+	locked.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("named profile = %d", rec.Code)
+	}
+}

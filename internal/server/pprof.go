@@ -1,0 +1,39 @@
+package server
+
+// Auth-gated net/http/pprof. Profiling an ovserve under production load is
+// how a simulation-latency regression gets attributed (CPU profile of the
+// step loop, heap profile of the caches), but the endpoints expose memory
+// contents and process internals, so they are never open: with no auth
+// token configured the route refuses outright with 403, and with one it
+// sits behind the same bearer check as the API routes.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// handlePprof dispatches to net/http/pprof's handlers. The sub-path
+// selects the profile exactly as the default mux would: /debug/pprof/ is
+// the index, cmdline/profile/symbol/trace are the special handlers, and
+// any other name (heap, goroutine, allocs, block, mutex, threadcreate) is
+// resolved by Index itself.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if s.authToken == "" {
+		httpError(w, http.StatusForbidden,
+			"profiling is disabled: run ovserve with -auth-token to enable /debug/pprof")
+		return
+	}
+	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
+}

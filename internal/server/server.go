@@ -37,7 +37,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +92,13 @@ type Opts struct {
 	// JobQueue bounds the job queue (0 = 16); submissions beyond it are
 	// shed with 503 + Retry-After.
 	JobQueue int
+	// Log, when non-nil, receives one structured line per finished request
+	// (see log.go) and the operational breadcrumbs (job cancellations,
+	// sweep aborts). nil = no request logging.
+	Log *slog.Logger
+	// SlowRequest, when > 0, is the duration at or beyond which a request
+	// is logged at WARN with slow=true instead of INFO (-slow-request).
+	SlowRequest time.Duration
 }
 
 // Server is the ovserve request handler set. Construct with New; serve
@@ -101,6 +111,9 @@ type Server struct {
 	authToken      string
 	maxInflight    int
 	inflightSem    chan struct{} // nil when MaxInflight is 0 (unlimited)
+	log            *slog.Logger  // nil = no request logging
+	slowReq        time.Duration
+	version        string // module version for ovserve_build_info
 
 	results *simcache.Results
 	store   *store.Store // nil = memory-only
@@ -139,7 +152,12 @@ type Server struct {
 	throttled   atomic.Int64 // requests refused with 429 over MaxInflight
 	unauthed    atomic.Int64 // requests refused with 401
 	requests    map[string]*atomic.Int64
-	durations   map[string]*atomic.Int64 // summed handler nanoseconds
+	durations   map[string]*latHist // per-route request-latency histograms
+	// resolve holds one latency histogram per result-resolution tier
+	// (memory hit / disk hit / simulate), fed by the result cache's
+	// observer: where a /v1/sim or sweep point was answered from, and how
+	// long that tier took.
+	resolve [simcache.NumTiers]latHist
 	// responses counts finished requests per (route, status code). Status
 	// codes are open-ended, so this one is a locked map, touched once per
 	// request.
@@ -156,7 +174,7 @@ type Server struct {
 }
 
 // routes are the request-counter buckets of /metrics.
-var routes = []string{"/v1/sim", "/v1/sweep", "/v1/jobs", "/v1/jobs/{id}", "/v1/presets", "/v1/cache", "/healthz", "/metrics"}
+var routes = []string{"/v1/sim", "/v1/sweep", "/v1/jobs", "/v1/jobs/{id}", "/v1/presets", "/v1/cache", "/healthz", "/metrics", "/debug/pprof/"}
 
 // New builds a server.
 func New(opts Opts) *Server {
@@ -181,6 +199,9 @@ func New(opts Opts) *Server {
 		timeout:        opts.Timeout,
 		authToken:      opts.AuthToken,
 		maxInflight:    opts.MaxInflight,
+		log:            opts.Log,
+		slowReq:        opts.SlowRequest,
+		version:        buildVersion(),
 		results:        simcache.NewResults(opts.CacheEntries, disk),
 		store:          opts.Store,
 		jobs:           jobs.New(opts.JobWorkers, opts.JobQueue),
@@ -188,7 +209,7 @@ func New(opts Opts) *Server {
 		mux:            http.NewServeMux(),
 		start:          time.Now(),
 		requests:       make(map[string]*atomic.Int64, len(routes)),
-		durations:      make(map[string]*atomic.Int64, len(routes)),
+		durations:      make(map[string]*latHist, len(routes)),
 		responses:      make(map[string]map[int]int64, len(routes)),
 	}
 	if opts.MaxInflight > 0 {
@@ -196,9 +217,15 @@ func New(opts Opts) *Server {
 	}
 	for _, r := range routes {
 		s.requests[r] = &atomic.Int64{}
-		s.durations[r] = &atomic.Int64{}
+		s.durations[r] = &latHist{}
 		s.responses[r] = make(map[int]int64, 4)
 	}
+	// Per-tier resolution latency: the result cache reports where each
+	// lookup was answered (memory, disk, fresh simulation) and how long
+	// that took; /metrics exposes one histogram per tier.
+	s.results.SetObserver(func(t simcache.Tier, d time.Duration) {
+		s.resolve[t].observe(d)
+	})
 	// The middleware chain of each route (see middleware.go): simulation
 	// routes get the full production stack, the cheap introspection routes
 	// only what they need — /healthz must answer during drain and without
@@ -217,7 +244,18 @@ func New(opts Opts) *Server {
 	s.mux.HandleFunc("GET /v1/cache", s.instrument("/v1/cache", meta, s.handleCache))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", routeOpts{}, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", routeOpts{auth: true}, s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/pprof/", s.instrument("/debug/pprof/", routeOpts{auth: true}, s.handlePprof))
 	return s
+}
+
+// buildVersion resolves the module version stamped into the binary, or
+// "unknown" for an unstamped build (go test, plain go build of a dirty
+// tree). The value labels ovserve_build_info.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // Handler returns the HTTP handler serving all routes.
@@ -326,14 +364,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	uptime := time.Since(s.start).Seconds()
 	sims := s.simsTotal.Load()
+	fmt.Fprintf(w, "ovserve_build_info{version=%q,go=%q} 1\n", s.version, runtime.Version())
 	fmt.Fprintf(w, "ovserve_uptime_seconds %.3f\n", uptime)
 	fmt.Fprintf(w, "ovserve_inflight %d\n", s.nInflight.Load())
 	for _, route := range routes {
 		fmt.Fprintf(w, "ovserve_requests_total{path=%q} %d\n", route, s.requests[route].Load())
 	}
 	for _, route := range routes {
-		fmt.Fprintf(w, "ovserve_request_duration_seconds_sum{path=%q} %.6f\n",
-			route, time.Duration(s.durations[route].Load()).Seconds())
+		s.durations[route].write(w, "ovserve_request_duration_seconds", fmt.Sprintf("path=%q", route))
+	}
+	for t := simcache.Tier(0); t < simcache.NumTiers; t++ {
+		s.resolve[t].write(w, "ovserve_resolve_duration_seconds", fmt.Sprintf("tier=%q", t.String()))
 	}
 	s.writeResponseMetrics(w)
 	fmt.Fprintf(w, "ovserve_requests_rejected_total %d\n", s.rejected.Load())

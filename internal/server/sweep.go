@@ -180,6 +180,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(SweepStatusTrailer, "ok")
 	default:
 		s.sweepErrors.Add(1)
+		// The terminal error rode out in a trailer and one NDJSON line the
+		// client may never read; the log line is the operator's copy.
+		if s.log != nil {
+			s.log.Error("sweep aborted",
+				"request_id", RequestID(r.Context()),
+				"rows", row,
+				"error", err.Error())
+		}
 		enc.Encode(errorBody{Error: fmt.Sprintf("sweep aborted after %d rows: %v", row, err)})
 		if flusher != nil {
 			flusher.Flush()

@@ -17,21 +17,21 @@ import (
 
 // OOOConfigKey renders the canonical cache-key component of an OOOVA
 // configuration: the resolved (WithDefaults) form, so omitted fields and
-// explicit paper defaults key identically. The Probe hook is excluded — it
-// observes a run without changing its measurements, and formatting a
-// function value would print an address, poisoning the key.
+// explicit paper defaults key identically. The probe Sink is excluded — it
+// observes a run without changing its measurements, and formatting an
+// interface value would print an address, poisoning the key.
 func OOOConfigKey(cfg ooosim.Config) string {
 	cfg = cfg.WithDefaults()
-	cfg.Probe = nil
+	cfg.Sink = nil
 	return fmt.Sprintf("ooo:%+v", cfg)
 }
 
 // RefConfigKey renders the canonical cache-key component of a reference-
 // machine configuration, resolved the same way as OOOConfigKey (and, like
-// it, excluding the Probe hook).
+// it, excluding the probe Sink).
 func RefConfigKey(cfg refsim.Config) string {
 	cfg = cfg.WithDefaults()
-	cfg.Probe = nil
+	cfg.Sink = nil
 	return fmt.Sprintf("ref:%+v", cfg)
 }
 

@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"time"
 	"unsafe"
 
 	"oovec/internal/metrics"
@@ -29,6 +30,29 @@ type ResultStore interface {
 	Save(key string, st *metrics.RunStats)
 }
 
+// Tier identifies where a Results.Do call was resolved: the in-memory LRU,
+// the durable disk store, or an actual simulation. The String forms are the
+// label values of the ovserve per-tier latency histograms.
+type Tier uint8
+
+const (
+	TierMemory Tier = iota
+	TierDisk
+	TierSim
+	NumTiers = 3
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "simulate"
+	}
+}
+
 // Results is the two-tier simulation result cache: memory miss → disk
 // probe → simulate. The memory tier's singleflight covers the disk tier
 // too, so for any key at most one goroutine probes the store or runs the
@@ -36,7 +60,18 @@ type ResultStore interface {
 type Results struct {
 	mem  *Cache[*metrics.RunStats]
 	disk ResultStore // nil = memory-only
+
+	// observe, when non-nil, receives each Do call's resolution tier and
+	// wall-clock duration. Install with SetObserver before serving traffic;
+	// the field is not synchronised for later replacement.
+	observe func(Tier, time.Duration)
 }
+
+// SetObserver installs fn to be called once per Do with the tier that
+// resolved the request and the wall time the call took (including any time
+// spent coalesced behind another caller's fill). Call before the cache
+// starts serving concurrent traffic; fn must be safe for concurrent use.
+func (r *Results) SetObserver(fn func(Tier, time.Duration)) { r.observe = fn }
 
 // NewResults builds a two-tier result cache: a memory LRU bounded to
 // roughly `entries` (<= 0 selects a small default) in front of disk, which
@@ -62,6 +97,10 @@ func runStatsBytes(st *metrics.RunStats) int {
 // singleflight guarantees a single disk probe or simulation, and therefore
 // a single store write, per key.
 func (r *Results) Do(key string, fill func() *metrics.RunStats) (*metrics.RunStats, bool) {
+	var start time.Time
+	if r.observe != nil {
+		start = time.Now()
+	}
 	diskHit := false
 	st, memHit := r.mem.Do(key, func() *metrics.RunStats {
 		if r.disk != nil {
@@ -78,6 +117,16 @@ func (r *Results) Do(key string, fill func() *metrics.RunStats) (*metrics.RunSta
 	})
 	// diskHit is only written by the filling goroutine (memHit false), and
 	// only read here when memHit is false — same goroutine, no race.
+	if r.observe != nil {
+		tier := TierMemory
+		switch {
+		case !memHit && diskHit:
+			tier = TierDisk
+		case !memHit:
+			tier = TierSim
+		}
+		r.observe(tier, time.Since(start))
+	}
 	return st, memHit || diskHit
 }
 

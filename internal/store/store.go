@@ -53,7 +53,7 @@ import (
 // payload encoding changes meaning — a field added to metrics.RunStats, a
 // different serialisation — and every existing entry self-invalidates on
 // its next read instead of silently decoding into the wrong shape.
-const FormatEpoch = 1
+const FormatEpoch = 2
 
 // magic identifies an oovec result-store entry file.
 const magic = "OVRS"

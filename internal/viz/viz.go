@@ -68,6 +68,23 @@ func HBar(title string, rows []BarRow, width int) string {
 	return b.String()
 }
 
+// Occupancy renders a structure-occupancy histogram whose n buckets
+// uniformly cover [0, capacity]: bucket i is labelled with its fraction
+// i/(n-1) of capacity and drawn as a bar of its sample count. The counts
+// come straight from a metrics.OccHist — the per-instruction ROB and
+// instruction-queue occupancy samples of a simulation run.
+func Occupancy(title string, counts []int64, width int) string {
+	rows := make([]BarRow, len(counts))
+	den := len(counts) - 1
+	if den < 1 {
+		den = 1
+	}
+	for i, c := range counts {
+		rows[i] = BarRow{Label: fmt.Sprintf("%d/%d", i, den), Value: float64(c)}
+	}
+	return HBar(title, rows, width)
+}
+
 // Grouped renders one bar per (label, series) pair, grouping series under
 // each label — the Figure 6 "REF vs OOOVA" layout.
 func Grouped(title string, labels []string, series []Series, width int) string {

@@ -186,6 +186,19 @@ type RunStats = metrics.RunStats
 // StateBreakdown is the (FU2, FU1, MEM) occupancy histogram of Figures 3/7.
 type StateBreakdown = metrics.Breakdown
 
+// StallBreakdown attributes a run's stall cycles to their causes (ROB
+// full, queue full per class, no free physical register per class, vector
+// register-file port conflicts, memory bus busy). Part of RunStats.
+type StallBreakdown = metrics.StallBreakdown
+
+// OccupancyHist is a fixed-bucket histogram of one structure's occupancy,
+// sampled once per instruction at decode. Part of RunStats.
+type OccupancyHist = metrics.OccHist
+
+// OccupancyStats groups the per-structure occupancy histograms (ROB and
+// the four instruction queues).
+type OccupancyStats = metrics.Occupancy
+
 // StateBreakdownName renders state index s (0..7) in the paper's tuple
 // notation, e.g. "<FU2,FU1,MEM>".
 func StateBreakdownName(s int) string { return metrics.State(s).String() }
