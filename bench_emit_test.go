@@ -1,19 +1,33 @@
 package oovec
 
-// TestEmitBench writes a machine-readable performance snapshot (BENCH_8.json)
+// TestEmitBench writes a machine-readable performance snapshot (BENCH_9.json)
 // for CI to archive: ns/op, allocs/op and B/op of the OOOVA and REF
-// simulators on a fixed trace, plus the cold-vs-warm latency of a small
-// sweep grid through the content-addressed result cache. Gated on the
-// BENCH_OUT environment variable so ordinary `go test ./...` runs skip it:
+// simulators on a fixed trace, the cold-vs-warm latency of a small sweep
+// grid through the content-addressed result cache, a service-level load
+// section (a seeded burst schedule driven cold and warm against an
+// in-process ovserve by the ovload harness), and — on multicore runners —
+// the serial-vs-parallel experiment-suite speedup. Gated on the BENCH_OUT
+// environment variable so ordinary `go test ./...` runs skip it:
 //
-//	BENCH_OUT=BENCH_8.json go test -run TestEmitBench .
+//	BENCH_OUT=BENCH_9.json go test -run TestEmitBench .
+//
+// CI diffs each snapshot against the previous run's via `ovload -compare`
+// and fails on >20% regressions in the tracked fields (simulator ns/op,
+// load p99) — the perf trajectory is owned by the pipeline, not by whoever
+// remembers to run benchmarks.
 
 import (
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
+	"oovec/internal/experiments"
+	"oovec/internal/load"
+	"oovec/internal/server"
 	"oovec/internal/simcache"
 	"oovec/internal/sweep"
 	"oovec/internal/tgen"
@@ -35,11 +49,109 @@ type benchSweep struct {
 	WarmMs float64 `json:"warm_ms"`
 }
 
-// benchSnapshot is the BENCH_8.json schema.
+// benchLoad is the service-level section: one seeded burst schedule driven
+// twice against a fresh in-process ovserve — cold (every key simulates)
+// and warm (every key cached).
+type benchLoad struct {
+	Requests int          `json:"requests"`
+	Cold     *load.Report `json:"cold"`
+	Warm     *load.Report `json:"warm"`
+}
+
+// benchParallel is the engine fan-out section, present only on multicore
+// runners: the same Fig5+Fig9 workload timed serial and one-worker-per-core.
+type benchParallel struct {
+	Cores      int     `json:"cores"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchSnapshot is the BENCH_9.json schema. Load and Parallel are pointers
+// so older snapshots (and single-core emits) stay comparable — the
+// trajectory gate skips absent sections.
 type benchSnapshot struct {
-	Insns      int           `json:"insns"`
-	Benchmarks []benchRecord `json:"benchmarks"`
-	Sweep      benchSweep    `json:"sweep"`
+	Insns      int            `json:"insns"`
+	Benchmarks []benchRecord  `json:"benchmarks"`
+	Sweep      benchSweep     `json:"sweep"`
+	Load       *benchLoad     `json:"load,omitempty"`
+	Parallel   *benchParallel `json:"parallel,omitempty"`
+}
+
+// benchLoadSpec is the seeded schedule of the load section — small enough
+// to finish in seconds, mixed enough to touch /v1/sim, /v1/sweep and
+// /v1/jobs.
+func benchLoadSpec() load.Spec {
+	return load.Spec{
+		Mode: load.ModeBurst, Seed: 42,
+		Begin: 2, Target: 12, Step: 10, SlotMs: 1000,
+		Bench: []string{"swm256", "hydro2d"},
+		Regs:  []int{12, 16, 32}, Lats: []int64{1, 50},
+		Insns: 2000, SweepPct: 20, JobPct: 20, RefPct: 25,
+	}
+}
+
+// emitLoadSection boots an in-process ovserve and drives the seeded
+// schedule cold and warm.
+func emitLoadSection(t *testing.T) *benchLoad {
+	t.Helper()
+	s := server.New(server.Opts{Workers: 0, JobWorkers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.JobsClose()
+	}()
+
+	sched, err := load.Synthesize(benchLoadSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *load.Report {
+		rep, err := load.Drive(context.Background(), sched, load.DriveOpts{
+			BaseURL: ts.URL, Client: ts.Client(),
+			Loop: load.LoopClosed, Conns: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cold := run()
+	warm := run()
+	if warm.Server != nil && warm.Server.Sims != 0 {
+		t.Fatalf("warm replay in the bench emit caused %d sims, want 0", warm.Server.Sims)
+	}
+	return &benchLoad{Requests: len(sched.Reqs), Cold: cold, Warm: warm}
+}
+
+// emitParallelSection times the Fig5+Fig9 workload serial vs
+// one-worker-per-core. Single-core runners (the dev container) skip it —
+// the section is absent rather than misleading.
+func emitParallelSection() *benchParallel {
+	if runtime.GOMAXPROCS(0) <= 1 {
+		return nil
+	}
+	serial, parallel := suiteSpeedup()
+	return &benchParallel{
+		Cores:      runtime.GOMAXPROCS(0),
+		SerialMs:   float64(serial) / float64(time.Millisecond),
+		ParallelMs: float64(parallel) / float64(time.Millisecond),
+		Speedup:    float64(serial) / float64(parallel),
+	}
+}
+
+// suiteSpeedup runs the BenchmarkSuiteSerial/BenchmarkSuiteParallel
+// workload once each and returns the wall clocks.
+func suiteSpeedup() (serial, parallel time.Duration) {
+	run := func(parallelism int) time.Duration {
+		start := time.Now()
+		s := NewSuite(SuiteOpts{Insns: benchInsns, Parallelism: parallelism})
+		if len(experiments.Fig5(s).Names) == 0 || len(experiments.Fig9(s).Names) == 0 {
+			panic("empty suite result")
+		}
+		return time.Since(start)
+	}
+	return run(1), run(0)
 }
 
 func TestEmitBench(t *testing.T) {
@@ -112,6 +224,9 @@ func TestEmitBench(t *testing.T) {
 		WarmMs: float64(warm) / float64(time.Millisecond),
 	}
 
+	snap.Load = emitLoadSection(t)
+	snap.Parallel = emitParallelSection()
+
 	b, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -120,4 +235,26 @@ func TestEmitBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+}
+
+// TestParallelSuiteSpeedup is the multicore gate: on a runner with
+// GOMAXPROCS > 1 the one-worker-per-core suite must beat the serial suite
+// by a real margin. The full ≥4x ROADMAP target needs ≥4 free cores and a
+// quiet machine; the gate asserts a conservative floor and records the
+// actual ratio in the log (and, via TestEmitBench, in the BENCH snapshot)
+// so the trajectory is visible without being flaky.
+func TestParallelSuiteSpeedup(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	if cores <= 1 {
+		t.Skipf("GOMAXPROCS=%d: parallel speedup needs a multicore runner", cores)
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial, parallel := suiteSpeedup()
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("suite speedup on %d cores: serial %v, parallel %v, %.2fx", cores, serial, parallel, speedup)
+	if speedup < 1.5 {
+		t.Fatalf("parallel suite speedup %.2fx on %d cores, want >= 1.5x", speedup, cores)
+	}
 }

@@ -1,0 +1,215 @@
+// Command ovload is the load harness for ovserve: it synthesizes a
+// deterministic, seeded request schedule (vhive-style normal / sweep /
+// burst RPS shapes over the preset + config grid), fires it at a live
+// daemon in closed- or open-loop mode mixing /v1/sim, streamed /v1/sweep
+// and async /v1/jobs traffic, and reports p50/p95/p99 latency, throughput,
+// shed and error counts, the cache hit ratio, and sims/sec scraped from
+// /metrics before and after the run.
+//
+// Usage:
+//
+//	ovload -mode burst -seed 42 -schedule-out burst.ovls -out report.json
+//	ovload -schedule burst.ovls -loop closed -conns 16      # replay a file
+//	ovload -url '' -schedule-out s.ovls                     # synthesize only
+//	ovload -compare BENCH_prev.json -against BENCH_9.json   # trajectory gate
+//
+// Same seed + same shape flags → byte-identical schedule file, so a
+// schedule written once is a reproducible benchmark: replaying it against
+// a warm server must produce identical request-count and hit-ratio
+// aggregates, and CI holds it to that (see docs/LOADTEST.md).
+//
+// In -compare mode ovload diffs two BENCH snapshots and exits 1 when a
+// tracked metric (simulator ns/op, load p99) regressed beyond -regress.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"oovec/internal/cli"
+	"oovec/internal/load"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8787", "ovserve base URL; empty synthesizes the schedule without driving it (requires -schedule-out)")
+		token   = flag.String("token", "", "bearer token sent on every request (default $OVSERVE_TOKEN)")
+		mode    = flag.String("mode", "normal", "RPS shape: normal (staircase), sweep (up then down), burst (baseline + spikes)")
+		seed    = flag.Int64("seed", 1, "synthesis seed; same seed + shape flags = byte-identical schedule")
+		begin   = flag.Int("begin", 2, "starting RPS")
+		target  = flag.Int("target", 10, "peak RPS (burst spike height)")
+		step    = flag.Int("step", 2, "RPS increment per slot")
+		slot    = flag.Duration("slot", 500*time.Millisecond, "duration of one RPS slot")
+		bench   = flag.String("bench", "swm256", "comma-separated benchmark presets requests draw from")
+		regs    = flag.String("regs", "12,16,32", "comma-separated register counts of the config grid")
+		lats    = flag.String("lats", "1,50", "comma-separated memory latencies of the config grid")
+		insns   = flag.Int("insns", 2000, "instruction budget per request")
+		sweepP  = flag.Int("sweep-pct", 10, "percent of requests that are streamed /v1/sweep grids")
+		jobP    = flag.Int("job-pct", 10, "percent of requests that are async /v1/jobs submissions")
+		refP    = flag.Int("ref-pct", 25, "percent of sims that run the reference machine")
+		loop    = flag.String("loop", "open", "driver discipline: open (fire on schedule) or closed (fire on completion)")
+		conns   = flag.Int("conns", 8, "closed-loop worker count")
+		reqTO   = flag.Duration("req-timeout", 60*time.Second, "per-request timeout")
+		jobWait = flag.Duration("job-wait", 60*time.Second, "how long to poll a submitted job toward a terminal state")
+		schedIn = flag.String("schedule", "", "replay this schedule file instead of synthesizing")
+		schedTo = flag.String("schedule-out", "", "write the synthesized schedule file here")
+		out     = flag.String("out", "", "write the report JSON here (default stdout)")
+		noScr   = flag.Bool("no-scrape", false, "skip the /metrics scrape (no server section in the report)")
+
+		compare = flag.String("compare", "", "previous BENCH snapshot: compare mode, diffs -against and exits 1 on regression")
+		against = flag.String("against", "", "current BENCH snapshot for -compare")
+		regress = flag.Float64("regress", 0.20, "tolerated regression fraction in -compare mode (0.20 = fail beyond +20%)")
+	)
+	flag.Parse()
+	if *token == "" {
+		*token = os.Getenv("OVSERVE_TOKEN")
+	}
+
+	if *compare != "" || *against != "" {
+		os.Exit(runCompare(*compare, *against, *regress))
+	}
+
+	sched, err := resolveSchedule(*schedIn, load.Spec{
+		Mode: load.Mode(*mode), Seed: *seed,
+		Begin: *begin, Target: *target, Step: *step,
+		SlotMs: int(*slot / time.Millisecond),
+		Bench:  splitList(*bench), Insns: *insns,
+		SweepPct: *sweepP, JobPct: *jobP, RefPct: *refP,
+	}, *regs, *lats)
+	if err != nil {
+		fatal(err)
+	}
+	if *schedTo != "" {
+		if err := sched.WriteFile(*schedTo); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ovload: wrote %d-request schedule to %s\n", len(sched.Reqs), *schedTo)
+	}
+	if *url == "" {
+		if *schedTo == "" {
+			fatal(fmt.Errorf("empty -url synthesizes only: -schedule-out is required"))
+		}
+		return
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	rep, err := load.Drive(ctx, sched, load.DriveOpts{
+		BaseURL:    load.BaseURLOf(*url),
+		Token:      *token,
+		Loop:       *loop,
+		Conns:      *conns,
+		Timeout:    *reqTO,
+		JobWait:    *jobWait,
+		SkipScrape: *noScr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"ovload: %d requests in %.1fs — %d ok, %d shed, %d errors, p99 %.1fms\n",
+		rep.Requests, rep.WallMs/1000, rep.OK, rep.Shed, rep.Errors, rep.Latency.P99Ms)
+}
+
+// resolveSchedule loads a replay file or synthesizes from the flag spec.
+func resolveSchedule(path string, spec load.Spec, regs, lats string) (*load.Schedule, error) {
+	if path != "" {
+		return load.ReadFile(path)
+	}
+	var err error
+	if spec.Regs, err = parseInts(regs); err != nil {
+		return nil, fmt.Errorf("-regs: %w", err)
+	}
+	if spec.Lats, err = parseInt64s(lats); err != nil {
+		return nil, fmt.Errorf("-lats: %w", err)
+	}
+	return load.Synthesize(spec)
+}
+
+// runCompare is the trajectory gate: 0 clean, 1 regression, 2 usage/load
+// error.
+func runCompare(prevPath, curPath string, tol float64) int {
+	if prevPath == "" || curPath == "" {
+		fmt.Fprintln(os.Stderr, "ovload: -compare and -against must both be set")
+		return 2
+	}
+	prev, err := os.ReadFile(prevPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovload:", err)
+		return 2
+	}
+	cur, err := os.ReadFile(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovload:", err)
+		return 2
+	}
+	regs, compared, err := load.Compare(prev, cur, tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ovload:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "ovload: compared %d tracked metrics (tolerance +%.0f%%)\n",
+		compared, tol*100)
+	if len(regs) == 0 {
+		fmt.Fprintln(os.Stderr, "ovload: no regressions")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "ovload: REGRESSION", r.String())
+	}
+	return 1
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovload:", err)
+	os.Exit(1)
+}

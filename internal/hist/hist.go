@@ -1,0 +1,144 @@
+// Package hist is the project's fixed-bucket latency histogram — one
+// implementation shared by the ovserve /metrics exposition (server-side
+// request and resolution-tier latency) and the ovload harness (client-side
+// observed latency), so the numbers an operator reads off a dashboard and
+// the numbers a load test reports are bucketed identically.
+//
+// The zero value is ready to use. Observe is a two-add hot path built on
+// atomics, safe under concurrent request handlers and load-driver workers;
+// WriteProm renders the Prometheus text-exposition shape (cumulative
+// `_bucket{le=...}` lines, a `_sum` in seconds, a `_count`) from a snapshot
+// whose cumulative counts are monotone by construction; Quantile estimates
+// percentiles from the bucket counts by linear interpolation.
+package hist
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Bounds are the finite bucket upper bounds in seconds. They span the
+// service's real dynamic range: a memory cache hit lands in the first
+// buckets, a disk probe in the middle, a cold million-instruction
+// simulation in the top ones.
+var Bounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// NumBuckets is the bucket count including the +Inf overflow bucket.
+const NumBuckets = len(Bounds) + 1
+
+// Hist is one fixed-bucket latency histogram. The zero value is ready to
+// use. counts[i] holds the samples in (Bounds[i-1], Bounds[i]]; the final
+// slot is the +Inf overflow bucket.
+type Hist struct {
+	counts [NumBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(Bounds) && s > Bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the total number of samples observed.
+func (h *Hist) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total of all observed samples.
+func (h *Hist) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the mean observed sample, or 0 with no samples.
+func (h *Hist) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed samples
+// from the bucket counts, assuming samples are uniformly distributed
+// within each bucket (the standard Prometheus histogram_quantile
+// estimate). The first bucket interpolates from zero; a quantile landing
+// in the +Inf bucket is clamped to the largest finite bound, which keeps
+// the estimate conservative rather than unbounded. Returns 0 with no
+// samples.
+func (h *Hist) Quantile(q float64) time.Duration {
+	var counts [NumBuckets]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			return secondsToDuration(Bounds[len(Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = Bounds[i-1]
+		}
+		hi := Bounds[i]
+		if c == 0 {
+			// rank == cum exactly: the quantile sits on this bucket's lower
+			// boundary.
+			return secondsToDuration(lo)
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return secondsToDuration(lo + (hi-lo)*frac)
+	}
+	return secondsToDuration(Bounds[len(Bounds)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// WriteProm renders the histogram as Prometheus text lines under the given
+// metric name; label is a preformatted `key="value"` pair appearing in
+// every line. The cumulative bucket counts are computed left to right from
+// the per-bucket atomics, so they are non-decreasing even while observes
+// race the render, and the `_count` equals the +Inf bucket exactly.
+func (h *Hist) WriteProm(w io.Writer, name, label string) {
+	var cum int64
+	for i, b := range Bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, label, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(Bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %.6f\n", name, label, h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, cum)
+}

@@ -1,0 +1,181 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// histBuckets parses the cumulative bucket counts of one histogram/label
+// pair out of a Prometheus exposition, in declaration order, +Inf last.
+func histBuckets(t *testing.T, body, name, label string) []int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `_bucket\{` +
+		regexp.QuoteMeta(label) + `,le="([^"]+)"\} (\d+)$`)
+	var counts []int64
+	for _, m := range re.FindAllStringSubmatch(body, -1) {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func TestBucketsMonotone(t *testing.T) {
+	var h Hist
+	// One sample per bucket boundary (inclusive upper bound), plus overflow.
+	for _, b := range Bounds {
+		h.Observe(time.Duration(b * float64(time.Second)))
+	}
+	h.Observe(time.Hour) // +Inf bucket
+
+	var sb strings.Builder
+	h.WriteProm(&sb, "x", `l="v"`)
+	counts := histBuckets(t, sb.String(), "x", `l="v"`)
+	if len(counts) != NumBuckets {
+		t.Fatalf("got %d bucket lines, want %d", len(counts), NumBuckets)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Errorf("bucket %d count %d below bucket %d count %d — not cumulative",
+				i, counts[i], i-1, counts[i-1])
+		}
+	}
+	// A sample equal to a bound is ≤ the bound: bucket i holds i+1 samples.
+	for i := range Bounds {
+		if counts[i] != int64(i+1) {
+			t.Errorf("bucket le=%g = %d, want %d", Bounds[i], counts[i], i+1)
+		}
+	}
+	if inf := counts[len(counts)-1]; inf != h.Count() {
+		t.Errorf("+Inf bucket %d != Count() %d", inf, h.Count())
+	}
+	if !strings.Contains(sb.String(), fmt.Sprintf(`x_count{l="v"} %d`, h.Count())) {
+		t.Errorf("_count line wrong:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i*w) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Hist
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("Quantile on empty = %v, want 0", q)
+	}
+}
+
+// TestQuantileUniformWithinBucket checks the interpolation: all samples in
+// one bucket, quantiles must land between that bucket's bounds, linearly.
+func TestQuantileUniformWithinBucket(t *testing.T) {
+	var h Hist
+	// 100 samples in the (0.025, 0.05] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(30 * time.Millisecond)
+	}
+	lo, hi := 25*time.Millisecond, 50*time.Millisecond
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%g) = %v, want within (%v, %v]", q, got, lo, hi)
+		}
+	}
+	// The median of a bucket-uniform distribution is the bucket midpoint.
+	want := lo + (hi-lo)/2
+	if got := h.Quantile(0.5); !approx(got, want, float64(time.Millisecond)) {
+		t.Errorf("Quantile(0.5) = %v, want ≈ %v", got, want)
+	}
+}
+
+// TestQuantileAcrossBuckets spreads a known distribution over several
+// buckets and checks rank selection picks the right bucket.
+func TestQuantileAcrossBuckets(t *testing.T) {
+	var h Hist
+	// 90 fast samples (≤ 0.5 ms bucket), 9 medium (0.05–0.1 s), 1 slow (2.5–10 s).
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	h.Observe(5 * time.Second)
+
+	if got := h.Quantile(0.5); got > 500*time.Microsecond {
+		t.Errorf("p50 = %v, want within the first bucket (≤ 0.5ms)", got)
+	}
+	if got := h.Quantile(0.95); got <= 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("p95 = %v, want in (50ms, 100ms]", got)
+	}
+	if got := h.Quantile(0.999); got <= 2500*time.Millisecond || got > 10*time.Second {
+		t.Errorf("p99.9 = %v, want in (2.5s, 10s]", got)
+	}
+}
+
+// TestQuantileOverflowClamped: samples beyond the last finite bound must
+// produce a finite, conservative estimate (the largest finite bound), not
+// +Inf or garbage.
+func TestQuantileOverflowClamped(t *testing.T) {
+	var h Hist
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Hour)
+	}
+	want := time.Duration(Bounds[len(Bounds)-1] * float64(time.Second))
+	if got := h.Quantile(0.99); got != want {
+		t.Errorf("overflow p99 = %v, want clamp to %v", got, want)
+	}
+}
+
+func TestMeanAndSum(t *testing.T) {
+	var h Hist
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if got := h.Sum(); got != 40*time.Millisecond {
+		t.Errorf("Sum = %v, want 40ms", got)
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Errorf("Mean = %v, want 20ms", got)
+	}
+}
+
+// TestQuantileMonotoneInQ: for a fixed histogram, Quantile must be
+// non-decreasing in q — the estimator never inverts percentiles.
+func TestQuantileMonotoneInQ(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %v < Quantile(%g) = %v", q, got, q-0.01, prev)
+		}
+		prev = got
+	}
+}
+
+func approx(a, b time.Duration, tol float64) bool {
+	return math.Abs(float64(a-b)) <= tol
+}

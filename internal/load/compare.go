@@ -1,0 +1,104 @@
+package load
+
+// The perf-trajectory gate: CI keeps the previous PR's BENCH snapshot and
+// diffs the new one against it, failing the build when a tracked metric
+// regresses beyond tolerance. Tracked metrics are the stable ones —
+// simulator ns/op by benchmark name and the load run's p99 latencies —
+// not raw wall-clock numbers that vary with runner weather. Fields absent
+// from either snapshot are skipped, so schema growth never breaks the
+// gate retroactively.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// comparable floors: deltas on values this small are timer noise on a
+// shared CI runner, not signal.
+const (
+	nsPerOpFloor = 1000.0 // 1 µs
+	p99Floor     = 2.0    // 2 ms
+)
+
+// trackedSnapshot is the schema slice the gate reads. It decodes any
+// BENCH_<n>.json vintage: unknown fields are ignored, missing sections
+// leave nils.
+type trackedSnapshot struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+	Load *struct {
+		Cold *struct {
+			Latency LatencySummary `json:"latency_ms"`
+		} `json:"cold"`
+		Warm *struct {
+			Latency LatencySummary `json:"latency_ms"`
+		} `json:"warm"`
+	} `json:"load"`
+}
+
+// Regression is one tracked metric that got worse beyond tolerance.
+type Regression struct {
+	Field    string  `json:"field"`
+	Previous float64 `json:"previous"`
+	Current  float64 `json:"current"`
+	// Ratio is Current/Previous — 1.35 reads as "35% slower".
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.1f -> %.1f (%.0f%% regression)",
+		r.Field, r.Previous, r.Current, (r.Ratio-1)*100)
+}
+
+// Compare diffs two BENCH snapshot files (previous, current) and returns
+// the tracked metrics that regressed beyond tol (0.20 = fail on >20%
+// slower), plus how many tracked fields were actually compared — zero
+// compared fields means the snapshots share no tracked surface, which a
+// caller may want to treat as suspicious rather than a pass.
+func Compare(prev, cur []byte, tol float64) (regs []Regression, compared int, err error) {
+	var p, c trackedSnapshot
+	if err := json.Unmarshal(prev, &p); err != nil {
+		return nil, 0, fmt.Errorf("previous snapshot: %w", err)
+	}
+	if err := json.Unmarshal(cur, &c); err != nil {
+		return nil, 0, fmt.Errorf("current snapshot: %w", err)
+	}
+
+	check := func(field string, prevV, curV, floor float64) {
+		if prevV <= 0 || curV <= 0 {
+			return // absent or unmeasured on one side
+		}
+		compared++
+		if prevV < floor && curV < floor {
+			return // both under the noise floor
+		}
+		if curV > prevV*(1+tol) {
+			regs = append(regs, Regression{
+				Field: field, Previous: prevV, Current: curV, Ratio: curV / prevV,
+			})
+		}
+	}
+
+	// Simulator throughput, matched by benchmark name so reordering or
+	// adding benchmarks never misaligns the comparison.
+	prevNs := make(map[string]float64, len(p.Benchmarks))
+	for _, b := range p.Benchmarks {
+		prevNs[b.Name] = b.NsPerOp
+	}
+	for _, b := range c.Benchmarks {
+		check("benchmarks."+b.Name+".ns_per_op", prevNs[b.Name], b.NsPerOp, nsPerOpFloor)
+	}
+
+	// Service-level p99s from the load section.
+	if p.Load != nil && c.Load != nil {
+		if p.Load.Cold != nil && c.Load.Cold != nil {
+			check("load.cold.latency_ms.p99_ms", p.Load.Cold.Latency.P99Ms, c.Load.Cold.Latency.P99Ms, p99Floor)
+		}
+		if p.Load.Warm != nil && c.Load.Warm != nil {
+			check("load.warm.latency_ms.p99_ms", p.Load.Warm.Latency.P99Ms, c.Load.Warm.Latency.P99Ms, p99Floor)
+		}
+	}
+	return regs, compared, nil
+}

@@ -1,0 +1,132 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+const prevSnapshot = `{
+  "insns": 8000,
+  "benchmarks": [
+    {"name": "BenchmarkSuiteSerial", "ns_per_op": 100000},
+    {"name": "BenchmarkSuiteParallel", "ns_per_op": 60000},
+    {"name": "BenchmarkRetired", "ns_per_op": 500}
+  ],
+  "load": {
+    "cold": {"latency_ms": {"p50_ms": 4, "p95_ms": 8, "p99_ms": 10, "mean_ms": 5, "max_ms": 12}},
+    "warm": {"latency_ms": {"p50_ms": 1, "p95_ms": 2, "p99_ms": 3, "mean_ms": 1, "max_ms": 4}}
+  }
+}`
+
+// mutate rewrites one numeric literal of the previous snapshot.
+func mutate(t *testing.T, old, new string) string {
+	t.Helper()
+	if !strings.Contains(prevSnapshot, old) {
+		t.Fatalf("fixture does not contain %q", old)
+	}
+	return strings.Replace(prevSnapshot, old, new, 1)
+}
+
+func TestCompareCleanWithinTolerance(t *testing.T) {
+	// 15% slower on one benchmark: inside the 20% gate.
+	cur := mutate(t, `"ns_per_op": 100000`, `"ns_per_op": 115000`)
+	regs, compared, err := Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("flagged within-tolerance drift: %v", regs)
+	}
+	// Two benchmarks over the floor + one under it + two p99s.
+	if compared != 5 {
+		t.Fatalf("compared %d tracked metrics, want 5", compared)
+	}
+}
+
+func TestCompareFlagsBenchmarkRegression(t *testing.T) {
+	cur := mutate(t, `"ns_per_op": 100000`, `"ns_per_op": 140000`)
+	regs, _, err := Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Field != "benchmarks.BenchmarkSuiteSerial.ns_per_op" || r.Ratio < 1.39 || r.Ratio > 1.41 {
+		t.Fatalf("unexpected regression record: %+v", r)
+	}
+	if !strings.Contains(r.String(), "40% regression") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestCompareFlagsLoadP99Regression(t *testing.T) {
+	cur := mutate(t, `"p99_ms": 10`, `"p99_ms": 25`)
+	regs, _, err := Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Field != "load.cold.latency_ms.p99_ms" {
+		t.Fatalf("got %v, want one cold-p99 regression", regs)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	cur := mutate(t, `"ns_per_op": 100000`, `"ns_per_op": 50000`)
+	regs, _, err := Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("flagged an improvement: %v", regs)
+	}
+}
+
+// TestCompareNoiseFloor: a huge relative delta on a value below the floor
+// on both sides is timer noise, not a regression.
+func TestCompareNoiseFloor(t *testing.T) {
+	cur := mutate(t, `"ns_per_op": 500`, `"ns_per_op": 900`)
+	regs, _, err := Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("flagged sub-floor noise: %v", regs)
+	}
+
+	// But a value that crosses the floor is compared for real.
+	cur = mutate(t, `"ns_per_op": 500`, `"ns_per_op": 5000`)
+	regs, _, err = Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Field != "benchmarks.BenchmarkRetired.ns_per_op" {
+		t.Fatalf("floor crossing not flagged: %v", regs)
+	}
+}
+
+// TestCompareSchemaDrift: benchmarks or sections present on only one side
+// are skipped, never errors — the gate must survive schema growth.
+func TestCompareSchemaDrift(t *testing.T) {
+	cur := `{
+	  "benchmarks": [{"name": "BenchmarkBrandNew", "ns_per_op": 999999}],
+	  "parallel": {"cores": 4}
+	}`
+	regs, compared, err := Compare([]byte(prevSnapshot), []byte(cur), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 || compared != 0 {
+		t.Fatalf("schema drift compared %d, flagged %v", compared, regs)
+	}
+}
+
+func TestCompareRejectsGarbage(t *testing.T) {
+	if _, _, err := Compare([]byte("not json"), []byte(prevSnapshot), 0.20); err == nil {
+		t.Error("accepted a garbage previous snapshot")
+	}
+	if _, _, err := Compare([]byte(prevSnapshot), []byte("not json"), 0.20); err == nil {
+		t.Error("accepted a garbage current snapshot")
+	}
+}

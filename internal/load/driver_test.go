@@ -1,0 +1,279 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"oovec/internal/server"
+)
+
+// startServer boots a real ovserve handler stack behind httptest.
+func startServer(t *testing.T, opts server.Opts) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.JobsClose()
+	})
+	return s, ts
+}
+
+// driveSpec synthesizes and drives one schedule, failing the test on a
+// harness-level error.
+func driveSpec(t *testing.T, ts *httptest.Server, spec Spec, opts DriveOpts) *Report {
+	t.Helper()
+	sc, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drive(t, ts, sc, opts)
+}
+
+func drive(t *testing.T, ts *httptest.Server, sc *Schedule, opts DriveOpts) *Report {
+	t.Helper()
+	opts.BaseURL = ts.URL
+	opts.Client = ts.Client()
+	opts.Timeout = 30 * time.Second
+	opts.JobWait = 30 * time.Second
+	rep, err := Drive(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// checkAccounting asserts the terminal-record invariant: every scheduled
+// request ends in exactly one of OK, Shed or Errors.
+func checkAccounting(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.OK+rep.Shed+rep.Errors != rep.Requests {
+		t.Fatalf("terminal accounting broken: %d ok + %d shed + %d errors != %d requests",
+			rep.OK, rep.Shed, rep.Errors, rep.Requests)
+	}
+	sum := 0
+	for _, n := range rep.ByStatus {
+		sum += n
+	}
+	if sum != rep.Requests {
+		t.Fatalf("by_status sums to %d, want %d", sum, rep.Requests)
+	}
+}
+
+// TestDriveColdThenWarm is the replay contract end to end: a cold run
+// against a fresh server simulates, a warm replay of the same schedule is
+// served entirely from cache — zero new sims, hit ratio 1, identical
+// deterministic aggregates, byte-identical sweep streams.
+func TestDriveColdThenWarm(t *testing.T) {
+	_, ts := startServer(t, server.Opts{Workers: 2, JobWorkers: 2})
+
+	spec := testSpec()
+	spec.Insns = 400
+	sc, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DriveOpts{Loop: LoopClosed, Conns: 4}
+
+	cold := drive(t, ts, sc, opts)
+	checkAccounting(t, cold)
+	if cold.Errors != 0 || cold.Shed != 0 {
+		t.Fatalf("cold run: %d errors, %d shed (by_status %v)", cold.Errors, cold.Shed, cold.ByStatus)
+	}
+	if cold.Server == nil || cold.Server.Sims == 0 {
+		t.Fatalf("cold run scraped no simulations: %+v", cold.Server)
+	}
+	if cold.Sweep.Requests > 0 && cold.Sweep.Rows == 0 {
+		t.Fatal("sweep requests completed but no rows were streamed")
+	}
+	if cold.Jobs.Submitted != cold.Jobs.Done {
+		t.Fatalf("cold run: %d jobs submitted, %d done (%+v)", cold.Jobs.Submitted, cold.Jobs.Done, cold.Jobs)
+	}
+
+	warm := drive(t, ts, sc, opts)
+	checkAccounting(t, warm)
+	if warm.Errors != 0 || warm.Shed != 0 {
+		t.Fatalf("warm run: %d errors, %d shed", warm.Errors, warm.Shed)
+	}
+	if warm.Server == nil || warm.Server.Sims != 0 {
+		t.Fatalf("warm replay caused %+v new sims, want 0", warm.Server)
+	}
+	if warm.Sim.ColdMisses != 0 {
+		t.Fatalf("warm replay saw %d cold misses, want 0", warm.Sim.ColdMisses)
+	}
+	if warm.Sim.Requests > 0 && warm.Sim.HitRatio != 1 {
+		t.Fatalf("warm hit ratio %v, want 1", warm.Sim.HitRatio)
+	}
+	if warm.Sweep.DigestMismatches != 0 {
+		t.Fatalf("%d sweep streams differed from the cold run within the warm run", warm.Sweep.DigestMismatches)
+	}
+
+	// The deterministic aggregates — request mix and row counts — must be
+	// identical between the two runs of the same schedule.
+	if warm.Requests != cold.Requests || warm.OK != cold.OK ||
+		warm.Sim.Requests != cold.Sim.Requests ||
+		warm.Sweep.Requests != cold.Sweep.Requests ||
+		warm.Sweep.Rows != cold.Sweep.Rows ||
+		warm.Jobs.Submitted != cold.Jobs.Submitted {
+		t.Fatalf("aggregate drift between identical replays:\ncold %+v %+v %+v\nwarm %+v %+v %+v",
+			cold.Sim, cold.Sweep, cold.Jobs, warm.Sim, warm.Sweep, warm.Jobs)
+	}
+}
+
+// TestDriveOpenLoop exercises the schedule-driven arrival process: the run
+// must take at least the nominal schedule duration and keep the terminal
+// accounting intact.
+func TestDriveOpenLoop(t *testing.T) {
+	_, ts := startServer(t, server.Opts{Workers: 2})
+
+	spec := Spec{Mode: ModeNormal, Seed: 3, Begin: 5, Target: 10, Step: 5,
+		SlotMs: 200, Bench: []string{"swm256"}, Regs: []int{16}, Lats: []int64{1},
+		Insns: 200}
+	sc, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep := drive(t, ts, sc, DriveOpts{Loop: LoopOpen})
+	checkAccounting(t, rep)
+	if rep.Errors != 0 {
+		t.Fatalf("open-loop run had %d errors (by_status %v)", rep.Errors, rep.ByStatus)
+	}
+	if wall := time.Since(start); wall < sc.Duration() {
+		t.Fatalf("open loop finished in %v, before the last scheduled offset %v", wall, sc.Duration())
+	}
+}
+
+// TestDriveOverloadSheds drives a sim-only burst far above -max-inflight:
+// the excess must shed as 429 with Retry-After, no request may go
+// unaccounted, and the server-side sims counter must match exactly the
+// client-observed cold misses — shed requests never reach the simulator.
+// The schedule is built by hand so every body is unique (no cache hits, no
+// dedup coalescing) and heavy enough that the single in-flight slot stays
+// occupied while the other closed-loop workers collide with it.
+func TestDriveOverloadSheds(t *testing.T) {
+	_, ts := startServer(t, server.Opts{Workers: 1, MaxInflight: 1})
+
+	sc := &Schedule{Spec: Spec{Mode: ModeBurst, Seed: 9}.WithDefaults()}
+	for i := 0; i < 12; i++ {
+		body, err := json.Marshal(&server.SimRequest{
+			Bench: "swm256", Insns: 25000 + 137*i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Reqs = append(sc.Reqs, Request{Seq: i, Op: OpSim, Body: body})
+	}
+	rep := drive(t, ts, sc, DriveOpts{Loop: LoopClosed, Conns: 8})
+	checkAccounting(t, rep)
+	if rep.Shed == 0 {
+		t.Fatalf("burst at concurrency 8 over max-inflight 1 shed nothing: %+v", rep.ByStatus)
+	}
+	if rep.ByStatus["429"] == 0 {
+		t.Fatalf("expected 429s in %v", rep.ByStatus)
+	}
+	if rep.ShedMissingRetryAfter != 0 {
+		t.Fatalf("%d shed responses arrived without Retry-After", rep.ShedMissingRetryAfter)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("overload produced %d non-shed errors (by_status %v)", rep.Errors, rep.ByStatus)
+	}
+	if rep.Server == nil {
+		t.Fatal("report has no server section")
+	}
+	if rep.Server.Sims != int64(rep.Sim.ColdMisses) {
+		t.Fatalf("server ran %d sims but the client observed %d cold misses",
+			rep.Server.Sims, rep.Sim.ColdMisses)
+	}
+}
+
+// TestDriveJobQueueSheds overloads the bounded async queue: submissions
+// beyond -job-queue must 503 with Retry-After, and every accepted job must
+// still reach a terminal state.
+func TestDriveJobQueueSheds(t *testing.T) {
+	_, ts := startServer(t, server.Opts{Workers: 1, JobWorkers: 1, JobQueue: 1})
+
+	// Unique, heavy jobs: the single worker stays busy long enough for the
+	// bounded queue to fill under 8 concurrent submitters.
+	sc := &Schedule{Spec: Spec{Mode: ModeBurst, Seed: 11}.WithDefaults()}
+	for i := 0; i < 12; i++ {
+		body, err := json.Marshal(&server.JobRequest{
+			Sim: server.SimRequest{Bench: "swm256", Insns: 25000 + 211*i},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Reqs = append(sc.Reqs, Request{Seq: i, Op: OpJob, Body: body})
+	}
+	rep := drive(t, ts, sc, DriveOpts{Loop: LoopClosed, Conns: 8})
+	checkAccounting(t, rep)
+	if rep.ByStatus["503"] == 0 {
+		t.Fatalf("job burst over queue depth 1 shed nothing: %v", rep.ByStatus)
+	}
+	if rep.ShedMissingRetryAfter != 0 {
+		t.Fatalf("%d shed responses arrived without Retry-After", rep.ShedMissingRetryAfter)
+	}
+	if rep.Jobs.Submitted != rep.OK {
+		t.Fatalf("%d jobs submitted but %d submissions got 202", rep.Jobs.Submitted, rep.OK)
+	}
+	if got := rep.Jobs.Done + rep.Jobs.Failed + rep.Jobs.Canceled + rep.Jobs.TimedOut; got != rep.Jobs.Submitted {
+		t.Fatalf("%d of %d accepted jobs reached a terminal state: %+v", got, rep.Jobs.Submitted, rep.Jobs)
+	}
+}
+
+// TestDriveAuth checks that the token reaches both the API requests and
+// the /metrics scrapes.
+func TestDriveAuth(t *testing.T) {
+	_, ts := startServer(t, server.Opts{Workers: 1, AuthToken: "sesame"})
+
+	spec := Spec{Mode: ModeNormal, Seed: 5, Begin: 1, Target: 1, Step: 1,
+		SlotMs: 100, Bench: []string{"swm256"}, Regs: []int{16}, Lats: []int64{1}, Insns: 200}
+
+	// Without the token every request 401s — an error, not a shed.
+	rep := driveSpec(t, ts, spec, DriveOpts{Loop: LoopClosed, Conns: 1, SkipScrape: true})
+	checkAccounting(t, rep)
+	if rep.Errors != rep.Requests || rep.ByStatus["401"] != rep.Requests {
+		t.Fatalf("tokenless run against an authed server: %+v", rep.ByStatus)
+	}
+
+	rep = driveSpec(t, ts, spec, DriveOpts{Loop: LoopClosed, Conns: 1, Token: "sesame"})
+	checkAccounting(t, rep)
+	if rep.OK != rep.Requests {
+		t.Fatalf("authed run failed: %+v", rep.ByStatus)
+	}
+	if rep.Server == nil {
+		t.Fatal("authed scrape did not populate the server section")
+	}
+}
+
+// TestDriveRejects covers harness-level input errors.
+func TestDriveRejects(t *testing.T) {
+	sc, err := Synthesize(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drive(context.Background(), sc, DriveOpts{}); err == nil {
+		t.Error("Drive accepted an empty BaseURL")
+	}
+	if _, err := Drive(context.Background(), sc,
+		DriveOpts{BaseURL: "http://127.0.0.1:1", Loop: "zigzag", SkipScrape: true}); err == nil {
+		t.Error("Drive accepted an unknown loop discipline")
+	}
+	if _, err := Drive(context.Background(), &Schedule{},
+		DriveOpts{BaseURL: "http://127.0.0.1:1", SkipScrape: true}); err == nil {
+		t.Error("Drive accepted an empty schedule")
+	}
+}
+
+// TestBaseURLOf pins the URL normalisation.
+func TestBaseURLOf(t *testing.T) {
+	if got := BaseURLOf("http://x:1/"); got != "http://x:1" {
+		t.Errorf("BaseURLOf trailing slash: %q", got)
+	}
+	if got := BaseURLOf("http://x:1"); got != "http://x:1" {
+		t.Errorf("BaseURLOf idempotence: %q", got)
+	}
+}

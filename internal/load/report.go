@@ -1,0 +1,98 @@
+package load
+
+// The report schema: everything a run measured, JSON-stable so CI can
+// diff two runs field by field. Counts and ratios are deterministic for a
+// deterministic server (same schedule, same warm state → same numbers);
+// latency and throughput fields obviously are not, and the trajectory
+// gate (compare.go) treats them with a tolerance instead of equality.
+
+// LatencySummary is the client-observed request latency, estimated from
+// the shared internal/hist buckets (identical to the server's /metrics
+// histograms) except MaxMs, which is tracked exactly.
+type LatencySummary struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// SimStats aggregates the /v1/sim slice of the run, from the response
+// bodies' own cached flags.
+type SimStats struct {
+	Requests   int `json:"requests"`
+	CacheHits  int `json:"cache_hits"`
+	ColdMisses int `json:"cold_misses"`
+	// HitRatio is CacheHits over completed sims, rounded to 6 decimals.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// SweepStats aggregates the streamed /v1/sweep slice.
+type SweepStats struct {
+	Requests int `json:"requests"`
+	Rows     int `json:"rows"`
+	// DigestMismatches counts repeated identical sweep requests whose
+	// NDJSON streams were not byte-identical. Anything but zero is a
+	// determinism regression in the server.
+	DigestMismatches int `json:"digest_mismatches"`
+}
+
+// JobStats aggregates the async /v1/jobs slice. Submitted counts 202s;
+// each submission ends in exactly one of Done/Failed/Canceled/TimedOut.
+type JobStats struct {
+	Submitted int `json:"submitted"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	TimedOut  int `json:"timed_out"`
+}
+
+// ServerDelta is the server's own view of the run: /metrics counters
+// scraped before and after, differenced.
+type ServerDelta struct {
+	// Sims is how many actual simulations the run caused
+	// (ovserve_sims_total delta) — zero for a fully warm replay.
+	Sims int64 `json:"sims"`
+	// CacheHits/CacheMisses are the result-cache counter deltas.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// HitRatio is CacheHits over (CacheHits + CacheMisses), rounded to 6
+	// decimals; 0 when the run touched the cache not at all.
+	HitRatio float64 `json:"hit_ratio"`
+	// SimsPerSec is Sims over the run's wall clock.
+	SimsPerSec float64 `json:"sims_per_sec"`
+}
+
+// Report is one drive's aggregate outcome — the ovload output and the
+// `load` section of the BENCH snapshot.
+type Report struct {
+	Mode string `json:"mode"`
+	Seed int64  `json:"seed"`
+	Loop string `json:"loop"`
+
+	// Terminal accounting: Requests == OK + Shed + Errors, always — no
+	// scheduled request goes unaccounted.
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	// Shed counts explicit backpressure: 429 (in-flight limit) and 503
+	// (drain or full job queue).
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// ByStatus buckets terminal records by HTTP status code
+	// ("transport_error" for requests that never got one).
+	ByStatus map[string]int `json:"by_status"`
+	// ShedMissingRetryAfter counts shed responses that arrived without a
+	// Retry-After header — a violation of the backpressure contract.
+	ShedMissingRetryAfter int `json:"shed_missing_retry_after"`
+
+	WallMs        float64        `json:"wall_ms"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       LatencySummary `json:"latency_ms"`
+
+	Sim   SimStats   `json:"sim"`
+	Sweep SweepStats `json:"sweep"`
+	Jobs  JobStats   `json:"jobs"`
+
+	// Server is the /metrics-scrape view, absent when scraping was skipped.
+	Server *ServerDelta `json:"server,omitempty"`
+}

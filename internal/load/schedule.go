@@ -1,0 +1,377 @@
+// Package load is the ovload harness: a workload synthesizer that turns a
+// seeded specification into a deterministic request schedule, a closed- and
+// open-loop HTTP driver that fires the schedule at a live ovserve, and the
+// aggregation that turns the run into a machine-readable report
+// (latency percentiles through the shared internal/hist buckets,
+// throughput, shed/error accounting, cache hit ratio, sims/sec scraped
+// from /metrics).
+//
+// The synthesizer follows the vhive trace-synthesizer shape — an RPS
+// staircase (normal), a ramp-up-then-down sweep, and a baseline-with-spikes
+// burst mode — and the driver follows the genai-perf shape: a schedule file
+// written once can be replayed verbatim against any endpoint, so two runs
+// of the same file differ only in what the server did, never in what the
+// client sent.
+//
+// Everything is seeded and wall-clock-free at synthesis time: the same
+// Spec always produces byte-identical schedule bytes, which is what lets
+// CI diff a warm replay against a cold run and call any delta a server
+// regression.
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"oovec/internal/server"
+)
+
+// Mode selects the RPS shape of a synthesized schedule.
+type Mode string
+
+const (
+	// ModeNormal is the vhive staircase: RPS climbs from Begin to Target in
+	// Step increments, one slot per level.
+	ModeNormal Mode = "normal"
+	// ModeSweep ramps from Begin up to Target and back down — the full RPS
+	// range is visited twice, which exercises both warm-up and cool-down.
+	ModeSweep Mode = "sweep"
+	// ModeBurst holds a Begin-RPS baseline and fires Target-RPS spikes on
+	// every third slot — the overload scenario: spikes above -max-inflight
+	// must shed with 429/503 + Retry-After, never hang or lose requests.
+	ModeBurst Mode = "burst"
+)
+
+// Op is the request kind mix of a schedule.
+const (
+	OpSim   = "sim"   // POST /v1/sim
+	OpSweep = "sweep" // POST /v1/sweep (streamed NDJSON)
+	OpJob   = "job"   // POST /v1/jobs (async; the driver polls to terminal state)
+)
+
+// Spec parameterises schedule synthesis. The zero values of optional
+// fields are resolved by WithDefaults; Synthesize validates the rest.
+type Spec struct {
+	Mode Mode  `json:"mode"`
+	Seed int64 `json:"seed"`
+
+	// The RPS staircase: Begin climbs to Target in Step increments, each
+	// level held for one slot of SlotMs milliseconds.
+	Begin  int `json:"begin_rps"`
+	Target int `json:"target_rps"`
+	Step   int `json:"step_rps"`
+	SlotMs int `json:"slot_ms"`
+
+	// The request population: benchmark presets and the config grid
+	// requests draw from, and the per-request instruction budget.
+	Bench []string `json:"bench"`
+	Regs  []int    `json:"regs"`
+	Lats  []int64  `json:"lats"`
+	Insns int      `json:"insns"`
+
+	// The op mix in percent: SweepPct of requests are streamed sweeps,
+	// JobPct are async jobs, the rest single sims. RefPct of the sims run
+	// the reference machine instead of the OOOVA.
+	SweepPct int `json:"sweep_pct"`
+	JobPct   int `json:"job_pct"`
+	RefPct   int `json:"ref_pct"`
+}
+
+// WithDefaults returns the spec with unset optional fields resolved to the
+// ovload flag defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.Mode == "" {
+		s.Mode = ModeNormal
+	}
+	if s.Begin == 0 {
+		s.Begin = 2
+	}
+	if s.Target == 0 {
+		s.Target = 10
+	}
+	if s.Step == 0 {
+		s.Step = 2
+	}
+	if s.SlotMs == 0 {
+		s.SlotMs = 500
+	}
+	if len(s.Bench) == 0 {
+		s.Bench = []string{"swm256"}
+	}
+	if len(s.Regs) == 0 {
+		s.Regs = []int{12, 16, 32}
+	}
+	if len(s.Lats) == 0 {
+		s.Lats = []int64{1, 50}
+	}
+	if s.Insns == 0 {
+		s.Insns = 2000
+	}
+	return s
+}
+
+// validate rejects a spec Synthesize cannot honour.
+func (s Spec) validate() error {
+	switch s.Mode {
+	case ModeNormal, ModeSweep, ModeBurst:
+	default:
+		return fmt.Errorf("unknown mode %q (normal | sweep | burst)", s.Mode)
+	}
+	if s.Begin < 1 || s.Target < s.Begin || s.Step < 1 || s.SlotMs < 1 {
+		return fmt.Errorf("need 1 <= begin(%d) <= target(%d), step(%d) >= 1, slot_ms(%d) >= 1",
+			s.Begin, s.Target, s.Step, s.SlotMs)
+	}
+	if len(s.Bench) == 0 || len(s.Regs) == 0 || len(s.Lats) == 0 {
+		return errors.New("bench, regs and lats must be non-empty")
+	}
+	if s.Insns < 1 {
+		return errors.New("insns must be positive")
+	}
+	if s.SweepPct < 0 || s.JobPct < 0 || s.SweepPct+s.JobPct > 100 {
+		return fmt.Errorf("sweep_pct(%d) + job_pct(%d) must fit in [0, 100]", s.SweepPct, s.JobPct)
+	}
+	if s.RefPct < 0 || s.RefPct > 100 {
+		return fmt.Errorf("ref_pct(%d) must fit in [0, 100]", s.RefPct)
+	}
+	return nil
+}
+
+// levels returns the per-slot RPS sequence of the spec's mode.
+func (s Spec) levels() []int {
+	var stairs []int
+	for r := s.Begin; r < s.Target; r += s.Step {
+		stairs = append(stairs, r)
+	}
+	stairs = append(stairs, s.Target)
+	switch s.Mode {
+	case ModeSweep:
+		// Up, then back down without repeating the peak.
+		lv := append([]int(nil), stairs...)
+		for i := len(stairs) - 2; i >= 0; i-- {
+			lv = append(lv, stairs[i])
+		}
+		return lv
+	case ModeBurst:
+		// Baseline with a Target spike every third slot; at least one full
+		// baseline-baseline-spike period.
+		n := len(stairs)
+		if n < 3 {
+			n = 3
+		}
+		lv := make([]int, n)
+		for i := range lv {
+			if i%3 == 2 {
+				lv[i] = s.Target
+			} else {
+				lv[i] = s.Begin
+			}
+		}
+		return lv
+	default:
+		return stairs
+	}
+}
+
+// Request is one schedule entry: when to fire (open loop), what to fire,
+// and the verbatim request body.
+type Request struct {
+	// Seq is the request's position in the schedule (0-based).
+	Seq int `json:"seq"`
+	// AtUs is the open-loop fire time as microseconds from run start.
+	// Closed-loop drivers ignore it and preserve only the order.
+	AtUs int64 `json:"at_us"`
+	// Op is the request kind: "sim", "sweep" or "job".
+	Op string `json:"op"`
+	// Body is the HTTP request body, byte-for-byte what the driver sends.
+	Body json.RawMessage `json:"body"`
+}
+
+// Schedule is a synthesized or loaded request schedule.
+type Schedule struct {
+	Spec Spec
+	Reqs []Request
+}
+
+// Duration returns the nominal open-loop duration: the last fire offset.
+func (sc *Schedule) Duration() time.Duration {
+	if len(sc.Reqs) == 0 {
+		return 0
+	}
+	return time.Duration(sc.Reqs[len(sc.Reqs)-1].AtUs) * time.Microsecond
+}
+
+// Synthesize builds the deterministic schedule for a spec: same spec
+// (including seed) in, byte-identical Encode out. The request mix, preset
+// choice and config-grid choice are drawn from a seeded math/rand stream;
+// fire times are computed, never sampled, so the RPS shape is exact.
+func Synthesize(spec Spec) (*Schedule, error) {
+	spec = spec.WithDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sc := &Schedule{Spec: spec}
+	slot := time.Duration(spec.SlotMs) * time.Millisecond
+	seq := 0
+	for i, rps := range spec.levels() {
+		slotStart := time.Duration(i) * slot
+		// Requests this slot: RPS scaled by the slot's fraction of a second,
+		// at least one so a sub-second slot still fires.
+		n := rps * spec.SlotMs / 1000
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			at := slotStart + time.Duration(j)*slot/time.Duration(n)
+			req, err := spec.synthRequest(rng, seq, at)
+			if err != nil {
+				return nil, err
+			}
+			sc.Reqs = append(sc.Reqs, req)
+			seq++
+		}
+	}
+	return sc, nil
+}
+
+// synthRequest draws one request from the spec's population. The draw
+// order is fixed (op, bench, machine, config) so a given seed always
+// yields the same stream regardless of which branches marshal what.
+func (s Spec) synthRequest(rng *rand.Rand, seq int, at time.Duration) (Request, error) {
+	op := OpSim
+	switch p := rng.Intn(100); {
+	case p < s.JobPct:
+		op = OpJob
+	case p < s.JobPct+s.SweepPct:
+		op = OpSweep
+	}
+	bench := s.Bench[rng.Intn(len(s.Bench))]
+
+	var body any
+	switch op {
+	case OpSweep:
+		body = &server.SweepRequest{
+			Bench: []string{bench},
+			Regs:  s.Regs,
+			Lats:  s.Lats,
+			Insns: s.Insns,
+		}
+	default:
+		sim := server.SimRequest{Bench: bench, Insns: s.Insns}
+		if rng.Intn(100) < s.RefPct {
+			sim.Machine = "ref"
+			sim.Config.Latency = s.Lats[rng.Intn(len(s.Lats))]
+		} else {
+			sim.Config.VRegs = s.Regs[rng.Intn(len(s.Regs))]
+			sim.Config.Latency = s.Lats[rng.Intn(len(s.Lats))]
+		}
+		if op == OpJob {
+			body = &server.JobRequest{Sim: sim}
+		} else {
+			body = &sim
+		}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Seq: seq, AtUs: at.Microseconds(), Op: op, Body: b}, nil
+}
+
+// scheduleHeader is the first line of the schedule file format: a format
+// version and the spec that generated the requests (informational on
+// replay; the request lines are authoritative).
+type scheduleHeader struct {
+	OvloadSchedule int  `json:"ovload_schedule"`
+	Spec           Spec `json:"spec"`
+}
+
+// scheduleVersion is the schedule file format epoch.
+const scheduleVersion = 1
+
+// Encode renders the schedule as NDJSON: a header line with the format
+// version and spec, then one line per request. The rendering is
+// deterministic — struct field order is fixed and no timestamps or
+// absolute times appear — so equal schedules encode to equal bytes.
+func (sc *Schedule) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	head, err := json.Marshal(scheduleHeader{OvloadSchedule: scheduleVersion, Spec: sc.Spec})
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(head)
+	buf.WriteByte('\n')
+	for i := range sc.Reqs {
+		line, err := json.Marshal(&sc.Reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses schedule bytes produced by Encode.
+func Decode(b []byte) (*Schedule, error) {
+	scan := bufio.NewScanner(bytes.NewReader(b))
+	scan.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !scan.Scan() {
+		return nil, errors.New("empty schedule file")
+	}
+	var head scheduleHeader
+	if err := json.Unmarshal(scan.Bytes(), &head); err != nil {
+		return nil, fmt.Errorf("schedule header: %w", err)
+	}
+	if head.OvloadSchedule != scheduleVersion {
+		return nil, fmt.Errorf("schedule format %d, want %d", head.OvloadSchedule, scheduleVersion)
+	}
+	sc := &Schedule{Spec: head.Spec}
+	for scan.Scan() {
+		if len(bytes.TrimSpace(scan.Bytes())) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(scan.Bytes(), &req); err != nil {
+			return nil, fmt.Errorf("schedule line %d: %w", len(sc.Reqs)+2, err)
+		}
+		switch req.Op {
+		case OpSim, OpSweep, OpJob:
+		default:
+			return nil, fmt.Errorf("schedule line %d: unknown op %q", len(sc.Reqs)+2, req.Op)
+		}
+		sc.Reqs = append(sc.Reqs, req)
+	}
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	if len(sc.Reqs) == 0 {
+		return nil, errors.New("schedule has no requests")
+	}
+	return sc, nil
+}
+
+// ReadFile loads a schedule file written by WriteFile (or any Encode
+// output).
+func ReadFile(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// WriteFile writes the schedule in the Encode format.
+func (sc *Schedule) WriteFile(path string) error {
+	b, err := sc.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

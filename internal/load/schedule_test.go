@@ -1,0 +1,214 @@
+package load
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// testSpec is a small mixed-traffic spec used across the schedule tests.
+func testSpec() Spec {
+	return Spec{
+		Mode: ModeBurst, Seed: 42,
+		Begin: 2, Target: 12, Step: 10, SlotMs: 1000,
+		Bench: []string{"swm256", "hydro2d"},
+		Regs:  []int{12, 16}, Lats: []int64{1, 50},
+		Insns: 800, SweepPct: 20, JobPct: 20, RefPct: 25,
+	}
+}
+
+// TestSynthesizeDeterministic is the replayability contract: the same spec
+// (same seed) must encode to byte-identical schedule files, and a
+// different seed must not.
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same spec produced different schedule bytes")
+	}
+
+	spec := testSpec()
+	spec.Seed = 43
+	c, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds produced identical schedule bytes")
+	}
+}
+
+// TestWriteReadFileRoundTrip pins the on-disk format: WriteFile → ReadFile
+// reproduces the schedule exactly, and the file re-encodes to the same
+// bytes.
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	sc, err := Synthesize(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/sched.ovls"
+	if err := sc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Spec.WithDefaults(), sc.Spec.WithDefaults()) {
+		t.Fatalf("spec round-trip mismatch:\n got %+v\nwant %+v", got.Spec, sc.Spec)
+	}
+	if !reflect.DeepEqual(got.Reqs, sc.Reqs) {
+		t.Fatal("request round-trip mismatch")
+	}
+	a, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-encode of a decoded schedule changed bytes")
+	}
+}
+
+// TestLevels locks the per-mode RPS shapes.
+func TestLevels(t *testing.T) {
+	base := Spec{Begin: 2, Target: 8, Step: 2, SlotMs: 1000}
+
+	norm := base
+	norm.Mode = ModeNormal
+	if got, want := norm.levels(), []int{2, 4, 6, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("normal levels = %v, want %v", got, want)
+	}
+
+	swp := base
+	swp.Mode = ModeSweep
+	if got, want := swp.levels(), []int{2, 4, 6, 8, 6, 4, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep levels = %v, want %v", got, want)
+	}
+
+	bst := base
+	bst.Mode = ModeBurst
+	if got, want := bst.levels(), []int{2, 2, 8, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("burst levels = %v, want %v", got, want)
+	}
+
+	// Burst pads to a full baseline-baseline-spike period.
+	short := Spec{Mode: ModeBurst, Begin: 2, Target: 10, Step: 100, SlotMs: 1000}
+	if got, want := short.levels(), []int{2, 2, 10}; !reflect.DeepEqual(got, want) {
+		t.Errorf("short burst levels = %v, want %v", got, want)
+	}
+}
+
+// TestOpMix pins the op-percentage knobs at their extremes.
+func TestOpMix(t *testing.T) {
+	spec := testSpec()
+	spec.SweepPct, spec.JobPct = 0, 0
+	sc, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sc.Reqs {
+		if r.Op != OpSim {
+			t.Fatalf("with zero sweep/job pct, req %d has op %q", r.Seq, r.Op)
+		}
+	}
+
+	spec = testSpec()
+	spec.SweepPct, spec.JobPct = 0, 100
+	sc, err = Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sc.Reqs {
+		if r.Op != OpJob {
+			t.Fatalf("with job_pct 100, req %d has op %q", r.Seq, r.Op)
+		}
+	}
+}
+
+// TestScheduleOffsets checks the computed arrival process: offsets are
+// non-decreasing, start at zero, and each slot carries rps*slot requests.
+func TestScheduleOffsets(t *testing.T) {
+	spec := Spec{Mode: ModeNormal, Seed: 1, Begin: 2, Target: 4, Step: 2,
+		SlotMs: 1000, Bench: []string{"swm256"}, Regs: []int{16}, Lats: []int64{1}, Insns: 100}
+	sc, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Reqs) != 2+4 {
+		t.Fatalf("got %d requests, want 6 (2 rps + 4 rps over 1s slots)", len(sc.Reqs))
+	}
+	if sc.Reqs[0].AtUs != 0 {
+		t.Errorf("first request at %dus, want 0", sc.Reqs[0].AtUs)
+	}
+	for i := 1; i < len(sc.Reqs); i++ {
+		if sc.Reqs[i].AtUs < sc.Reqs[i-1].AtUs {
+			t.Fatalf("offsets not monotone at seq %d", i)
+		}
+		if sc.Reqs[i].Seq != i {
+			t.Fatalf("seq %d at position %d", sc.Reqs[i].Seq, i)
+		}
+	}
+}
+
+// TestSynthesizeRejects exercises spec validation.
+func TestSynthesizeRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unknown mode", func(s *Spec) { s.Mode = "spiky" }},
+		{"target below begin", func(s *Spec) { s.Begin = 10; s.Target = 2 }},
+		{"negative insns", func(s *Spec) { s.Insns = -1 }},
+		{"op mix over 100", func(s *Spec) { s.SweepPct = 60; s.JobPct = 60 }},
+		{"ref pct over 100", func(s *Spec) { s.RefPct = 101 }},
+	}
+	for _, tc := range cases {
+		spec := testSpec()
+		tc.mutate(&spec)
+		if _, err := Synthesize(spec); err == nil {
+			t.Errorf("%s: Synthesize accepted an invalid spec", tc.name)
+		}
+	}
+}
+
+// TestDecodeRejects exercises the schedule-file parser's failure modes.
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "not json\n"},
+		{"wrong version", `{"ovload_schedule":99,"spec":{}}` + "\n"},
+		{"no requests", `{"ovload_schedule":1,"spec":{}}` + "\n"},
+		{"unknown op", `{"ovload_schedule":1,"spec":{}}` + "\n" +
+			`{"seq":0,"at_us":0,"op":"teleport","body":{}}` + "\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Decode([]byte(tc.in)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", tc.name)
+		}
+	}
+}

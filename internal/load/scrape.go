@@ -1,0 +1,84 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// serverCounters is the slice of the /metrics exposition the report needs:
+// the simulation counter and the result-cache hit/miss counters.
+type serverCounters struct {
+	sims   int64
+	hits   int64
+	misses int64
+}
+
+// scrapeMetrics reads the target's /metrics and extracts the counters the
+// report differences. A server that cannot be scraped (down, wrong token)
+// is an error: the caller asked for server-side numbers.
+func scrapeMetrics(ctx context.Context, opts DriveOpts) (serverCounters, error) {
+	rctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, opts.BaseURL+"/metrics", nil)
+	if err != nil {
+		return serverCounters{}, err
+	}
+	if opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+opts.Token)
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return serverCounters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serverCounters{}, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var c serverCounters
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for scan.Scan() {
+		name, rest, ok := strings.Cut(scan.Text(), " ")
+		if !ok {
+			continue
+		}
+		var dst *int64
+		switch name {
+		case "ovserve_sims_total":
+			dst = &c.sims
+		case "ovserve_result_cache_hits_total":
+			dst = &c.hits
+		case "ovserve_result_cache_misses_total":
+			dst = &c.misses
+		default:
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return serverCounters{}, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		*dst = v
+	}
+	return c, scan.Err()
+}
+
+// counterDelta differences two scrapes over the run's wall clock.
+func counterDelta(before, after serverCounters, wall time.Duration) *ServerDelta {
+	d := &ServerDelta{
+		Sims:        after.sims - before.sims,
+		CacheHits:   after.hits - before.hits,
+		CacheMisses: after.misses - before.misses,
+	}
+	if n := d.CacheHits + d.CacheMisses; n > 0 {
+		d.HitRatio = float64(int64(float64(d.CacheHits)/float64(n)*1e6+0.5)) / 1e6
+	}
+	if wall > 0 {
+		d.SimsPerSec = float64(d.Sims) / wall.Seconds()
+	}
+	return d
+}

@@ -120,7 +120,7 @@ func (s *Server) authorize(r *http.Request) bool {
 // observe records one finished request in the per-route latency histogram
 // and response-code counters.
 func (s *Server) observe(route string, code int, d time.Duration) {
-	s.durations[route].observe(d)
+	s.durations[route].Observe(d)
 	s.respMu.Lock()
 	s.responses[route][code]++
 	s.respMu.Unlock()

@@ -7,13 +7,11 @@ package server
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"log/slog"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 )
@@ -35,57 +33,9 @@ func histBuckets(t *testing.T, body, name, label string) []int64 {
 	return counts
 }
 
-func TestLatHistBucketsMonotone(t *testing.T) {
-	var h latHist
-	// One sample per bucket boundary (inclusive upper bound), plus overflow.
-	for _, b := range latBounds {
-		h.observe(time.Duration(b * float64(time.Second)))
-	}
-	h.observe(time.Hour) // +Inf bucket
-
-	var sb strings.Builder
-	h.write(&sb, "x", `l="v"`)
-	counts := histBuckets(t, sb.String(), "x", `l="v"`)
-	if len(counts) != len(latBounds)+1 {
-		t.Fatalf("got %d bucket lines, want %d", len(counts), len(latBounds)+1)
-	}
-	for i := 1; i < len(counts); i++ {
-		if counts[i] < counts[i-1] {
-			t.Errorf("bucket %d count %d below bucket %d count %d — not cumulative",
-				i, counts[i], i-1, counts[i-1])
-		}
-	}
-	// A sample equal to a bound is ≤ the bound: bucket i holds i+1 samples.
-	for i := range latBounds {
-		if counts[i] != int64(i+1) {
-			t.Errorf("bucket le=%g = %d, want %d", latBounds[i], counts[i], i+1)
-		}
-	}
-	if inf := counts[len(counts)-1]; inf != h.count() {
-		t.Errorf("+Inf bucket %d != count() %d", inf, h.count())
-	}
-	if !strings.Contains(sb.String(), fmt.Sprintf(`x_count{l="v"} %d`, h.count())) {
-		t.Errorf("_count line wrong:\n%s", sb.String())
-	}
-}
-
-func TestLatHistConcurrentObserve(t *testing.T) {
-	var h latHist
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				h.observe(time.Duration(i*w) * time.Microsecond)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if h.count() != 8000 {
-		t.Errorf("count = %d, want 8000", h.count())
-	}
-}
+// The histogram implementation itself (bucket monotonicity, quantile
+// estimation, concurrent observes) is tested in internal/hist, which this
+// package shares with the ovload client-side latency aggregation.
 
 // TestRequestAndTierHistograms drives two identical /v1/sim requests and
 // asserts the exact histogram counts CI's serve-smoke step also checks:

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"oovec/internal/engine"
+	"oovec/internal/hist"
 	"oovec/internal/jobs"
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
@@ -152,12 +153,12 @@ type Server struct {
 	throttled   atomic.Int64 // requests refused with 429 over MaxInflight
 	unauthed    atomic.Int64 // requests refused with 401
 	requests    map[string]*atomic.Int64
-	durations   map[string]*latHist // per-route request-latency histograms
+	durations   map[string]*hist.Hist // per-route request-latency histograms
 	// resolve holds one latency histogram per result-resolution tier
 	// (memory hit / disk hit / simulate), fed by the result cache's
 	// observer: where a /v1/sim or sweep point was answered from, and how
 	// long that tier took.
-	resolve [simcache.NumTiers]latHist
+	resolve [simcache.NumTiers]hist.Hist
 	// responses counts finished requests per (route, status code). Status
 	// codes are open-ended, so this one is a locked map, touched once per
 	// request.
@@ -209,7 +210,7 @@ func New(opts Opts) *Server {
 		mux:            http.NewServeMux(),
 		start:          time.Now(),
 		requests:       make(map[string]*atomic.Int64, len(routes)),
-		durations:      make(map[string]*latHist, len(routes)),
+		durations:      make(map[string]*hist.Hist, len(routes)),
 		responses:      make(map[string]map[int]int64, len(routes)),
 	}
 	if opts.MaxInflight > 0 {
@@ -217,14 +218,14 @@ func New(opts Opts) *Server {
 	}
 	for _, r := range routes {
 		s.requests[r] = &atomic.Int64{}
-		s.durations[r] = &latHist{}
+		s.durations[r] = &hist.Hist{}
 		s.responses[r] = make(map[int]int64, 4)
 	}
 	// Per-tier resolution latency: the result cache reports where each
 	// lookup was answered (memory, disk, fresh simulation) and how long
 	// that took; /metrics exposes one histogram per tier.
 	s.results.SetObserver(func(t simcache.Tier, d time.Duration) {
-		s.resolve[t].observe(d)
+		s.resolve[t].Observe(d)
 	})
 	// The middleware chain of each route (see middleware.go): simulation
 	// routes get the full production stack, the cheap introspection routes
@@ -371,10 +372,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ovserve_requests_total{path=%q} %d\n", route, s.requests[route].Load())
 	}
 	for _, route := range routes {
-		s.durations[route].write(w, "ovserve_request_duration_seconds", fmt.Sprintf("path=%q", route))
+		s.durations[route].WriteProm(w, "ovserve_request_duration_seconds", fmt.Sprintf("path=%q", route))
 	}
 	for t := simcache.Tier(0); t < simcache.NumTiers; t++ {
-		s.resolve[t].write(w, "ovserve_resolve_duration_seconds", fmt.Sprintf("tier=%q", t.String()))
+		s.resolve[t].WriteProm(w, "ovserve_resolve_duration_seconds", fmt.Sprintf("tier=%q", t.String()))
 	}
 	s.writeResponseMetrics(w)
 	fmt.Fprintf(w, "ovserve_requests_rejected_total %d\n", s.rejected.Load())
