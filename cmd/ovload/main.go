@@ -172,6 +172,19 @@ func runCompare(prevPath, curPath string, tol float64) int {
 	for _, r := range regs {
 		fmt.Fprintln(os.Stderr, "ovload: REGRESSION", r.String())
 	}
+	// The one-line verdict a CI log reader sees first: how much of the
+	// tracked surface regressed, and the single worst offender with its
+	// before/after values.
+	worst := regs[0]
+	for _, r := range regs[1:] {
+		if r.Ratio > worst.Ratio {
+			worst = r
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"ovload: FAIL — %d of %d tracked metrics regressed beyond +%.0f%%; worst: %s (%.1f -> %.1f, +%.0f%%)\n",
+		len(regs), compared, tol*100,
+		worst.Field, worst.Previous, worst.Current, (worst.Ratio-1)*100)
 	return 1
 }
 

@@ -67,6 +67,8 @@ func main() {
 		scrubbery = flag.Duration("scrub-interval", 0, "background store integrity scrub cadence; corrupt entries are quarantined (0 = off)")
 		logReqs   = flag.Bool("log-requests", false, "emit one structured JSON log line per request on stderr")
 		slowReq   = flag.Duration("slow-request", 0, "log requests at or beyond this duration at WARN with slow=true (0 = never; implies -log-requests)")
+		traceSmpl = flag.Int("trace-sample", 1, "record a span timeline for 1 in N requests on /v1/traces (0 = tracing off; a sampled W3C traceparent always records)")
+		traceBuf  = flag.Int("trace-buffer", 256, "how many recent traces the in-process buffer retains (the slowest are always kept)")
 	)
 	common := cli.RegisterCommon(flag.CommandLine)
 	cacheF := cli.RegisterCache(flag.CommandLine)
@@ -106,6 +108,8 @@ func main() {
 		JobQueue:       *jobQueue,
 		Log:            logger,
 		SlowRequest:    *slowReq,
+		TraceSample:    *traceSmpl,
+		TraceBuffer:    *traceBuf,
 	})
 	common.Announce("ovserve")
 	if common.Verbose && *authToken != "" {

@@ -13,6 +13,10 @@ import (
 var simPackages = []string{
 	"ooosim", "refsim", "rename", "iq", "rob", "bpred",
 	"vregfile", "sched", "funcsim", "mem", "metrics", "probe",
+	// span rides along inside the simulation path (simulate and grid-point
+	// spans), so the same discipline applies: its wall-clock reads are
+	// observability metadata and every one carries an explicit waiver.
+	"span",
 }
 
 // isSimPackage reports whether the import path names one of the simulator

@@ -20,6 +20,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -226,11 +227,11 @@ func throughStore(s *Suite, canonicalCfg, bench string, run func() *metrics.RunS
 		return run()
 	}
 	key := simcache.ResultKey(canonicalCfg, simcache.PresetKey(s.preset(bench)))
-	if st, ok := s.opts.Store.Load(key); ok {
+	if st, ok := s.opts.Store.Load(context.Background(), key); ok {
 		return st
 	}
 	st := run()
-	s.opts.Store.Save(key, st)
+	s.opts.Store.Save(context.Background(), key, st)
 	return st
 }
 

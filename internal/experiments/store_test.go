@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -55,11 +56,11 @@ func TestSuiteDiskWarmAcrossProcesses(t *testing.T) {
 	refCfg := refsim.DefaultConfig()
 	refCfg.MemLatency = 50
 	refKey := simcache.ResultKey(simcache.RefConfigKey(refCfg), simcache.PresetKey(p))
-	if _, ok := st2.Load(refKey); !ok {
+	if _, ok := st2.Load(context.Background(), refKey); !ok {
 		t.Error("suite REF entry not addressable through the shared ResultKey scheme")
 	}
 	oooKey := simcache.ResultKey(simcache.OOOConfigKey(cfg), simcache.PresetKey(p))
-	if _, ok := st2.Load(oooKey); !ok {
+	if _, ok := st2.Load(context.Background(), oooKey); !ok {
 		t.Error("suite OOOVA entry not addressable through the shared ResultKey scheme")
 	}
 }

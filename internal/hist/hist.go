@@ -38,17 +38,45 @@ const NumBuckets = len(Bounds) + 1
 type Hist struct {
 	counts [NumBuckets]atomic.Int64
 	sum    atomic.Int64 // nanoseconds
+	// exemplars[i] points to the most recent traced sample that landed in
+	// bucket i — last-writer-wins, which keeps exemplars fresh without
+	// coordination beyond the pointer swap.
+	exemplars [NumBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties a bucket to one concrete traced request that landed in it:
+// the trace id to look up in /v1/traces/{id}, and the observed value in
+// seconds. Rendered in OpenMetrics `# {trace_id="..."} <value>` syntax.
+type Exemplar struct {
+	TraceID string
+	Value   float64 // seconds
 }
 
 // Observe records one sample.
 func (h *Hist) Observe(d time.Duration) {
+	h.counts[h.bucket(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// ObserveTrace records one sample and, when traceID is non-empty, installs
+// it as the landing bucket's exemplar. An empty traceID (an untraced
+// request) is exactly Observe.
+func (h *Hist) ObserveTrace(d time.Duration, traceID string) {
+	i := h.bucket(d)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: d.Seconds()})
+	}
+}
+
+func (h *Hist) bucket(d time.Duration) int {
 	s := d.Seconds()
 	i := 0
 	for i < len(Bounds) && s > Bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.sum.Add(int64(d))
+	return i
 }
 
 // Count returns the total number of samples observed.
@@ -131,14 +159,31 @@ func secondsToDuration(s float64) time.Duration {
 // every line. The cumulative bucket counts are computed left to right from
 // the per-bucket atomics, so they are non-decreasing even while observes
 // race the render, and the `_count` equals the +Inf bucket exactly.
+//
+// A bucket holding an exemplar gets the OpenMetrics exemplar suffix
+// appended to its line — `# {trace_id="…"} <seconds>` — pointing a
+// dashboard's "why is this bucket filling" question at one concrete
+// /v1/traces/{id} timeline. Parsers that stop at the sample value (the
+// Prometheus text format contract) are unaffected.
 func (h *Hist) WriteProm(w io.Writer, name, label string) {
 	var cum int64
 	for i, b := range Bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, label, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d%s\n", name, label,
+			strconv.FormatFloat(b, 'g', -1, 64), cum, h.exemplarSuffix(i))
 	}
 	cum += h.counts[len(Bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, cum)
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d%s\n", name, label, cum, h.exemplarSuffix(len(Bounds)))
 	fmt.Fprintf(w, "%s_sum{%s} %.6f\n", name, label, h.Sum().Seconds())
 	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, cum)
+}
+
+// exemplarSuffix renders bucket i's exemplar in OpenMetrics syntax, or ""
+// when no traced sample has landed there.
+func (h *Hist) exemplarSuffix(i int) string {
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %.6f", e.TraceID, e.Value)
 }

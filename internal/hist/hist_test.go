@@ -179,3 +179,77 @@ func TestQuantileMonotoneInQ(t *testing.T) {
 func approx(a, b time.Duration, tol float64) bool {
 	return math.Abs(float64(a-b)) <= tol
 }
+
+func TestExemplarRendered(t *testing.T) {
+	var h Hist
+	// 3ms lands in the le="0.005" bucket (index 3); only that bucket line
+	// gains the exemplar suffix.
+	h.ObserveTrace(3*time.Millisecond, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(3 * time.Millisecond) // untraced sample, same bucket
+
+	var sb strings.Builder
+	h.WriteProm(&sb, "x", `l="v"`)
+	body := sb.String()
+	want := `x_bucket{l="v",le="0.005"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.003000`
+	if !strings.Contains(body, want+"\n") {
+		t.Errorf("rendered exposition lacks the exemplar line %q:\n%s", want, body)
+	}
+	if n := strings.Count(body, "# {trace_id="); n != 1 {
+		t.Errorf("%d exemplar suffixes rendered, want exactly 1:\n%s", n, body)
+	}
+	// The suffix rides after the sample value, so prefix-anchored consumers
+	// (and the monotonicity helper above) still parse every line without one.
+	if got := histBuckets(t, body, "x", `l="v"`); len(got) != NumBuckets-1 {
+		t.Errorf("suffix-free bucket lines parsed = %d, want %d", len(got), NumBuckets-1)
+	}
+}
+
+func TestObserveTraceEmptyIDIsPlainObserve(t *testing.T) {
+	var h Hist
+	h.ObserveTrace(3*time.Millisecond, "")
+	var sb strings.Builder
+	h.WriteProm(&sb, "x", `l="v"`)
+	if strings.Contains(sb.String(), "# {") {
+		t.Errorf("untraced sample installed an exemplar:\n%s", sb.String())
+	}
+	if h.Count() != 1 {
+		t.Errorf("Count = %d, want 1", h.Count())
+	}
+}
+
+// TestConcurrentObserveTrace races traced observes against renders; the
+// race detector owns the memory-safety claim, the assertions pin that the
+// surviving exemplar is one that was actually written.
+func TestConcurrentObserveTrace(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveTrace(3*time.Millisecond, fmt.Sprintf("trace-%d", w))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			var sb strings.Builder
+			h.WriteProm(&sb, "x", `l="v"`)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	var sb strings.Builder
+	h.WriteProm(&sb, "x", `l="v"`)
+	m := regexp.MustCompile(`# \{trace_id="(trace-\d+)"\} 0\.003000`).FindStringSubmatch(sb.String())
+	if m == nil {
+		t.Fatalf("no exemplar survived the render:\n%s", sb.String())
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"oovec/internal/span"
 )
 
 // Sentinel causes and errors. ErrPreempted and ErrShutdown are delivered as
@@ -101,6 +103,13 @@ type Job struct {
 	created  time.Time
 	started  time.Time // first time it left the queue
 	finished time.Time
+	// span is the job's root trace span, open from submission to the
+	// terminal state — one trace per job, spanning every run leg and park.
+	// enqueued timestamps the latest (re-)enqueue so each dequeue can record
+	// a back-dated queue.wait child.
+	span     *span.Span
+	traceID  string
+	enqueued time.Time
 }
 
 // ID returns the job's identifier.
@@ -134,11 +143,15 @@ type Snapshot struct {
 	// ResumedFrom is where the latest run segment picked up (0 = fresh).
 	ResumedFrom int64 `json:"resumed_from"`
 	// Preemptions counts checkpoint-and-park cycles this job survived.
-	Preemptions int64     `json:"preemptions"`
-	Error       string    `json:"error,omitempty"`
-	CreatedAt   time.Time `json:"created_at"`
-	StartedAt   time.Time `json:"started_at,omitzero"`
-	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Preemptions int64 `json:"preemptions"`
+	// TraceID names the job's span timeline on /v1/traces/{id} when the job
+	// was sampled ("" otherwise). The trace publishes when the job reaches a
+	// terminal state.
+	TraceID    string    `json:"trace_id,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
 }
 
 // Metrics is a point-in-time snapshot of the manager's counters, exported
@@ -174,8 +187,17 @@ type Manager struct {
 	canceledN atomic.Int64
 	preempted atomic.Int64
 
+	// tracer records one span timeline per sampled job. Nil (the default)
+	// keeps the whole layer untraced and allocation-free.
+	tracer *span.Tracer
+
 	wg sync.WaitGroup
 }
+
+// SetTracer installs the tracer that records one trace per sampled job.
+// Call before the first Submit; a nil tracer (the default) disables
+// tracing.
+func (m *Manager) SetTracer(t *span.Tracer) { m.tracer = t }
 
 // New starts a manager with the given worker pool size and queue bound
 // (values < 1 are raised to 1). Close must be called to stop the workers.
@@ -204,6 +226,15 @@ func newID() string {
 // that into backpressure (HTTP 503 + Retry-After). After Close, Submit
 // fails with ErrShutdown.
 func (m *Manager) Submit(run RunFunc, priority int) (string, error) {
+	return m.SubmitTraced(run, priority, false)
+}
+
+// SubmitTraced is Submit with an explicit trace-retention hint: force true
+// bypasses the tracer's head sampling, the same contract as a sampled W3C
+// traceparent on an HTTP request. The transport layer sets it when the
+// submitting request is itself traced, so a traced submission always yields
+// an inspectable job timeline.
+func (m *Manager) SubmitTraced(run RunFunc, priority int, force bool) (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -221,6 +252,13 @@ func (m *Manager) Submit(run RunFunc, priority int) (string, error) {
 		run:      run,
 		state:    StateQueued,
 		created:  time.Now(),
+		enqueued: time.Now(),
+	}
+	if sp := m.tracer.Root("job", span.TraceID{}, 0, force); sp != nil {
+		sp.SetAttr("job_id", j.id)
+		sp.SetInt("priority", int64(priority))
+		j.span = sp
+		j.traceID = sp.TraceID()
 	}
 	m.jobs[j.id] = j
 	m.enqueueLocked(j)
@@ -263,6 +301,7 @@ func (m *Manager) snapshotLocked(j *Job) Snapshot {
 		Total:       j.total.Load(),
 		ResumedFrom: j.resumedFrom.Load(),
 		Preemptions: j.preemptions.Load(),
+		TraceID:     j.traceID,
 		Error:       j.errMsg,
 		CreatedAt:   j.created,
 		StartedAt:   j.started,
@@ -377,12 +416,18 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// finishLocked moves a job to a terminal state.
+// finishLocked moves a job to a terminal state and publishes its trace.
 func (m *Manager) finishLocked(j *Job, st State, err error) {
 	j.state = st
 	j.finished = time.Now()
 	if err != nil {
 		j.errMsg = err.Error()
+	}
+	if j.span != nil {
+		j.span.SetAttr("state", string(st))
+		j.span.SetInt("preemptions", j.preemptions.Load())
+		j.span.End()
+		j.span = nil
 	}
 	switch st {
 	case StateDone:
@@ -392,6 +437,16 @@ func (m *Manager) finishLocked(j *Job, st State, err error) {
 	case StateCanceled:
 		m.canceledN.Add(1)
 	}
+}
+
+// endLeg closes one job.run leg span with its outcome. Nil-safe, like every
+// span operation.
+func (m *Manager) endLeg(leg *span.Span, outcome string) {
+	if leg == nil {
+		return
+	}
+	leg.SetAttr("outcome", outcome)
+	leg.End()
 }
 
 // worker is the pool loop: wait for runnable work (non-empty queue, no
@@ -414,8 +469,19 @@ func (m *Manager) worker() {
 		if j.started.IsZero() {
 			j.started = time.Now()
 		}
+		// Back-dated queue.wait child: how long this leg sat behind other
+		// work (or behind interactive traffic, after a preemption).
+		if j.span != nil {
+			j.span.StartChildAt("queue.wait", j.enqueued).End()
+		}
 		ctx, cancel := context.WithCancelCause(context.Background())
 		j.cancel = cancel
+		// One job.run child per leg; the run function's own spans (simulate,
+		// checkpoint.park/restore, cache.resolve) nest under it via ctx.
+		leg := j.span.StartChild("job.run")
+		if leg != nil {
+			ctx = span.NewContext(ctx, leg)
+		}
 		m.running++
 		m.mu.Unlock()
 
@@ -428,17 +494,22 @@ func (m *Manager) worker() {
 		j.cancel = nil
 		switch {
 		case err == nil:
+			m.endLeg(leg, "done")
 			m.finishLocked(j, StateDone, nil)
 		case errors.Is(cause, ErrPreempted) && !j.canceled && !m.closed:
 			// Parked: back in the queue at its original position, to resume
 			// from the checkpoint its run function just took.
+			m.endLeg(leg, "preempted")
 			j.state = StateQueued
 			j.preemptions.Add(1)
 			m.preempted.Add(1)
+			j.enqueued = time.Now()
 			m.enqueueLocked(j)
 		case j.canceled || errors.Is(err, context.Canceled) || errors.Is(cause, ErrShutdown):
+			m.endLeg(leg, "canceled")
 			m.finishLocked(j, StateCanceled, cause)
 		default:
+			m.endLeg(leg, "failed")
 			m.finishLocked(j, StateFailed, err)
 		}
 		m.cond.Broadcast()

@@ -18,7 +18,16 @@ import (
 	"time"
 
 	"oovec/internal/hist"
+	"oovec/internal/span"
 )
+
+// traceIDHeader is the server's X-Trace-Id response header (the
+// server.TraceIDHeader constant, spelled out here to keep the client
+// package free of a server dependency).
+const traceIDHeader = "X-Trace-Id"
+
+// slowestK bounds the report's slowest-request section.
+const slowestK = 10
 
 // Loop selects the driver's scheduling discipline.
 const (
@@ -97,6 +106,10 @@ type driver struct {
 	// observed response stream; repeats must match byte-for-byte — the
 	// deterministic-row-order guarantee observed from the client side.
 	sweepDigests map[string]string
+	// slowest holds the top-slowestK requests by latency, slowest first,
+	// each with the trace id the server recorded for it — the report's
+	// direct bridge from "p99 is bad" to a /v1/traces/{id} timeline.
+	slowest []SlowRequest
 
 	jobWG sync.WaitGroup // outstanding background job polls
 }
@@ -218,21 +231,30 @@ func (d *driver) fire(ctx context.Context, req *Request) {
 	if d.opts.Token != "" {
 		hreq.Header.Set("Authorization", "Bearer "+d.opts.Token)
 	}
+	// Inject a sampled W3C traceparent on every request: the sampled flag
+	// forces the server to retain the timeline past its head sampling, so
+	// every row of the slowest section below is inspectable after the run.
+	hreq.Header.Set(span.TraceparentHeader, span.Traceparent(span.NewTraceID(), 1, true))
 	start := time.Now()
 	resp, err := d.opts.Client.Do(hreq)
 	if err != nil {
-		d.terminal(0, time.Since(start), false)
+		lat := time.Since(start)
+		d.terminal(0, lat, false)
+		d.noteSlow(req.Op, 0, lat, "")
 		return
 	}
 	defer resp.Body.Close()
 	body, rerr := io.ReadAll(resp.Body)
 	lat := time.Since(start) // sweeps stream: latency covers the full body
+	tid := resp.Header.Get(traceIDHeader)
 	if rerr != nil {
 		d.terminal(0, lat, false)
+		d.noteSlow(req.Op, 0, lat, tid)
 		return
 	}
 	retryAfter := resp.Header.Get("Retry-After") != ""
 	d.terminal(resp.StatusCode, lat, retryAfter)
+	d.noteSlow(req.Op, resp.StatusCode, lat, tid)
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		return
 	}
@@ -272,6 +294,28 @@ func (d *driver) terminal(code int, lat time.Duration, retryAfter bool) {
 		}
 	default:
 		d.errN++
+	}
+}
+
+// noteSlow offers one finished request to the slowest top-K, kept sorted
+// slowest first.
+func (d *driver) noteSlow(op string, code int, lat time.Duration, traceID string) {
+	if lat <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	at := sort.Search(len(d.slowest), func(i int) bool {
+		return d.slowest[i].LatencyMs < ms(lat)
+	})
+	if at >= slowestK {
+		return
+	}
+	d.slowest = append(d.slowest, SlowRequest{})
+	copy(d.slowest[at+1:], d.slowest[at:])
+	d.slowest[at] = SlowRequest{Op: op, Status: code, LatencyMs: ms(lat), TraceID: traceID}
+	if len(d.slowest) > slowestK {
+		d.slowest = d.slowest[:slowestK]
 	}
 }
 
@@ -425,9 +469,10 @@ func (d *driver) report(wall time.Duration) *Report {
 			MeanMs: ms(d.lat.Mean()),
 			MaxMs:  ms(time.Duration(d.maxLat.Load())),
 		},
-		Sim:   d.sim,
-		Sweep: d.sweep,
-		Jobs:  d.jobs,
+		Sim:     d.sim,
+		Sweep:   d.sweep,
+		Jobs:    d.jobs,
+		Slowest: d.slowest,
 	}
 	// Map keys become sorted JSON object keys; the transport-failure bucket
 	// gets a symbolic name instead of "0". Codes are collected before the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -275,5 +276,73 @@ func TestBaseURLOf(t *testing.T) {
 	}
 	if got := BaseURLOf("http://x:1"); got != "http://x:1" {
 		t.Errorf("BaseURLOf idempotence: %q", got)
+	}
+}
+
+// TestDriveSlowestTraces is the client half of the tracing bridge: against
+// a server that samples every request, the report's slowest section must be
+// filled, ordered worst-first, capped at slowestK, and each entry's trace
+// id (echoed by the server from the traceparent the driver injects) must be
+// fetchable from /v1/traces/{id} as a timeline whose root covers the
+// server-side portion of the measured client latency.
+func TestDriveSlowestTraces(t *testing.T) {
+	_, ts := startServer(t, server.Opts{Workers: 2, JobWorkers: 2, TraceSample: 1})
+
+	spec := testSpec()
+	spec.Insns = 400
+	rep := driveSpec(t, ts, spec, DriveOpts{Loop: LoopClosed, Conns: 4})
+	checkAccounting(t, rep)
+
+	if len(rep.Slowest) == 0 {
+		t.Fatal("report has no slowest section after a traced run")
+	}
+	if len(rep.Slowest) > slowestK {
+		t.Fatalf("slowest holds %d entries, cap is %d", len(rep.Slowest), slowestK)
+	}
+	for i, s := range rep.Slowest {
+		if i > 0 && s.LatencyMs > rep.Slowest[i-1].LatencyMs {
+			t.Fatalf("slowest not ordered worst-first at %d: %+v", i, rep.Slowest)
+		}
+		if s.Op == "" || s.LatencyMs <= 0 {
+			t.Errorf("slowest[%d] = %+v, want op and positive latency", i, s)
+		}
+		if len(s.TraceID) != 32 {
+			t.Errorf("slowest[%d] trace id %q, want the 32-hex id the server echoed", i, s.TraceID)
+		}
+	}
+
+	// The worst request's timeline is fetchable and plausible: its root is
+	// a registered route and its duration fits inside the client latency.
+	worst := rep.Slowest[0]
+	resp, err := ts.Client().Get(ts.URL + "/v1/traces/" + worst.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /v1/traces/%s status %d", worst.TraceID, resp.StatusCode)
+	}
+	var tr struct {
+		Name       string  `json:"name"`
+		DurationMs float64 `json:"duration_ms"`
+		Spans      []any   `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tr.Name, "/v1/") {
+		t.Errorf("slowest trace root %q, want a /v1/ route", tr.Name)
+	}
+	if tr.DurationMs <= 0 || tr.DurationMs > worst.LatencyMs {
+		t.Errorf("slowest trace spans %.3fms, client measured %.3fms — the timeline must fit inside the request",
+			tr.DurationMs, worst.LatencyMs)
+	}
+	// Sim and sweep requests resolve through the cache, so their timelines
+	// must descend below the root. (A job submit only enqueues — its work
+	// is recorded as a separate "job" trace — so a bare root is correct.)
+	if tr.Name == "/v1/sim" || tr.Name == "/v1/sweep" {
+		if len(tr.Spans) < 2 {
+			t.Errorf("slowest trace has %d spans, want the root plus at least one child", len(tr.Spans))
+		}
 	}
 }

@@ -47,6 +47,18 @@ type JobStats struct {
 	TimedOut  int `json:"timed_out"`
 }
 
+// SlowRequest is one row of the report's slowest-request section: the
+// latency outlier itself plus the trace id the server recorded for it, so
+// "why is p99 bad" goes straight to GET /v1/traces/{id} (the driver injects
+// a sampled traceparent on every request, which forces server-side
+// retention). Status 0 is a transport-level failure.
+type SlowRequest struct {
+	Op        string  `json:"op"`
+	Status    int     `json:"status"`
+	LatencyMs float64 `json:"latency_ms"`
+	TraceID   string  `json:"trace_id,omitempty"`
+}
+
 // ServerDelta is the server's own view of the run: /metrics counters
 // scraped before and after, differenced.
 type ServerDelta struct {
@@ -92,6 +104,10 @@ type Report struct {
 	Sim   SimStats   `json:"sim"`
 	Sweep SweepStats `json:"sweep"`
 	Jobs  JobStats   `json:"jobs"`
+
+	// Slowest lists the top requests by observed latency, slowest first,
+	// with their server-side trace ids.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 
 	// Server is the /metrics-scrape view, absent when scraping was skipped.
 	Server *ServerDelta `json:"server,omitempty"`

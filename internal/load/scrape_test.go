@@ -1,0 +1,63 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"oovec/internal/hist"
+)
+
+// TestScrapeToleratesExemplars pins the compatibility contract between the
+// server's OpenMetrics exemplar suffixes and this package's scrape parser:
+// an exposition whose histogram bucket lines carry `# {trace_id=...}`
+// annotations must still yield the exact counter values, because the
+// parser (like any Prometheus text parser) reads the sample value and
+// ignores what follows.
+func TestScrapeToleratesExemplars(t *testing.T) {
+	var h hist.Hist
+	h.ObserveTrace(3*time.Millisecond, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		h.WriteProm(w, "ovserve_request_duration_seconds", `path="/v1/sim"`)
+		fmt.Fprintln(w, "ovserve_sims_total 7")
+		fmt.Fprintln(w, "ovserve_result_cache_hits_total 5")
+		fmt.Fprintln(w, "ovserve_result_cache_misses_total 2")
+	}))
+	defer srv.Close()
+
+	// Sanity: the exposition under test really contains an exemplar.
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "# {trace_id=") {
+		t.Fatalf("test exposition carries no exemplar — the test proves nothing:\n%s", body)
+	}
+
+	got, err := scrapeMetrics(context.Background(), DriveOpts{
+		BaseURL: srv.URL,
+		Client:  srv.Client(),
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("scrapeMetrics over an exemplar-bearing exposition: %v", err)
+	}
+	if got.sims != 7 || got.hits != 5 || got.misses != 2 {
+		t.Errorf("scraped counters = %+v, want sims 7, hits 5, misses 2", got)
+	}
+}

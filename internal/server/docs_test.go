@@ -36,6 +36,7 @@ func TestAPIDocMatchesRoutes(t *testing.T) {
 		"/v1/sim": {"POST"}, "/v1/sweep": {"POST"},
 		"/v1/jobs": {"POST"}, "/v1/jobs/{id}": {"GET", "DELETE"},
 		"/v1/presets": {"GET"}, "/v1/cache": {"GET"},
+		"/v1/traces": {"GET"}, "/v1/traces/{id}": {"GET"},
 		"/healthz": {"GET"}, "/metrics": {"GET"},
 		"/debug/pprof/": {"GET"},
 	}

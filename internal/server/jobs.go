@@ -25,6 +25,7 @@ import (
 
 	"oovec/internal/jobs"
 	"oovec/internal/metrics"
+	"oovec/internal/span"
 )
 
 // DefaultCheckpointInsns is the periodic checkpoint cadence (instructions)
@@ -51,6 +52,10 @@ type JobSubmitResponse struct {
 	// Key is the content address the result will be cached under — usable
 	// against /v1/sim once the job is done.
 	Key string `json:"key"`
+	// TraceID names the job's own span timeline (distinct from the submit
+	// request's trace) when the job was sampled. The timeline publishes to
+	// /v1/traces/{id} once the job reaches a terminal state.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobStatus is the body of GET /v1/jobs/{id}: the job record plus, once
@@ -91,7 +96,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		ckEvery = DefaultCheckpointInsns
 	}
 	info := &jobInfo{key: plan.key}
-	id, err := s.jobs.Submit(s.jobRun(plan, info, ckEvery), req.Priority)
+	// A traced submission forces the job's own trace past head sampling —
+	// the caller that injected traceparent gets an inspectable job timeline,
+	// not just the short POST /v1/jobs one.
+	id, err := s.jobs.SubmitTraced(s.jobRun(plan, info, ckEvery), req.Priority,
+		span.FromContext(r.Context()) != nil)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		// The load-shedding path: bounded queue, explicit backpressure.
@@ -105,7 +114,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobsMu.Lock()
 	s.jobInfos[id] = info
 	s.jobsMu.Unlock()
-	writeJSON(w, http.StatusAccepted, JobSubmitResponse{ID: id, Key: plan.key})
+	snap, _ := s.jobs.Get(id)
+	writeJSON(w, http.StatusAccepted, JobSubmitResponse{ID: id, Key: plan.key, TraceID: snap.TraceID})
 }
 
 // jobRun builds the jobs.RunFunc for one simulation job. It may run many
@@ -122,8 +132,8 @@ func (s *Server) jobRun(plan *simPlan, info *jobInfo, ckEvery int) jobs.RunFunc 
 			return nil
 		}
 		if s.store != nil {
-			if st, ok := s.store.Load(plan.key); ok {
-				s.results.Do(plan.key, func() *metrics.RunStats { return st })
+			if st, ok := s.store.Load(ctx, plan.key); ok {
+				s.results.DoCtx(ctx, plan.key, func(context.Context) *metrics.RunStats { return st })
 				return nil
 			}
 		}
@@ -132,16 +142,28 @@ func (s *Server) jobRun(plan *simPlan, info *jobInfo, ckEvery int) jobs.RunFunc 
 		resume := info.parked
 		info.mu.Unlock()
 		if resume == nil && s.store != nil {
-			resume, _ = s.store.LoadBlob(plan.key)
+			sp, sctx := span.Start(ctx, "checkpoint.restore")
+			resume, _ = s.store.LoadBlob(sctx, plan.key)
+			sp.SetInt("bytes", int64(len(resume)))
+			sp.End()
 		}
 
 		persist := func(b []byte) {
 			info.mu.Lock()
 			info.parked = b
 			info.mu.Unlock()
-			if s.store != nil && s.store.SaveBlob(plan.key, b) == nil {
+			if s.store == nil {
+				return
+			}
+			// ctx may already be canceled here (persist runs on the
+			// preemption/cancel path); it carries only observability, which the
+			// store contract says must never fail a write.
+			sp, sctx := span.Start(ctx, "checkpoint.park")
+			sp.SetInt("bytes", int64(len(b)))
+			if s.store.SaveBlob(sctx, plan.key, b) == nil {
 				s.ckSaved.Add(1)
 			}
+			sp.End()
 		}
 
 		start := 0
@@ -172,7 +194,7 @@ func (s *Server) jobRun(plan *simPlan, info *jobInfo, ckEvery int) jobs.RunFunc 
 
 		// Done: publish through the shared cache (counting the simulation
 		// exactly once, like /v1/sim), then retire the checkpoint.
-		s.results.Do(plan.key, func() *metrics.RunStats {
+		s.results.DoCtx(ctx, plan.key, func(context.Context) *metrics.RunStats {
 			s.simsTotal.Add(1)
 			return st
 		})
@@ -216,7 +238,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		if st, ok := s.results.Get(info.key); ok {
 			status.Metrics = st
 		} else if s.store != nil {
-			if st, ok := s.store.Load(info.key); ok {
+			if st, ok := s.store.Load(r.Context(), info.key); ok {
 				status.Metrics = st
 			}
 		}

@@ -139,7 +139,10 @@ func TestJobKillAndResume(t *testing.T) {
 
 	// Process 1: start the job, cancel it mid-run.
 	st1 := openStore(t, dir)
-	s1 := New(Opts{Workers: 1, Store: st1, JobWorkers: 1})
+	// Tracing on in both lives: the resumed run below must stay
+	// byte-identical to the untraced uninterrupted reference, proving the
+	// checkpoint.park/restore spans observe without perturbing.
+	s1 := New(Opts{Workers: 1, Store: st1, JobWorkers: 1, TraceSample: 1})
 	resp := submitJob(t, s1, jobReq)
 
 	// Wait until it is genuinely mid-run (progress moved past the first
@@ -173,7 +176,7 @@ func TestJobKillAndResume(t *testing.T) {
 	if stopped.Done <= 0 || stopped.Done >= insns {
 		t.Fatalf("canceled at %d instructions, want strictly inside (0, %d)", stopped.Done, insns)
 	}
-	if _, ok := st1.LoadBlob(resp.Key); !ok {
+	if _, ok := st1.LoadBlob(context.Background(), resp.Key); !ok {
 		t.Fatal("no checkpoint blob persisted for the canceled job")
 	}
 	if err := s1.Drain(context.Background()); err != nil {
@@ -184,7 +187,7 @@ func TestJobKillAndResume(t *testing.T) {
 	// Process 2: same directory, fresh everything. The same submission
 	// must resume from the checkpoint, not restart.
 	st2 := openStore(t, dir)
-	s2 := New(Opts{Workers: 1, Store: st2, JobWorkers: 1})
+	s2 := New(Opts{Workers: 1, Store: st2, JobWorkers: 1, TraceSample: 1})
 	resp2 := submitJob(t, s2, jobReq)
 	if resp2.Key != resp.Key {
 		t.Fatalf("same request produced key %q, first process had %q", resp2.Key, resp.Key)
@@ -205,7 +208,7 @@ func TestJobKillAndResume(t *testing.T) {
 	if n := metricValue(t, s2, "ovserve_checkpoints_resumed_total"); n == 0 {
 		t.Error("ovserve_checkpoints_resumed_total = 0 after a resume")
 	}
-	if _, ok := st2.LoadBlob(resp.Key); ok {
+	if _, ok := st2.LoadBlob(context.Background(), resp.Key); ok {
 		t.Error("checkpoint blob not retired after the job completed")
 	}
 

@@ -20,6 +20,11 @@ import (
 // RequestIDHeader is the header the request id is read from and echoed on.
 const RequestIDHeader = "X-Request-Id"
 
+// TraceIDHeader echoes the id of the trace recorded for a sampled request,
+// so the caller knows which /v1/traces/{id} timeline is theirs without
+// parsing anything else. Absent on unsampled requests.
+const TraceIDHeader = "X-Trace-Id"
+
 type ctxKey int
 
 const requestIDKey ctxKey = iota
@@ -71,8 +76,11 @@ func newRequestID() string {
 
 // logRequest emits the one structured line per finished request: INFO
 // normally, WARN with slow=true once the duration crosses the
-// Opts.SlowRequest threshold. No-op without a logger.
-func (s *Server) logRequest(r *http.Request, route, rid string, code int, d time.Duration) {
+// Opts.SlowRequest threshold. No-op without a logger. tid is the trace id
+// of a sampled request ("" otherwise) — joined to the same line as the
+// request id, so the log, the trace buffer and the client's records all
+// correlate on either id.
+func (s *Server) logRequest(r *http.Request, route, rid, tid string, code int, d time.Duration) {
 	if s.log == nil {
 		return
 	}
@@ -84,6 +92,9 @@ func (s *Server) logRequest(r *http.Request, route, rid string, code int, d time
 		"duration_ms", float64(d) / float64(time.Millisecond),
 		"request_id", rid,
 		"remote", r.RemoteAddr,
+	}
+	if tid != "" {
+		args = append(args, "trace_id", tid)
 	}
 	if s.slowReq > 0 && d >= s.slowReq {
 		args = append(args, "slow", true,

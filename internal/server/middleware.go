@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"oovec/internal/span"
 )
 
 // This file is the production middleware stack wrapping every ovserve
@@ -47,11 +49,27 @@ func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.
 		// request log line.
 		rid := requestID(r)
 		sw.Header().Set(RequestIDHeader, rid)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+		ctx := context.WithValue(r.Context(), requestIDKey, rid)
+		// Root span: join the caller's W3C traceparent when present — its
+		// sampled flag forces retention past head sampling, so a client that
+		// injects traceparent can always fetch its own timeline. Nil tracer
+		// or an unsampled request leaves sp nil and every span call below a
+		// no-op.
+		tid, parentSpan, sampled, _ := span.ParseTraceparent(r.Header.Get(span.TraceparentHeader))
+		sp := s.tracer.Root(route, tid, parentSpan, sampled)
+		if sp != nil {
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("request_id", rid)
+			sw.Header().Set(TraceIDHeader, sp.TraceID())
+			ctx = span.NewContext(ctx, sp)
+		}
+		r = r.WithContext(ctx)
 		defer func() {
 			d := time.Since(start)
-			s.observe(route, sw.Status(), d)
-			s.logRequest(r, route, rid, sw.Status(), d)
+			sp.SetInt("status", int64(sw.Status()))
+			sp.End()
+			s.observe(route, sw.Status(), d, sp.TraceID())
+			s.logRequest(r, route, rid, sp.TraceID(), sw.Status(), d)
 		}()
 		s.requests[route].Add(1)
 
@@ -118,9 +136,10 @@ func (s *Server) authorize(r *http.Request) bool {
 }
 
 // observe records one finished request in the per-route latency histogram
-// and response-code counters.
-func (s *Server) observe(route string, code int, d time.Duration) {
-	s.durations[route].Observe(d)
+// and response-code counters. A non-empty traceID is attached to the
+// latency bucket as its OpenMetrics exemplar.
+func (s *Server) observe(route string, code int, d time.Duration, traceID string) {
+	s.durations[route].ObserveTrace(d, traceID)
 	s.respMu.Lock()
 	s.responses[route][code]++
 	s.respMu.Unlock()

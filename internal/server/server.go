@@ -51,6 +51,7 @@ import (
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
 	"oovec/internal/simcache"
+	"oovec/internal/span"
 	"oovec/internal/store"
 	"oovec/internal/tgen"
 	"oovec/internal/trace"
@@ -100,6 +101,15 @@ type Opts struct {
 	// SlowRequest, when > 0, is the duration at or beyond which a request
 	// is logged at WARN with slow=true instead of INFO (-slow-request).
 	SlowRequest time.Duration
+	// TraceSample enables request tracing: 1 in TraceSample requests get a
+	// span timeline recorded into the in-process trace buffer (1 = every
+	// request, 0 = tracing disabled). A caller-supplied W3C traceparent
+	// header with the sampled flag set forces the trace to be kept
+	// regardless of the sampling counter.
+	TraceSample int
+	// TraceBuffer bounds the in-process trace buffer (0 = 256 recent
+	// traces); the slowest traces seen are retained beyond the ring.
+	TraceBuffer int
 }
 
 // Server is the ovserve request handler set. Construct with New; serve
@@ -118,6 +128,7 @@ type Server struct {
 
 	results *simcache.Results
 	store   *store.Store // nil = memory-only
+	tracer  *span.Tracer // nil = tracing disabled
 	oooPool ooosim.MachinePool
 	refPool refsim.MachinePool
 
@@ -175,7 +186,7 @@ type Server struct {
 }
 
 // routes are the request-counter buckets of /metrics.
-var routes = []string{"/v1/sim", "/v1/sweep", "/v1/jobs", "/v1/jobs/{id}", "/v1/presets", "/v1/cache", "/healthz", "/metrics", "/debug/pprof/"}
+var routes = []string{"/v1/sim", "/v1/sweep", "/v1/jobs", "/v1/jobs/{id}", "/v1/presets", "/v1/cache", "/v1/traces", "/v1/traces/{id}", "/healthz", "/metrics", "/debug/pprof/"}
 
 // New builds a server.
 func New(opts Opts) *Server {
@@ -203,6 +214,7 @@ func New(opts Opts) *Server {
 		log:            opts.Log,
 		slowReq:        opts.SlowRequest,
 		version:        buildVersion(),
+		tracer:         span.NewTracer(opts.TraceSample, opts.TraceBuffer),
 		results:        simcache.NewResults(opts.CacheEntries, disk),
 		store:          opts.Store,
 		jobs:           jobs.New(opts.JobWorkers, opts.JobQueue),
@@ -223,10 +235,14 @@ func New(opts Opts) *Server {
 	}
 	// Per-tier resolution latency: the result cache reports where each
 	// lookup was answered (memory, disk, fresh simulation) and how long
-	// that took; /metrics exposes one histogram per tier.
-	s.results.SetObserver(func(t simcache.Tier, d time.Duration) {
-		s.resolve[t].Observe(d)
+	// that took; /metrics exposes one histogram per tier, with the trace id
+	// of a traced request attached as the bucket's OpenMetrics exemplar.
+	s.results.SetObserver(func(ctx context.Context, t simcache.Tier, d time.Duration) {
+		s.resolve[t].ObserveTrace(d, span.FromContext(ctx).TraceID())
 	})
+	// The job layer records one trace per sampled job — submission to
+	// terminal state, with a queue.wait and job.run leg per dequeue.
+	s.jobs.SetTracer(s.tracer)
 	// The middleware chain of each route (see middleware.go): simulation
 	// routes get the full production stack, the cheap introspection routes
 	// only what they need — /healthz must answer during drain and without
@@ -243,6 +259,8 @@ func New(opts Opts) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", meta, s.handleJobCancel))
 	s.mux.HandleFunc("GET /v1/presets", s.instrument("/v1/presets", meta, s.handlePresets))
 	s.mux.HandleFunc("GET /v1/cache", s.instrument("/v1/cache", meta, s.handleCache))
+	s.mux.HandleFunc("GET /v1/traces", s.instrument("/v1/traces", meta, s.handleTraces))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.instrument("/v1/traces/{id}", meta, s.handleTraceGet))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", routeOpts{}, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", routeOpts{auth: true}, s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/pprof/", s.instrument("/debug/pprof/", routeOpts{auth: true}, s.handlePprof))

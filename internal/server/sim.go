@@ -13,6 +13,7 @@ import (
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
 	"oovec/internal/simcache"
+	"oovec/internal/span"
 	"oovec/internal/tgen"
 	"oovec/internal/trace"
 )
@@ -157,7 +158,7 @@ func (s *Server) loadTrace(req *SimRequest) (func() *trace.Trace, string, error)
 // async job layer (jobs.go) uses the checkpointable one.
 type simPlan struct {
 	key   string
-	run   func() *metrics.RunStats
+	run   func(context.Context) *metrics.RunStats
 	runCk ckRunner
 }
 
@@ -197,10 +198,16 @@ func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
 		}
 		return &simPlan{
 			key: simcache.ResultKey(simcache.OOOConfigKey(cfg), traceKey),
-			run: func() *metrics.RunStats {
+			run: func(ctx context.Context) *metrics.RunStats {
+				sp, _ := span.Start(ctx, "simulate")
+				sp.SetAttr("machine", "OOOVA")
+				defer sp.End()
 				m := s.oooPool.Get(cfg)
 				defer s.oooPool.Put(m)
-				return m.Run(getTrace()).Stats
+				st := m.Run(getTrace()).Stats
+				sp.SetInt("insns", st.Instructions)
+				sp.SetInt("cycles", st.Cycles)
+				return st
 			},
 			runCk: func(ctx context.Context, resume []byte, ckEvery int, cb ckCallbacks) (*metrics.RunStats, []byte, int, error) {
 				t := getTrace()
@@ -217,6 +224,13 @@ func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
 				if cb.onStart != nil {
 					cb.onStart(start, t.Len())
 				}
+				// One span per checkpointable leg: a resumed job shows one
+				// simulate span per segment, each attributed with the resume
+				// position and the instructions it actually executed.
+				sp, ctx := span.Start(ctx, "simulate")
+				sp.SetAttr("machine", "OOOVA")
+				sp.SetInt("resume_from", int64(start))
+				defer sp.End()
 				m := s.oooPool.Get(cfg)
 				defer s.oooPool.Put(m)
 				r, stop, err := m.RunCheckpointed(t, ooosim.RunOpts{
@@ -237,8 +251,12 @@ func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
 						b, _ = stop.Encode()
 						next = stop.NextInsn
 					}
+					sp.SetAttr("outcome", "parked")
+					sp.SetInt("insns", int64(next-start))
 					return nil, b, next, err
 				}
+				sp.SetInt("insns", r.Stats.Instructions)
+				sp.SetInt("cycles", r.Stats.Cycles)
 				return r.Stats, nil, t.Len(), nil
 			},
 		}, nil
@@ -249,10 +267,16 @@ func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
 		}
 		return &simPlan{
 			key: simcache.ResultKey(simcache.RefConfigKey(cfg), traceKey),
-			run: func() *metrics.RunStats {
+			run: func(ctx context.Context) *metrics.RunStats {
+				sp, _ := span.Start(ctx, "simulate")
+				sp.SetAttr("machine", "REF")
+				defer sp.End()
 				m := s.refPool.Get(cfg)
 				defer s.refPool.Put(m)
-				return m.Run(getTrace())
+				st := m.Run(getTrace())
+				sp.SetInt("insns", st.Instructions)
+				sp.SetInt("cycles", st.Cycles)
+				return st
 			},
 			runCk: func(ctx context.Context, resume []byte, ckEvery int, cb ckCallbacks) (*metrics.RunStats, []byte, int, error) {
 				t := getTrace()
@@ -269,6 +293,10 @@ func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
 				if cb.onStart != nil {
 					cb.onStart(start, t.Len())
 				}
+				sp, ctx := span.Start(ctx, "simulate")
+				sp.SetAttr("machine", "REF")
+				sp.SetInt("resume_from", int64(start))
+				defer sp.End()
 				m := s.refPool.Get(cfg)
 				defer s.refPool.Put(m)
 				st, stop, err := m.RunCheckpointed(t, refsim.RunOpts{
@@ -289,8 +317,12 @@ func (s *Server) planSim(req *SimRequest) (*simPlan, error) {
 						b, _ = stop.Encode()
 						next = stop.NextInsn
 					}
+					sp.SetAttr("outcome", "parked")
+					sp.SetInt("insns", int64(next-start))
 					return nil, b, next, err
 				}
+				sp.SetInt("insns", st.Instructions)
+				sp.SetInt("cycles", st.Cycles)
 				return st, nil, t.Len(), nil
 			},
 		}, nil
@@ -309,9 +341,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st, cached := s.results.Do(plan.key, func() *metrics.RunStats {
+	st, cached := s.results.DoCtx(r.Context(), plan.key, func(ctx context.Context) *metrics.RunStats {
 		s.simsTotal.Add(1)
-		return plan.run()
+		return plan.run(ctx)
 	})
 	writeJSON(w, http.StatusOK, SimResponse{Key: plan.key, Cached: cached, Metrics: st})
 }

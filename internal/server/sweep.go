@@ -24,6 +24,24 @@ import (
 // record), "canceled" when the client went away first.
 const SweepStatusTrailer = "X-Ovserve-Sweep-Status"
 
+// SweepRequestIDTrailer repeats the request id at the end of the stream, so
+// a client that only kept the tail of a long NDJSON response (or a proxy
+// log that strips headers) can still join the stream to the server log. The
+// name is deliberately NOT RequestIDHeader: net/http removes any key
+// declared in "Trailer" from the normal header section, so reusing
+// X-Request-Id here would strip the id the middleware already set on the
+// response headers.
+const SweepRequestIDTrailer = "X-Ovserve-Sweep-Request-Id"
+
+// sweepErrorRecord is the final NDJSON line of an aborted stream:
+// distinguishable from sweep.Point rows by its "error" key, and carrying
+// the request id so the record alone is enough to find the server-side
+// "sweep aborted" log line.
+type sweepErrorRecord struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
 // SweepRequest is the body of POST /v1/sweep: the grid surface of the
 // ovsweep CLI. Results stream back as NDJSON, one sweep.Point per line, in
 // exactly the row order ovsweep writes CSV — benchmarks in request order,
@@ -123,6 +141,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Trailer", SweepStatusTrailer)
+	w.Header().Add("Trailer", SweepRequestIDTrailer)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -171,6 +190,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// in the trailer — plus, when someone is still listening, a final
 	// NDJSON error record, distinguishable from sweep.Point rows by its
 	// "error" key.
+	rid := RequestID(r.Context())
+	w.Header().Set(SweepRequestIDTrailer, rid)
 	switch {
 	// clientGone outranks err == nil: a write failure mid-stream returns a
 	// nil grid error but the truncated stream is anything but "ok".
@@ -184,11 +205,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// client may never read; the log line is the operator's copy.
 		if s.log != nil {
 			s.log.Error("sweep aborted",
-				"request_id", RequestID(r.Context()),
+				"request_id", rid,
 				"rows", row,
 				"error", err.Error())
 		}
-		enc.Encode(errorBody{Error: fmt.Sprintf("sweep aborted after %d rows: %v", row, err)})
+		enc.Encode(sweepErrorRecord{
+			Error:     fmt.Sprintf("sweep aborted after %d rows: %v", row, err),
+			RequestID: rid,
+		})
 		if flusher != nil {
 			flusher.Flush()
 		}

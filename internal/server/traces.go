@@ -1,0 +1,55 @@
+package server
+
+// The trace introspection routes: the in-process buffer of request span
+// timelines recorded by internal/span, exposed as JSON for tooling and as
+// Chrome trace-event ("Perfetto") JSON for humans. Both routes sit behind
+// the standard gate+auth middleware — trace attributes carry result keys
+// and request ids, so they are as sensitive as the request log.
+
+import (
+	"net/http"
+
+	"oovec/internal/span"
+)
+
+// TracesResponse is the body of GET /v1/traces: buffered trace summaries,
+// newest first, with the always-retained slowest traces merged in.
+type TracesResponse struct {
+	Traces []span.Summary `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled (-trace-sample 0)")
+		return
+	}
+	sums := s.tracer.List()
+	if sums == nil {
+		sums = []span.Summary{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: sums})
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled (-trace-sample 0)")
+		return
+	}
+	id := r.PathValue("id")
+	rec, ok := s.tracer.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "trace %q not buffered (expired from the ring, or never sampled)", id)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, rec)
+	case "perfetto":
+		// Chrome trace-event JSON: save the body to a file and open it at
+		// https://ui.perfetto.dev or chrome://tracing.
+		w.Header().Set("Content-Type", "application/json")
+		span.WritePerfetto(w, rec)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or perfetto)", format)
+	}
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"oovec/internal/span"
+)
+
+// newTracedServer builds a server that samples every request into the
+// trace buffer, which newTestServer deliberately does not (TraceSample 0
+// keeps the rest of the suite on the allocation-free nil-tracer path).
+func newTracedServer(t *testing.T) *Server {
+	t.Helper()
+	return New(Opts{Workers: 2, TraceSample: 1})
+}
+
+// postTraced is post with a caller-injected W3C traceparent header.
+func postTraced(t *testing.T, s *Server, path, traceparent string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(b))
+	req.Header.Set(span.TraceparentHeader, traceparent)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// fetchTrace pulls one buffered trace out of /v1/traces/{id}.
+func fetchTrace(t *testing.T, s *Server, id string) span.TraceRec {
+	t.Helper()
+	rec := get(t, s, "/v1/traces/"+id)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s status %d: %s", id, rec.Code, rec.Body)
+	}
+	var tr span.TraceRec
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// spansNamed returns every span in the trace with the given name.
+func spansNamed(tr span.TraceRec, name string) []span.SpanRec {
+	var out []span.SpanRec
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// attrValue returns the named attribute of a span, or "" when absent.
+func attrValue(sp span.SpanRec, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTraceJoinsTraceparent is the end-to-end timeline contract: a /v1/sim
+// request carrying a W3C traceparent is recorded under the caller's trace
+// id (echoed in X-Trace-Id), the cold timeline descends route root ->
+// cache.resolve -> simulate with correct parentage, and the warm repeat
+// resolves from the memory tier with no simulate span at all.
+func TestTraceJoinsTraceparent(t *testing.T) {
+	s := newTracedServer(t)
+	const coldID = "aaaabbbbccccddddaaaabbbbccccdddd"
+	const warmID = "11112222333344441111222233334444"
+	req := SimRequest{Bench: "swm256", Insns: testInsns, Config: SimConfig{VRegs: 32}}
+
+	rec := postTraced(t, s, "/v1/sim", tp(coldID), req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold sim status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(TraceIDHeader); got != coldID {
+		t.Fatalf("X-Trace-Id = %q, want the injected trace id %q", got, coldID)
+	}
+	rec = postTraced(t, s, "/v1/sim", tp(warmID), req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm sim status %d: %s", rec.Code, rec.Body)
+	}
+
+	// Both timelines are listed.
+	lrec := get(t, s, "/v1/traces")
+	if lrec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/traces status %d: %s", lrec.Code, lrec.Body)
+	}
+	var list TracesResponse
+	if err := json.Unmarshal(lrec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, sum := range list.Traces {
+		listed[sum.TraceID] = true
+	}
+	if !listed[coldID] || !listed[warmID] {
+		t.Fatalf("trace listing %v misses injected ids %s / %s", list.Traces, coldID, warmID)
+	}
+
+	// Cold: root(route) -> cache.resolve(tier=simulate) -> simulate.
+	cold := fetchTrace(t, s, coldID)
+	if cold.Name != "/v1/sim" {
+		t.Errorf("cold trace root name %q, want /v1/sim", cold.Name)
+	}
+	if len(cold.Spans) == 0 || cold.Spans[0].Name != "/v1/sim" {
+		t.Fatalf("cold trace has no route root span: %+v", cold.Spans)
+	}
+	root := cold.Spans[0]
+	// The root's parent is the caller's span id from the traceparent (1 in
+	// tp()), preserving the cross-process edge for trace assembly.
+	if root.Parent != 1 {
+		t.Errorf("root span parent = %d, want the injected caller span id 1", root.Parent)
+	}
+	if attrValue(root, "request_id") == "" || attrValue(root, "method") != "POST" {
+		t.Errorf("root span attrs = %+v, want request_id and method=POST", root.Attrs)
+	}
+	resolves := spansNamed(cold, "cache.resolve")
+	if len(resolves) != 1 {
+		t.Fatalf("cold trace has %d cache.resolve spans, want 1: %+v", len(resolves), cold.Spans)
+	}
+	if resolves[0].Parent != root.ID {
+		t.Errorf("cache.resolve parent = %d, want the root span %d", resolves[0].Parent, root.ID)
+	}
+	if tier := attrValue(resolves[0], "tier"); tier != "simulate" {
+		t.Errorf("cold cache.resolve tier = %q, want simulate", tier)
+	}
+	sims := spansNamed(cold, "simulate")
+	if len(sims) != 1 {
+		t.Fatalf("cold trace has %d simulate spans, want 1: %+v", len(sims), cold.Spans)
+	}
+	if sims[0].Parent != resolves[0].ID {
+		t.Errorf("simulate parent = %d, want cache.resolve %d", sims[0].Parent, resolves[0].ID)
+	}
+	if sims[0].StartNs < resolves[0].StartNs ||
+		sims[0].StartNs+sims[0].DurNs > resolves[0].StartNs+resolves[0].DurNs {
+		t.Errorf("simulate [%d,+%d] not nested inside cache.resolve [%d,+%d]",
+			sims[0].StartNs, sims[0].DurNs, resolves[0].StartNs, resolves[0].DurNs)
+	}
+
+	// Warm: the memory tier answers, the simulator is never entered.
+	warm := fetchTrace(t, s, warmID)
+	if sims := spansNamed(warm, "simulate"); len(sims) != 0 {
+		t.Errorf("warm trace contains %d simulate spans, want 0", len(sims))
+	}
+	resolves = spansNamed(warm, "cache.resolve")
+	if len(resolves) != 1 {
+		t.Fatalf("warm trace has %d cache.resolve spans, want 1: %+v", len(resolves), warm.Spans)
+	}
+	if tier := attrValue(resolves[0], "tier"); tier != "memory" {
+		t.Errorf("warm cache.resolve tier = %q, want memory", tier)
+	}
+}
+
+// tp builds a sampled W3C traceparent header for a 32-hex trace id.
+func tp(id string) string {
+	return "00-" + id + "-0000000000000001-01"
+}
+
+// TestTracePerfettoExport locks the export surface: ?format=perfetto
+// returns Chrome trace-event JSON with one complete event per span, and an
+// unknown format is a 400, not a silent default.
+func TestTracePerfettoExport(t *testing.T) {
+	s := newTracedServer(t)
+	post(t, s, "/v1/sim", SimRequest{Bench: "swm256", Insns: testInsns})
+
+	lrec := get(t, s, "/v1/traces")
+	var list TracesResponse
+	if err := json.Unmarshal(lrec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) == 0 {
+		t.Fatal("no trace buffered after a sampled request")
+	}
+	id := list.Traces[0].TraceID
+
+	rec := get(t, s, "/v1/traces/"+id+"?format=perfetto")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("perfetto status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("perfetto Content-Type %q, want application/json", ct)
+	}
+	var export struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &export); err != nil {
+		t.Fatalf("perfetto body is not trace-event JSON: %v\n%s", err, rec.Body)
+	}
+	tr := fetchTrace(t, s, id)
+	complete := 0
+	for _, ev := range export.TraceEvents {
+		if ev.Phase == "X" {
+			complete++
+		}
+	}
+	if complete != len(tr.Spans) {
+		t.Errorf("perfetto export has %d complete events, trace has %d spans", complete, len(tr.Spans))
+	}
+
+	rec = get(t, s, "/v1/traces/"+id+"?format=pprof")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown format status %d, want 400", rec.Code)
+	}
+}
+
+// TestTracesDisabled: with TraceSample 0 (the default, and newTestServer's
+// configuration) the trace routes answer 404 and responses carry no
+// X-Trace-Id — the feature is absent, not half-on.
+func TestTracesDisabled(t *testing.T) {
+	s := newTestServer(t)
+	rec := postTraced(t, s, "/v1/sim",
+		tp("aaaabbbbccccddddaaaabbbbccccdddd"),
+		SimRequest{Bench: "swm256", Insns: testInsns})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sim status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(TraceIDHeader); got != "" {
+		t.Errorf("X-Trace-Id = %q with tracing disabled, want unset", got)
+	}
+	if rec := get(t, s, "/v1/traces"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET /v1/traces status %d with tracing disabled, want 404", rec.Code)
+	}
+	if rec := get(t, s, "/v1/traces/aaaabbbbccccddddaaaabbbbccccdddd"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET /v1/traces/{id} status %d with tracing disabled, want 404", rec.Code)
+	}
+}
+
+// TestTraceUnknownID: an id that was never buffered is a 404 with tracing
+// enabled too.
+func TestTraceUnknownID(t *testing.T) {
+	s := newTracedServer(t)
+	rec := get(t, s, "/v1/traces/ffffffffffffffffffffffffffffffff")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace id status %d, want 404", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "not buffered") {
+		t.Errorf("unknown trace id error %q does not say why", rec.Body)
+	}
+}
+
+// TestTracedSimByteIdentical is the observation-only contract at the API
+// surface: for both machines, a traced server and an untraced server must
+// produce byte-identical /v1/sim bodies for the same request.
+func TestTracedSimByteIdentical(t *testing.T) {
+	for _, machine := range []string{"ooo", "ref"} {
+		req := SimRequest{Bench: "swm256", Insns: testInsns, Machine: machine}
+		traced := postTraced(t, newTracedServer(t), "/v1/sim",
+			span.Traceparent(span.NewTraceID(), 1, true), req)
+		plain := post(t, newTestServer(t), "/v1/sim", req)
+		if traced.Code != http.StatusOK || plain.Code != http.StatusOK {
+			t.Fatalf("machine %s: status traced %d / untraced %d", machine, traced.Code, plain.Code)
+		}
+		if !bytes.Equal(traced.Body.Bytes(), plain.Body.Bytes()) {
+			t.Errorf("machine %s: traced body differs from untraced:\n%s\n%s",
+				machine, traced.Body, plain.Body)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package simcache
 
 import (
+	"context"
 	"time"
 	"unsafe"
 
 	"oovec/internal/metrics"
+	"oovec/internal/span"
 )
 
 // This file is the two-tier result cache: the sharded in-memory LRU in
@@ -24,10 +26,13 @@ import (
 // best-effort and may be asynchronous; implementations must tolerate
 // concurrent Saves of the same key (results are content-addressed, so such
 // saves carry identical measurements). Both must be safe for concurrent
-// use.
+// use. The context carries request-scoped observability (the active trace
+// span) only — implementations must not let it cancel or fail a store
+// operation, since a stored result must never depend on the fate of the
+// request that happened to compute it.
 type ResultStore interface {
-	Load(key string) (*metrics.RunStats, bool)
-	Save(key string, st *metrics.RunStats)
+	Load(ctx context.Context, key string) (*metrics.RunStats, bool)
+	Save(ctx context.Context, key string, st *metrics.RunStats)
 }
 
 // Tier identifies where a Results.Do call was resolved: the in-memory LRU,
@@ -64,14 +69,16 @@ type Results struct {
 	// observe, when non-nil, receives each Do call's resolution tier and
 	// wall-clock duration. Install with SetObserver before serving traffic;
 	// the field is not synchronised for later replacement.
-	observe func(Tier, time.Duration)
+	observe func(context.Context, Tier, time.Duration)
 }
 
-// SetObserver installs fn to be called once per Do with the tier that
-// resolved the request and the wall time the call took (including any time
-// spent coalesced behind another caller's fill). Call before the cache
-// starts serving concurrent traffic; fn must be safe for concurrent use.
-func (r *Results) SetObserver(fn func(Tier, time.Duration)) { r.observe = fn }
+// SetObserver installs fn to be called once per Do with the request
+// context (carrying the active trace span, if any — exemplar attachment
+// reads the trace id from it), the tier that resolved the request, and the
+// wall time the call took (including any time spent coalesced behind
+// another caller's fill). Call before the cache starts serving concurrent
+// traffic; fn must be safe for concurrent use.
+func (r *Results) SetObserver(fn func(context.Context, Tier, time.Duration)) { r.observe = fn }
 
 // NewResults builds a two-tier result cache: a memory LRU bounded to
 // roughly `entries` (<= 0 selects a small default) in front of disk, which
@@ -89,43 +96,76 @@ func runStatsBytes(st *metrics.RunStats) int {
 	return int(unsafe.Sizeof(*st)) + len(st.Machine) + len(st.Program)
 }
 
-// Do returns the result for key. The lookup order is memory, then the
+// Do is DoCtx without request context: spans are not emitted and the
+// observer sees an untraced context. It exists for callers outside a
+// request path (CLI tools, warm-up) and to satisfy sweep.ResultCache.
+func (r *Results) Do(key string, fill func() *metrics.RunStats) (*metrics.RunStats, bool) {
+	return r.DoCtx(context.Background(), key, func(context.Context) *metrics.RunStats { return fill() })
+}
+
+// DoCtx returns the result for key. The lookup order is memory, then the
 // backing store, then fill (the actual simulation); the second return
 // reports whether the value came from either cache tier — callers count a
 // simulation exactly when it is false. A fill's result is published to
 // both tiers. Concurrent calls for one key coalesce: the memory tier's
 // singleflight guarantees a single disk probe or simulation, and therefore
 // a single store write, per key.
-func (r *Results) Do(key string, fill func() *metrics.RunStats) (*metrics.RunStats, bool) {
+//
+// When ctx carries a trace span, the resolution is recorded as a
+// "cache.resolve" span (attrs key, tier, and waited on coalesced calls),
+// with a "cache.promote" child covering the attempt to promote the key
+// from the durable tier (attr hit), a back-dated "singleflight.wait" child
+// on coalesced calls, and whatever spans the store and fill emit beneath
+// it. fill receives a context descending from ctx so simulation spans nest
+// correctly. Tracing is observation-only: the cached value is identical
+// traced or untraced.
+func (r *Results) DoCtx(ctx context.Context, key string, fill func(context.Context) *metrics.RunStats) (*metrics.RunStats, bool) {
+	sp, ctx := span.Start(ctx, "cache.resolve")
+	sp.SetAttr("key", key)
 	var start time.Time
-	if r.observe != nil {
+	if r.observe != nil || sp != nil {
 		start = time.Now()
 	}
 	diskHit := false
-	st, memHit := r.mem.Do(key, func() *metrics.RunStats {
+	st, memHit, waited := r.mem.DoFlight(key, func() *metrics.RunStats {
 		if r.disk != nil {
-			if st, ok := r.disk.Load(key); ok {
+			psp, pctx := span.Start(ctx, "cache.promote")
+			st, ok := r.disk.Load(pctx, key)
+			if ok {
+				psp.SetAttr("hit", "true")
+				psp.End()
 				diskHit = true
 				return st
 			}
+			psp.SetAttr("hit", "false")
+			psp.End()
 		}
-		st := fill()
+		st := fill(ctx)
 		if r.disk != nil {
-			r.disk.Save(key, st)
+			r.disk.Save(ctx, key, st)
 		}
 		return st
 	})
+	if waited {
+		// The wait began (at the latest) when this call found the key in
+		// flight; back-date the span to cover the coalesced block.
+		wsp, _ := span.StartAt(ctx, "singleflight.wait", start)
+		wsp.End()
+		sp.SetAttr("waited", "true")
+	}
 	// diskHit is only written by the filling goroutine (memHit false), and
 	// only read here when memHit is false — same goroutine, no race.
+	tier := TierMemory
+	switch {
+	case !memHit && diskHit:
+		tier = TierDisk
+	case !memHit:
+		tier = TierSim
+	}
+	sp.SetAttr("tier", tier.String())
+	sp.End()
 	if r.observe != nil {
-		tier := TierMemory
-		switch {
-		case !memHit && diskHit:
-			tier = TierDisk
-		case !memHit:
-			tier = TierSim
-		}
-		r.observe(tier, time.Since(start))
+		r.observe(ctx, tier, time.Since(start))
 	}
 	return st, memHit || diskHit
 }
@@ -150,7 +190,7 @@ func (r *Results) Preload(keys []string) int {
 		if _, ok := r.mem.Get(key); ok {
 			continue
 		}
-		st, ok := r.disk.Load(key)
+		st, ok := r.disk.Load(context.Background(), key)
 		if !ok {
 			continue
 		}

@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,7 +21,7 @@ func newFakeStore() *fakeStore {
 	return &fakeStore{entries: map[string]*metrics.RunStats{}}
 }
 
-func (f *fakeStore) Load(key string) (*metrics.RunStats, bool) {
+func (f *fakeStore) Load(_ context.Context, key string) (*metrics.RunStats, bool) {
 	f.loads.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -28,7 +29,7 @@ func (f *fakeStore) Load(key string) (*metrics.RunStats, bool) {
 	return st, ok
 }
 
-func (f *fakeStore) Save(key string, st *metrics.RunStats) {
+func (f *fakeStore) Save(_ context.Context, key string, st *metrics.RunStats) {
 	f.saves.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()

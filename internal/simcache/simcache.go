@@ -156,6 +156,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // A panic inside fill is re-raised on the filling caller and on every
 // waiter, and the key is forgotten so a later Do retries.
 func (c *Cache[V]) Do(key string, fill func() V) (V, bool) {
+	v, hit, _ := c.DoFlight(key, fill)
+	return v, hit
+}
+
+// DoFlight is Do with the singleflight outcome made visible: waited
+// reports that this call blocked behind another caller's in-flight fill
+// (such calls are also counted in Stats.Dedups). Request tracing uses it
+// to attribute coalesced-wait time to its own span.
+func (c *Cache[V]) DoFlight(key string, fill func() V) (v V, hit, waited bool) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
@@ -175,7 +184,7 @@ func (c *Cache[V]) Do(key string, fill func() V) (V, bool) {
 			panic(e.panicVal)
 		}
 		c.hits.Add(1)
-		return e.val, true
+		return e.val, true, waited
 	}
 	e := &entry[V]{key: key, ready: make(chan struct{})}
 	sh.entries[key] = e
@@ -213,7 +222,7 @@ func (c *Cache[V]) Do(key string, fill func() V) (V, bool) {
 	}
 	sh.mu.Unlock()
 	close(e.ready)
-	return e.val, false
+	return e.val, false, false
 }
 
 // Len returns the current number of entries (ready or in flight).

@@ -1,0 +1,53 @@
+//go:build !race
+
+// The allocation guard lives behind !race because the race runtime adds
+// bookkeeping allocations; the ovlint hotpath analyzer enforces the same
+// property statically on every build.
+
+package span
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestUntracedPathAllocationFree pins the nil-tracer contract: an
+// untraced request flowing through every instrumentation entry point
+// allocates nothing.
+func TestUntracedPathAllocationFree(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	start := time.Now()
+	avg := testing.AllocsPerRun(100, func() {
+		s := tr.Root("request", TraceID{}, 0, false)
+		c := NewContext(ctx, s)
+		child, c2 := Start(c, "cache.resolve")
+		child.SetAttr("k", "v")
+		child.SetInt("n", 7)
+		child.End()
+		w, _ := StartAt(c2, "wait", start)
+		w.End()
+		gc := s.StartChild("leg")
+		gc.End()
+		_ = s.TraceID()
+		s.End()
+	})
+	if avg != 0 {
+		t.Fatalf("untraced path allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestUnsampledRootAllocationFree pins that an enabled tracer dropping a
+// request via head sampling also costs no allocations.
+func TestUnsampledRootAllocationFree(t *testing.T) {
+	tr := NewTracer(1_000_000, 4)
+	tr.Root("warm", TraceID{}, 0, false) // consume the first kept slot
+	avg := testing.AllocsPerRun(100, func() {
+		s := tr.Root("request", TraceID{}, 0, false)
+		s.End()
+	})
+	if avg != 0 {
+		t.Fatalf("unsampled root allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,146 @@
+package span
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRec is one finished span as recorded into a trace: offsets are
+// nanoseconds from the trace's start on the monotonic clock, so nesting
+// and gaps are exact regardless of wall-clock adjustments.
+type SpanRec struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// TraceRec is one finished trace: the root's wall-clock start, its total
+// duration, and every recorded span ordered by start offset.
+type TraceRec struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Dropped    int       `json:"dropped,omitempty"`
+	Spans      []SpanRec `json:"spans"`
+}
+
+// Summary is the listing view of a buffered trace.
+type Summary struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+}
+
+// slowestKeep is how many all-time-slowest traces the buffer retains
+// beyond the recency ring, so the tail outlier ovload flags is still
+// fetchable after the ring has cycled past it.
+const slowestKeep = 8
+
+// buffer holds finished traces: a recency ring of capacity cap, plus the
+// slowestKeep slowest traces seen, retained regardless of age.
+type buffer struct {
+	mu      sync.Mutex
+	cap     int
+	recent  []*TraceRec // ring, oldest first once full
+	next    int         // ring write cursor
+	full    bool
+	slowest []*TraceRec // ascending by DurationMs, <= slowestKeep
+}
+
+func newBuffer(cap int) *buffer {
+	return &buffer{cap: cap, recent: make([]*TraceRec, 0, cap)}
+}
+
+func (b *buffer) add(rec *TraceRec) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.recent) < b.cap {
+		b.recent = append(b.recent, rec)
+	} else {
+		b.recent[b.next] = rec
+		b.next = (b.next + 1) % b.cap
+		b.full = true
+	}
+	// Tail retention: keep the slowest traces forever, so a p99 outlier
+	// reported by a long load run survives the ring.
+	i := sort.Search(len(b.slowest), func(i int) bool {
+		return b.slowest[i].DurationMs >= rec.DurationMs
+	})
+	if len(b.slowest) < slowestKeep {
+		b.slowest = append(b.slowest, nil)
+		copy(b.slowest[i+1:], b.slowest[i:])
+		b.slowest[i] = rec
+	} else if i > 0 {
+		// rec is slower than the current minimum: evict it.
+		copy(b.slowest[:i-1], b.slowest[1:i])
+		b.slowest[i-1] = rec
+	}
+}
+
+// snapshot returns recent traces newest-first plus slowest-retained ones,
+// deduplicated by trace id (recency wins). Callers hold b.mu.
+func (b *buffer) snapshotLocked() []*TraceRec {
+	out := make([]*TraceRec, 0, len(b.recent)+len(b.slowest))
+	seen := make(map[string]bool, len(b.recent)+len(b.slowest))
+	emit := func(r *TraceRec) {
+		if !seen[r.TraceID] {
+			seen[r.TraceID] = true
+			out = append(out, r)
+		}
+	}
+	// Ring newest-first: cursor-1 backwards.
+	n := len(b.recent)
+	for i := 0; i < n; i++ {
+		emit(b.recent[((b.next-1-i)%n+n)%n])
+	}
+	for i := len(b.slowest) - 1; i >= 0; i-- {
+		emit(b.slowest[i])
+	}
+	return out
+}
+
+func (b *buffer) list() []Summary {
+	b.mu.Lock()
+	recs := b.snapshotLocked()
+	b.mu.Unlock()
+	out := make([]Summary, len(recs))
+	for i, r := range recs {
+		out[i] = Summary{
+			TraceID:    r.TraceID,
+			Name:       r.Name,
+			Start:      r.Start,
+			DurationMs: r.DurationMs,
+			Spans:      len(r.Spans),
+		}
+	}
+	return out
+}
+
+func (b *buffer) get(id string) (*TraceRec, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, r := range b.recent {
+		if r != nil && r.TraceID == id {
+			return r, true
+		}
+	}
+	for _, r := range b.slowest {
+		if r.TraceID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,91 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event ("X" complete-event) record. The
+// format is what chrome://tracing and https://ui.perfetto.dev open
+// directly: timestamps and durations in microseconds, pid/tid lanes.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WritePerfetto renders a trace as Chrome trace-event JSON. Spans are
+// assigned to "thread" lanes so that overlapping-but-unrelated spans (a
+// concurrent sweep point next to its sibling, a singleflight waiter next
+// to the filler) land on separate rows while a parent and its children
+// stack on one: a span joins the lane whose innermost open span is its
+// parent, reuses an idle lane otherwise, and opens a new lane when
+// neither exists — matching the viewer's nesting rules, which require
+// every event on a tid to nest inside the one below it.
+func WritePerfetto(w io.Writer, rec *TraceRec) error {
+	type open struct {
+		id    uint64
+		endNs int64
+	}
+	var lanes [][]open // per-lane stack of open spans
+	events := make([]traceEvent, 0, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		endNs := sp.StartNs + sp.DurNs
+		lane, idle := -1, -1
+		for li := range lanes {
+			// Close out spans that ended before this one starts.
+			st := lanes[li]
+			for len(st) > 0 && st[len(st)-1].endNs <= sp.StartNs {
+				st = st[:len(st)-1]
+			}
+			lanes[li] = st
+			if len(st) == 0 {
+				if idle == -1 {
+					idle = li
+				}
+				continue
+			}
+			if st[len(st)-1].id == sp.Parent {
+				lane = li
+				break
+			}
+		}
+		if lane == -1 {
+			lane = idle
+		}
+		if lane == -1 {
+			lanes = append(lanes, nil)
+			lane = len(lanes) - 1
+		}
+		lanes[lane] = append(lanes[lane], open{sp.ID, endNs})
+		var args map[string]string
+		if len(sp.Attrs) > 0 {
+			args = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+		}
+		events = append(events, traceEvent{
+			Name: sp.Name,
+			Cat:  "ovserve",
+			Ph:   "X",
+			Ts:   float64(sp.StartNs) / 1e3,
+			Dur:  float64(sp.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  lane + 1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

@@ -1,0 +1,92 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePerfettoLanes(t *testing.T) {
+	rec := &TraceRec{
+		TraceID: strings.Repeat("ab", 16),
+		Name:    "request",
+		Start:   time.Unix(0, 0),
+		Spans: []SpanRec{
+			{ID: 1, Name: "request", StartNs: 0, DurNs: 10_000_000},
+			{ID: 2, Parent: 1, Name: "cache.resolve", StartNs: 1_000_000, DurNs: 8_000_000,
+				Attrs: []Attr{{Key: "tier", Value: "simulate"}}},
+			// Overlapping sibling (a concurrent sweep point): needs its own lane.
+			{ID: 3, Parent: 1, Name: "sweep.point", StartNs: 2_000_000, DurNs: 5_000_000},
+			{ID: 4, Parent: 2, Name: "simulate", StartNs: 3_000_000, DurNs: 4_000_000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var got traceFile
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("perfetto output not JSON: %v\n%s", err, buf.String())
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	if len(got.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(got.TraceEvents))
+	}
+	tid := map[string]int{}
+	for _, e := range got.TraceEvents {
+		if e.Ph != "X" || e.Pid != 1 {
+			t.Errorf("event %q: ph=%q pid=%d", e.Name, e.Ph, e.Pid)
+		}
+		tid[e.Name] = e.Tid
+	}
+	// Nested chain shares a lane; the overlapping sibling does not.
+	if tid["cache.resolve"] != tid["request"] {
+		t.Errorf("cache.resolve lane %d != request lane %d", tid["cache.resolve"], tid["request"])
+	}
+	if tid["simulate"] != tid["request"] {
+		t.Errorf("simulate lane %d != request lane %d", tid["simulate"], tid["request"])
+	}
+	if tid["sweep.point"] == tid["request"] {
+		t.Error("overlapping sibling sweep.point shares the parent's lane")
+	}
+	// Microsecond conversion: 1ms start offset = 1000µs.
+	for _, e := range got.TraceEvents {
+		if e.Name == "cache.resolve" {
+			if e.Ts != 1000 || e.Dur != 8000 {
+				t.Errorf("cache.resolve ts=%v dur=%v, want 1000/8000", e.Ts, e.Dur)
+			}
+			if e.Args["tier"] != "simulate" {
+				t.Errorf("args = %v", e.Args)
+			}
+		}
+	}
+}
+
+func TestWritePerfettoSequentialSiblingsReuseLane(t *testing.T) {
+	rec := &TraceRec{
+		Spans: []SpanRec{
+			{ID: 1, Name: "root", StartNs: 0, DurNs: 100},
+			{ID: 2, Parent: 1, Name: "a", StartNs: 10, DurNs: 20},
+			{ID: 3, Parent: 1, Name: "b", StartNs: 40, DurNs: 20}, // after a ends
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var got traceFile
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]int{}
+	for _, e := range got.TraceEvents {
+		tids[e.Name] = e.Tid
+	}
+	if tids["a"] != tids["root"] || tids["b"] != tids["root"] {
+		t.Errorf("sequential children should share the root lane: %v", tids)
+	}
+}

@@ -1,0 +1,398 @@
+// Package span is the stdlib-only request-tracing layer behind ovserve:
+// parent/child spans with monotonic-clock durations and key-value
+// attributes, carried through context.Context from the HTTP edge down to
+// the simulated cycle, buffered in process (package-internal ring, see
+// buffer.go) and exported as JSON or Chrome trace-event ("Perfetto")
+// timelines (export.go).
+//
+// Two contracts make it safe to thread everywhere:
+//
+//   - Observation-only. Spans never feed back into what they measure:
+//     simulation output is byte-identical traced vs. untraced (the server
+//     tests assert this, including across checkpoint kill-and-resume).
+//   - Allocation-free when off. Every context entry point (FromContext,
+//     Start, StartAt, End, SetAttr, SetInt) is //ovlint:hotpath annotated:
+//     when no span rides the context — an unsampled request, or the whole
+//     path when tracing is disabled — the call is a nil check and returns
+//     without allocating. The non-nil branches delegate to //ovlint:coldpath
+//     internals, so the ovlint hotpath analyzer enforces the fast path
+//     mechanically.
+//
+// Sampling is head-based: a Tracer keeps 1 in N roots (NewTracer's sample).
+// A caller-supplied W3C traceparent with the sampled flag set forces the
+// trace to be kept regardless, so a client that injects traceparent — the
+// ovload harness does, on every request — can always fetch the server-side
+// timeline of the exact request it timed.
+package span
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the W3C trace-context 16-byte trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// NewTraceID returns a fresh random trace id. crypto/rand never fails on
+// the supported platforms; if it ever did, the zero bytes would merely
+// collide, never break.
+func NewTraceID() TraceID {
+	var id TraceID
+	rand.Read(id[:])
+	return id
+}
+
+// TraceparentHeader is the W3C trace-context propagation header.
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders a W3C traceparent value: version 00, the trace id,
+// the caller's span id, and the sampled flag. A client injecting this with
+// sampled=true forces the server to keep the trace.
+func Traceparent(id TraceID, spanID uint64, sampled bool) string {
+	var sp [8]byte
+	binary.BigEndian.PutUint64(sp[:], spanID)
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + id.String() + "-" + hex.EncodeToString(sp[:]) + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It returns the
+// trace id, the caller's span id (the parent of the server's root span),
+// whether the sampled flag is set, and whether the value was well-formed.
+// Malformed, all-zero or future-versioned values return ok=false and the
+// caller proceeds as if no header was sent.
+func ParseTraceparent(h string) (id TraceID, parent uint64, sampled, ok bool) {
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags)
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' ||
+		h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, 0, false, false
+	}
+	var sp [8]byte
+	if _, err := hex.Decode(sp[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, 0, false, false
+	}
+	parent = binary.BigEndian.Uint64(sp[:])
+	if id.IsZero() || parent == 0 {
+		return TraceID{}, 0, false, false
+	}
+	flags, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return TraceID{}, 0, false, false
+	}
+	return id, parent, flags[0]&1 == 1, true
+}
+
+// Tracer owns sampling and the bounded trace buffer. A nil *Tracer is the
+// disabled tracer: Root returns nil and every span operation on the nil
+// result is a no-op, so callers never branch on whether tracing is on.
+type Tracer struct {
+	sample int64
+	seq    atomic.Int64
+	buf    *buffer
+}
+
+// NewTracer builds a tracer keeping 1 in sample unsforced roots (sample 1
+// = every request) in a buffer of `keep` recent traces (<= 0 selects 256).
+// sample <= 0 disables tracing entirely: NewTracer returns nil, which is a
+// valid, inert tracer.
+func NewTracer(sample, keep int) *Tracer {
+	if sample <= 0 {
+		return nil
+	}
+	if keep <= 0 {
+		keep = 256
+	}
+	return &Tracer{sample: int64(sample), buf: newBuffer(keep)}
+}
+
+// maxSpans bounds one trace's span count; beyond it child spans are
+// counted in TraceRec.Dropped rather than recorded, so a pathological
+// request cannot grow a trace without bound.
+const maxSpans = 2048
+
+// trace is the mutable record behind one sampled request: the spans land
+// here as they End, and the whole record is published to the tracer's
+// buffer when the root span ends.
+type trace struct {
+	tracer *Tracer
+	id     TraceID
+	start  time.Time // the monotonic anchor every span offset is relative to
+	name   string
+
+	mu        sync.Mutex
+	nextID    uint64
+	spans     []SpanRec
+	dropped   int
+	published bool
+}
+
+// Root starts a new trace, or returns nil when the request is not sampled
+// (and force is false). id zero generates a fresh trace id; parent non-zero
+// records the caller's traceparent span id as the root's parent, linking
+// the server timeline under the client's span. Safe on a nil Tracer.
+func (t *Tracer) Root(name string, id TraceID, parent uint64, force bool) *Span {
+	if t == nil {
+		return nil
+	}
+	if !force && (t.seq.Add(1)-1)%t.sample != 0 {
+		return nil
+	}
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	//ovlint:allow determinism trace timestamps are observability metadata, never simulation input
+	now := time.Now()
+	tr := &trace{tracer: t, id: id, start: now, name: name, nextID: 1}
+	return &Span{tr: tr, id: 1, parent: parent, name: name, start: now, root: true}
+}
+
+// List snapshots the buffered trace summaries, newest first. Safe on nil.
+func (t *Tracer) List() []Summary {
+	if t == nil {
+		return nil
+	}
+	return t.buf.list()
+}
+
+// Get returns a buffered trace by hex trace id. Safe on nil.
+func (t *Tracer) Get(id string) (*TraceRec, bool) {
+	if t == nil {
+		return nil, false
+	}
+	return t.buf.get(id)
+}
+
+// Span is one timed operation inside a trace. A nil *Span is the universal
+// "not traced" value: every method is nil-safe, so instrumented code calls
+// unconditionally. A single span's methods are not safe for concurrent use
+// (distinct spans of one trace are); hand each goroutine its own span.
+type Span struct {
+	tr     *trace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	root   bool
+	attrs  []Attr
+	ended  bool
+}
+
+// TraceID returns the trace's hex id, or "" on a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id.String()
+}
+
+// ctxKey is the context key type for the active span.
+type ctxKey struct{}
+
+// activeKey is pre-boxed into an interface once, so the hotpath-checked
+// context lookups pass an existing interface value instead of boxing a
+// struct per call.
+var activeKey any = ctxKey{}
+
+// NewContext returns ctx carrying s as the active span. A nil span returns
+// ctx unchanged, keeping untraced contexts allocation-free.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, activeKey, s)
+}
+
+// FromContext returns the active span, or nil when the request is untraced.
+//
+//ovlint:hotpath the untraced fast path is a context lookup and a nil return
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(activeKey).(*Span)
+	return s
+}
+
+// Start begins a child of the context's active span and returns it with a
+// context carrying it, for nesting. On an untraced context it returns
+// (nil, ctx) without allocating.
+//
+//ovlint:hotpath untraced requests must pass through without allocating
+func Start(ctx context.Context, name string) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	return parent.startChild(ctx, name)
+}
+
+// StartAt is Start with an explicit start time, for spans reconstructed
+// after the fact — a singleflight wait or queue wait whose beginning was
+// recorded before it was known the wait would be worth a span.
+//
+//ovlint:hotpath untraced requests must pass through without allocating
+func StartAt(ctx context.Context, name string, start time.Time) (*Span, context.Context) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	return parent.startChildAt(ctx, name, start)
+}
+
+// End finishes the span, recording its duration into the trace; ending the
+// root span publishes the whole trace to the tracer's buffer. No-op on nil
+// or already-ended spans.
+//
+//ovlint:hotpath a nil span's End is a single branch
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.finish()
+}
+
+// SetAttr attaches a key/value attribute. No-op on nil.
+//
+//ovlint:hotpath a nil span's SetAttr is a single branch
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.addAttr(key, value)
+}
+
+// SetInt attaches an integer attribute. No-op on nil.
+//
+//ovlint:hotpath a nil span's SetInt is a single branch
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.addAttr(key, strconv.FormatInt(v, 10))
+}
+
+// StartChild begins a child span without a context — for layers like the
+// job manager that hold a span across queue boundaries rather than a
+// request context. Nil-safe: a nil receiver returns a nil child.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	//ovlint:allow determinism trace timestamps are observability metadata, never simulation input
+	return s.child(name, time.Now())
+}
+
+// StartChildAt is StartChild with an explicit start time.
+func (s *Span) StartChildAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(name, start)
+}
+
+// startChild allocates the child span and the derived context.
+//
+//ovlint:coldpath spans only materialise on traced requests
+func (s *Span) startChild(ctx context.Context, name string) (*Span, context.Context) {
+	//ovlint:allow determinism trace timestamps are observability metadata, never simulation input
+	c := s.child(name, time.Now())
+	return c, context.WithValue(ctx, activeKey, c)
+}
+
+// startChildAt allocates a back-dated child span and the derived context.
+//
+//ovlint:coldpath spans only materialise on traced requests
+func (s *Span) startChildAt(ctx context.Context, name string, start time.Time) (*Span, context.Context) {
+	c := s.child(name, start)
+	return c, context.WithValue(ctx, activeKey, c)
+}
+
+// child allocates a span under s with the next id of the trace.
+//
+//ovlint:coldpath spans only materialise on traced requests
+func (s *Span) child(name string, start time.Time) *Span {
+	t := s.tr
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: s.id, name: name, start: start}
+}
+
+// addAttr appends one attribute.
+//
+//ovlint:coldpath spans only materialise on traced requests
+func (s *Span) addAttr(key, value string) {
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// finish records the span into its trace and, for the root, publishes the
+// trace.
+//
+//ovlint:coldpath spans only materialise on traced requests
+func (s *Span) finish() {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	//ovlint:allow determinism trace timestamps are observability metadata, never simulation input
+	end := time.Now()
+	t := s.tr
+	rec := SpanRec{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNs: s.start.Sub(t.start).Nanoseconds(),
+		DurNs:   end.Sub(s.start).Nanoseconds(),
+		Attrs:   s.attrs,
+	}
+	t.mu.Lock()
+	if t.published {
+		// A straggler ending after the root: the trace has already shipped.
+		t.mu.Unlock()
+		return
+	}
+	if len(t.spans) < maxSpans || s.root {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped++
+	}
+	if !s.root {
+		t.mu.Unlock()
+		return
+	}
+	t.published = true
+	spans := t.spans
+	dropped := t.dropped
+	t.mu.Unlock()
+	// Stable timeline order for readers and the Perfetto exporter.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	t.tracer.buf.add(&TraceRec{
+		TraceID:    t.id.String(),
+		Name:       t.name,
+		Start:      t.start,
+		DurationMs: float64(rec.DurNs) / 1e6,
+		Dropped:    dropped,
+		Spans:      spans,
+	})
+}

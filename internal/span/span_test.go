@@ -1,0 +1,263 @@
+package span
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := Traceparent(id, 0xdeadbeef, true)
+	got, parent, sampled, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) not ok", h)
+	}
+	if got != id || parent != 0xdeadbeef || !sampled {
+		t.Fatalf("round trip: got (%v,%x,%v), want (%v,%x,true)", got, parent, sampled, id, 0xdeadbeef)
+	}
+	h = Traceparent(id, 7, false)
+	if _, _, sampled, ok = ParseTraceparent(h); !ok || sampled {
+		t.Fatalf("unsampled round trip: ok=%v sampled=%v", ok, sampled)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-aaaa-bbbb-01",
+		"zz-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("b", 16) + "-01", // zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("b", 16) + "-01", // non-hex
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-0",  // short flags
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01-extra",
+	}
+	for _, h := range bad {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed value", h)
+		}
+	}
+}
+
+func TestNestingAndPublish(t *testing.T) {
+	tr := NewTracer(1, 8)
+	root := tr.Root("request", TraceID{}, 99, false)
+	if root == nil {
+		t.Fatal("sample=1 root was not sampled")
+	}
+	root.SetAttr("route", "/v1/sim")
+	ctx := NewContext(context.Background(), root)
+
+	child, ctx2 := Start(ctx, "cache.resolve")
+	if child == nil {
+		t.Fatal("Start on traced context returned nil")
+	}
+	grand, _ := Start(ctx2, "store.read")
+	grand.SetInt("bytes", 42)
+	grand.End()
+	child.End()
+
+	// Retro span back-dated before now.
+	w, _ := StartAt(ctx, "wait", time.Now().Add(-time.Millisecond))
+	w.End()
+	root.End()
+
+	rec, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not in buffer", root.TraceID())
+	}
+	if len(rec.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(rec.Spans), rec.Spans)
+	}
+	byName := map[string]SpanRec{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	rootRec := byName["request"]
+	if rootRec.Parent != 99 {
+		t.Errorf("root parent = %d, want traceparent span id 99", rootRec.Parent)
+	}
+	if got := byName["cache.resolve"].Parent; got != rootRec.ID {
+		t.Errorf("cache.resolve parent = %d, want root id %d", got, rootRec.ID)
+	}
+	if got := byName["store.read"].Parent; got != byName["cache.resolve"].ID {
+		t.Errorf("store.read parent = %d, want cache.resolve id", got)
+	}
+	if byName["store.read"].Attrs[0] != (Attr{Key: "bytes", Value: "42"}) {
+		t.Errorf("store.read attrs = %+v", byName["store.read"].Attrs)
+	}
+	if byName["wait"].StartNs >= 0 {
+		// StartAt was back-dated a millisecond before the trace started.
+		if byName["wait"].StartNs > rootRec.StartNs+rootRec.DurNs {
+			t.Errorf("wait span start %d outside trace", byName["wait"].StartNs)
+		}
+	}
+	// Spans sorted by start offset.
+	for i := 1; i < len(rec.Spans); i++ {
+		if rec.Spans[i].StartNs < rec.Spans[i-1].StartNs {
+			t.Fatalf("spans not sorted by StartNs: %+v", rec.Spans)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer(4, 8)
+	kept := 0
+	for i := 0; i < 16; i++ {
+		if s := tr.Root("r", TraceID{}, 0, false); s != nil {
+			kept++
+			s.End()
+		}
+	}
+	if kept != 4 {
+		t.Fatalf("sample=4 kept %d of 16, want 4", kept)
+	}
+	// force bypasses sampling entirely.
+	if s := tr.Root("forced", TraceID{}, 0, true); s == nil {
+		t.Fatal("forced root was dropped")
+	}
+}
+
+func TestDisabledTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if got := NewTracer(0, 8); got != nil {
+		t.Fatal("NewTracer(0) should be nil")
+	}
+	s := tr.Root("r", TraceID{}, 0, true)
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Everything below must be a no-op, not a panic.
+	s.SetAttr("k", "v")
+	s.SetInt("k", 1)
+	c := s.StartChild("child")
+	c.End()
+	s.End()
+	if s.TraceID() != "" {
+		t.Fatal("nil span TraceID not empty")
+	}
+	ctx := NewContext(context.Background(), s)
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("nil span stored in context")
+	}
+	c2, ctx2 := Start(ctx, "x")
+	if c2 != nil || ctx2 != ctx {
+		t.Fatal("Start on untraced context allocated")
+	}
+	if tr.List() != nil {
+		t.Fatal("nil tracer listed traces")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("nil tracer returned a trace")
+	}
+}
+
+func TestBufferRingAndSlowestRetention(t *testing.T) {
+	tr := NewTracer(1, 4)
+	// A deliberately slow trace, then enough fast ones to cycle the ring.
+	slow := tr.Root("slow", TraceID{}, 0, false)
+	time.Sleep(20 * time.Millisecond)
+	slow.End()
+	slowID := slow.TraceID()
+	var lastID string
+	for i := 0; i < 12; i++ {
+		s := tr.Root("fast", TraceID{}, 0, false)
+		s.End()
+		lastID = s.TraceID()
+	}
+	if _, ok := tr.Get(slowID); !ok {
+		t.Fatal("slowest trace evicted from buffer despite tail retention")
+	}
+	if _, ok := tr.Get(lastID); !ok {
+		t.Fatal("most recent trace missing from ring")
+	}
+	sums := tr.List()
+	if len(sums) == 0 || sums[0].TraceID != lastID {
+		t.Fatalf("List not newest-first: first=%+v", sums[:1])
+	}
+	found := false
+	for _, s := range sums {
+		if s.TraceID == slowID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("slowest trace not listed")
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(1, 4)
+	root := tr.Root("r", TraceID{}, 0, false)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.StartChild("c")
+				c.SetInt("j", int64(j))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	rec, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if len(rec.Spans) != 8*50+1 {
+		t.Fatalf("got %d spans, want %d", len(rec.Spans), 8*50+1)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range rec.Spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := NewTracer(1, 4)
+	root := tr.Root("r", TraceID{}, 0, false)
+	for i := 0; i < maxSpans+10; i++ {
+		root.StartChild("c").End()
+	}
+	root.End()
+	rec, _ := tr.Get(root.TraceID())
+	// maxSpans children fit, 10 are dropped, and the root appends past the
+	// cap so the trace is never missing its own request span.
+	if len(rec.Spans) != maxSpans+1 {
+		t.Fatalf("got %d spans, want %d", len(rec.Spans), maxSpans+1)
+	}
+	if rec.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", rec.Dropped)
+	}
+	// The root itself must survive the cap.
+	found := false
+	for _, s := range rec.Spans {
+		if s.Name == "r" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("root span dropped by cap")
+	}
+}
+
+func TestStragglerAfterPublish(t *testing.T) {
+	tr := NewTracer(1, 4)
+	root := tr.Root("r", TraceID{}, 0, false)
+	c := root.StartChild("straggler")
+	root.End()
+	c.End() // after publish: must not panic or mutate the shipped record
+	rec, _ := tr.Get(root.TraceID())
+	if len(rec.Spans) != 1 {
+		t.Fatalf("straggler leaked into published trace: %+v", rec.Spans)
+	}
+}

@@ -12,12 +12,15 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"time"
+
+	"oovec/internal/span"
 )
 
 // blobSuffix names checkpoint blob files; blobMagic identifies them.
@@ -34,8 +37,15 @@ func (s *Store) blobPath(key string) string {
 
 // SaveBlob persists an opaque payload under key, synchronously and
 // atomically. It returns an error (and counts a write error) when the blob
-// could not be made durable; the store is otherwise unaffected.
-func (s *Store) SaveBlob(key string, payload []byte) error {
+// could not be made durable; the store is otherwise unaffected. The
+// context carries the trace span of the job being parked (a "store.write"
+// child with kind=blob records the write); it never cancels the save.
+func (s *Store) SaveBlob(ctx context.Context, key string, payload []byte) error {
+	sp, _ := span.Start(ctx, "store.write")
+	sp.SetAttr("key", key)
+	sp.SetAttr("kind", "blob")
+	sp.SetInt("bytes", int64(len(payload)))
+	defer sp.End()
 	b := encodeBlob(payload)
 	path := s.blobPath(key)
 	shardDir := filepath.Dir(path)
@@ -82,20 +92,29 @@ func (s *Store) SaveBlob(key string, payload []byte) error {
 
 // LoadBlob returns the payload stored under key, or (nil, false). Corrupt
 // blobs are quarantined and reported as misses, exactly like result
-// entries; a hit refreshes the file's mtime for the LRU GC.
-func (s *Store) LoadBlob(key string) ([]byte, bool) {
+// entries; a hit refreshes the file's mtime for the LRU GC. The context
+// carries the trace span of the job being restored (a "store.read" child
+// with kind=blob records the read).
+func (s *Store) LoadBlob(ctx context.Context, key string) ([]byte, bool) {
+	sp, ctx := span.Start(ctx, "store.read")
+	sp.SetAttr("key", key)
+	sp.SetAttr("kind", "blob")
+	defer sp.End()
 	path := s.blobPath(key)
 	b, err := os.ReadFile(path)
 	if err != nil {
+		sp.SetAttr("hit", "false")
 		s.misses.Add(1)
 		return nil, false
 	}
 	payload, err := decodeBlob(b)
 	if err != nil {
-		s.quarantine(path)
+		s.quarantine(ctx, path)
+		sp.SetAttr("hit", "false")
 		s.misses.Add(1)
 		return nil, false
 	}
+	sp.SetAttr("hit", "true")
 	now := time.Now()
 	os.Chtimes(path, now, now)
 	s.hits.Add(1)

@@ -11,6 +11,7 @@ package store
 // re-simulation happens on a background schedule instead of a request path.
 
 import (
+	"context"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -45,7 +46,7 @@ func (s *Store) Scrub() (verified, quarantined int64) {
 			return nil // vanished mid-walk: eviction or replacement won the race
 		}
 		if _, err := validateFile(b, wantMagic); err != nil {
-			s.quarantine(path)
+			s.quarantine(context.Background(), path)
 			quarantined++
 			return nil
 		}

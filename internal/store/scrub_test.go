@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,26 +14,26 @@ import (
 func TestBlobRoundTrip(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), 0)
 	payload := []byte("checkpoint payload \x00\x01\x02 with binary bytes")
-	if err := s.SaveBlob("ck-a1b2c3", payload); err != nil {
+	if err := s.SaveBlob(context.Background(), "ck-a1b2c3", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.LoadBlob("ck-a1b2c3")
+	got, ok := s.LoadBlob(context.Background(), "ck-a1b2c3")
 	if !ok {
 		t.Fatal("LoadBlob missed a saved blob")
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("payload mismatch: got %q want %q", got, payload)
 	}
-	if _, ok := s.LoadBlob("never-saved"); ok {
+	if _, ok := s.LoadBlob(context.Background(), "never-saved"); ok {
 		t.Fatal("LoadBlob hit an absent key")
 	}
 
 	// Overwrite keeps the accounting truthful: one file, newest payload.
 	bigger := append(payload, payload...)
-	if err := s.SaveBlob("ck-a1b2c3", bigger); err != nil {
+	if err := s.SaveBlob(context.Background(), "ck-a1b2c3", bigger); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = s.LoadBlob("ck-a1b2c3")
+	got, _ = s.LoadBlob(context.Background(), "ck-a1b2c3")
 	if !bytes.Equal(got, bigger) {
 		t.Fatal("overwrite did not replace the payload")
 	}
@@ -41,7 +42,7 @@ func TestBlobRoundTrip(t *testing.T) {
 	}
 
 	s.DeleteBlob("ck-a1b2c3")
-	if _, ok := s.LoadBlob("ck-a1b2c3"); ok {
+	if _, ok := s.LoadBlob(context.Background(), "ck-a1b2c3"); ok {
 		t.Fatal("LoadBlob hit a deleted blob")
 	}
 	st := s.Stats()
@@ -53,14 +54,14 @@ func TestBlobRoundTrip(t *testing.T) {
 func TestBlobSurvivesReopenAndIsCounted(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, 0)
-	if err := s.SaveBlob("ck-feed", []byte("persisted across restart")); err != nil {
+	if err := s.SaveBlob(context.Background(), "ck-feed", []byte("persisted across restart")); err != nil {
 		t.Fatal(err)
 	}
 	saveSync(t, s, "aa11", testStats(1))
 	s.Close()
 
 	s2 := mustOpen(t, dir, 0)
-	if got, ok := s2.LoadBlob("ck-feed"); !ok || string(got) != "persisted across restart" {
+	if got, ok := s2.LoadBlob(context.Background(), "ck-feed"); !ok || string(got) != "persisted across restart" {
 		t.Fatalf("blob did not survive reopen (ok=%v)", ok)
 	}
 	if f := s2.Stats().Files; f != 2 {
@@ -71,7 +72,7 @@ func TestBlobSurvivesReopenAndIsCounted(t *testing.T) {
 func TestBlobCorruptionQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, 0)
-	if err := s.SaveBlob("ck-dead", []byte("soon to be bit-flipped")); err != nil {
+	if err := s.SaveBlob(context.Background(), "ck-dead", []byte("soon to be bit-flipped")); err != nil {
 		t.Fatal(err)
 	}
 	path := s.blobPath("ck-dead")
@@ -83,7 +84,7 @@ func TestBlobCorruptionQuarantined(t *testing.T) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.LoadBlob("ck-dead"); ok {
+	if _, ok := s.LoadBlob(context.Background(), "ck-dead"); ok {
 		t.Fatal("LoadBlob returned a corrupt blob")
 	}
 	if s.Stats().Corrupt != 1 {
@@ -97,14 +98,14 @@ func TestBlobCorruptionQuarantined(t *testing.T) {
 func TestEntryAndBlobDoNotDecodeAsEachOther(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), 0)
 	saveSync(t, s, "a1b2", testStats(7))
-	if err := s.SaveBlob("a1b2", []byte("blob under the same key")); err != nil {
+	if err := s.SaveBlob(context.Background(), "a1b2", []byte("blob under the same key")); err != nil {
 		t.Fatal(err)
 	}
 	// Same key, two files, each readable only through its own API.
-	if _, ok := s.Load("a1b2"); !ok {
+	if _, ok := s.Load(context.Background(), "a1b2"); !ok {
 		t.Fatal("entry lost after blob save under same key")
 	}
-	if _, ok := s.LoadBlob("a1b2"); !ok {
+	if _, ok := s.LoadBlob(context.Background(), "a1b2"); !ok {
 		t.Fatal("blob lost after entry save under same key")
 	}
 	// A blob renamed over an entry path must be rejected by magic, not
@@ -113,7 +114,7 @@ func TestEntryAndBlobDoNotDecodeAsEachOther(t *testing.T) {
 	if err := os.WriteFile(s.path("a1b2"), blobBytes, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Load("a1b2"); ok {
+	if _, ok := s.Load(context.Background(), "a1b2"); ok {
 		t.Fatal("entry Load accepted a blob file")
 	}
 }
@@ -124,7 +125,7 @@ func TestScrubVerifiesAndQuarantines(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		saveSync(t, s, fmt.Sprintf("aa%02d", i), testStats(int64(i)))
 	}
-	if err := s.SaveBlob("ck-aa00", []byte("a healthy checkpoint")); err != nil {
+	if err := s.SaveBlob(context.Background(), "ck-aa00", []byte("a healthy checkpoint")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -158,7 +159,7 @@ func TestScrubVerifiesAndQuarantines(t *testing.T) {
 	}
 	// The survivors still load.
 	for _, k := range []string{"aa00", "aa01", "aa03"} {
-		if _, ok := s.Load(k); !ok {
+		if _, ok := s.Load(context.Background(), k); !ok {
 			t.Errorf("entry %s lost by scrub", k)
 		}
 	}
@@ -196,7 +197,7 @@ func TestRecentKeysMRUOrderAndBudget(t *testing.T) {
 			size = info.Size()
 		}
 	}
-	if err := s.SaveBlob("ck-aa00", []byte("blobs are not preloadable results")); err != nil {
+	if err := s.SaveBlob(context.Background(), "ck-aa00", []byte("blobs are not preloadable results")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -225,7 +226,7 @@ func TestRecentKeysRoundTripThroughLoad(t *testing.T) {
 	if len(keys) != 1 {
 		t.Fatalf("RecentKeys = %v, want one key", keys)
 	}
-	if _, ok := s2.Load(keys[0]); !ok {
+	if _, ok := s2.Load(context.Background(), keys[0]); !ok {
 		t.Fatalf("key %q from RecentKeys does not Load", keys[0])
 	}
 	if filepath.Base(s2.path(keys[0])) != "deadbeef00"+entrySuffix {

@@ -31,6 +31,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"oovec/internal/metrics"
+	"oovec/internal/span"
 )
 
 // FormatEpoch versions the on-disk entry schema. Bump it whenever the
@@ -213,28 +215,40 @@ func (s *Store) path(key string) string {
 // file that fails any validation step — size, magic, epoch, length, CRC,
 // decode — is quarantined (deleted) and reported as a miss; it can never
 // surface as a wrong result. A hit refreshes the file's mtime, which is
-// the recency signal the GC evicts by.
-func (s *Store) Load(key string) (*metrics.RunStats, bool) {
+// the recency signal the GC evicts by. The context carries the request's
+// trace span (a "store.read" child records the read); it never cancels a
+// load.
+func (s *Store) Load(ctx context.Context, key string) (*metrics.RunStats, bool) {
+	sp, ctx := span.Start(ctx, "store.read")
+	sp.SetAttr("key", key)
+	defer sp.End()
 	path := s.path(key)
 	b, err := os.ReadFile(path)
 	if err != nil {
+		sp.SetAttr("hit", "false")
 		s.misses.Add(1)
 		return nil, false
 	}
 	st, err := decodeEntry(b)
 	if err != nil {
-		s.quarantine(path)
+		s.quarantine(ctx, path)
+		sp.SetAttr("hit", "false")
 		s.misses.Add(1)
 		return nil, false
 	}
 	now := time.Now()
 	os.Chtimes(path, now, now) // best-effort LRU touch
 	s.hits.Add(1)
+	sp.SetAttr("hit", "true")
+	sp.SetInt("bytes", int64(len(b)))
 	return st, true
 }
 
 // quarantine deletes an invalid entry file and adjusts the size accounting.
-func (s *Store) quarantine(path string) {
+func (s *Store) quarantine(ctx context.Context, path string) {
+	sp, _ := span.Start(ctx, "store.quarantine")
+	sp.SetAttr("file", filepath.Base(path))
+	defer sp.End()
 	if info, err := os.Stat(path); err == nil {
 		if os.Remove(path) == nil {
 			s.bytes.Add(-info.Size())
@@ -249,19 +263,26 @@ func (s *Store) quarantine(path string) {
 // (content-addressed keys), so concurrent saves of one key are benign —
 // both render identical bytes and the atomic rename makes last-writer-wins
 // safe. When the queue is full, Save writes synchronously instead of
-// dropping. After Close, Save is a no-op.
-func (s *Store) Save(key string, st *metrics.RunStats) {
+// dropping. After Close, Save is a no-op. The context carries the
+// request's trace span (a "store.write" child records the hand-off, attr
+// mode = queued, sync or dropped); it never cancels a save.
+func (s *Store) Save(ctx context.Context, key string, st *metrics.RunStats) {
 	if st == nil {
 		return
 	}
+	sp, _ := span.Start(ctx, "store.write")
+	sp.SetAttr("key", key)
+	defer sp.End()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		sp.SetAttr("mode", "dropped")
 		return
 	}
 	if len(s.queue) >= maxQueue {
 		s.pending++
 		s.mu.Unlock()
+		sp.SetAttr("mode", "sync")
 		s.write(key, st)
 		s.done()
 		return
@@ -270,6 +291,7 @@ func (s *Store) Save(key string, st *metrics.RunStats) {
 	s.pending++
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	sp.SetAttr("mode", "queued")
 }
 
 // Flush blocks until every Save accepted so far has reached disk (and any

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
 // saveSync persists one entry and waits for it to reach disk.
 func saveSync(t *testing.T, s *Store, key string, st *metrics.RunStats) {
 	t.Helper()
-	s.Save(key, st)
+	s.Save(context.Background(), key, st)
 	s.Flush()
 }
 
@@ -53,7 +54,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	want := testStats(1)
 	saveSync(t, s, "a1b2c3", want)
 
-	got, ok := s.Load("a1b2c3")
+	got, ok := s.Load(context.Background(), "a1b2c3")
 	if !ok {
 		t.Fatal("Load missed a saved entry")
 	}
@@ -71,7 +72,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 func TestLoadMissOnEmptyStore(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), 0)
-	if _, ok := s.Load("deadbeef"); ok {
+	if _, ok := s.Load(context.Background(), "deadbeef"); ok {
 		t.Fatal("empty store reported a hit")
 	}
 	if st := s.Stats(); st.Misses != 1 {
@@ -90,7 +91,7 @@ func TestRestartSeesEntries(t *testing.T) {
 	s1.Close()
 
 	s2 := mustOpen(t, dir, 0)
-	got, ok := s2.Load("cafe01")
+	got, ok := s2.Load(context.Background(), "cafe01")
 	if !ok {
 		t.Fatal("restarted store missed a persisted entry")
 	}
@@ -147,7 +148,7 @@ func TestCorruptEntriesAreMissesNeverResults(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			if got, ok := s.Load(key); ok {
+			if got, ok := s.Load(context.Background(), key); ok {
 				t.Fatalf("corrupt entry served as a result: %+v", got)
 			}
 			if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -162,7 +163,7 @@ func TestCorruptEntriesAreMissesNeverResults(t *testing.T) {
 			}
 			// The slot is reusable: a fresh save fills it again.
 			saveSync(t, s, key, testStats(4))
-			if got, ok := s.Load(key); !ok || !reflect.DeepEqual(got, testStats(4)) {
+			if got, ok := s.Load(context.Background(), key); !ok || !reflect.DeepEqual(got, testStats(4)) {
 				t.Error("slot unusable after quarantine")
 			}
 		})
@@ -186,7 +187,7 @@ func TestGCKeepsStoreWithinBudget(t *testing.T) {
 	var lastKey string
 	for i := 0; i < inserts; i++ {
 		lastKey = fmt.Sprintf("%08x", i)
-		s.Save(lastKey, testStats(int64(i)))
+		s.Save(context.Background(), lastKey, testStats(int64(i)))
 	}
 	s.Flush()
 
@@ -207,7 +208,7 @@ func TestGCKeepsStoreWithinBudget(t *testing.T) {
 	if st.Evictions == 0 {
 		t.Error("sustained inserts over budget evicted nothing")
 	}
-	if _, ok := s.Load(lastKey); !ok {
+	if _, ok := s.Load(context.Background(), lastKey); !ok {
 		t.Error("the most recently written entry was evicted")
 	}
 }
@@ -218,7 +219,7 @@ func TestRestartRespectsExistingBytes(t *testing.T) {
 	dir := t.TempDir()
 	s1 := mustOpen(t, dir, 0)
 	for i := 0; i < 10; i++ {
-		s1.Save(fmt.Sprintf("%08x", i), testStats(int64(i)))
+		s1.Save(context.Background(), fmt.Sprintf("%08x", i), testStats(int64(i)))
 	}
 	s1.Flush()
 	before := s1.Stats().Bytes
@@ -279,7 +280,7 @@ func TestConcurrentWritersNeverTornRead(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					h.Save(key, testStats(42))
+					h.Save(context.Background(), key, testStats(42))
 				}
 			}
 		}(h)
@@ -294,7 +295,7 @@ func TestConcurrentWritersNeverTornRead(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					if got, ok := h.Load(key); ok && !reflect.DeepEqual(got, want) {
+					if got, ok := h.Load(context.Background(), key); ok && !reflect.DeepEqual(got, want) {
 						select {
 						case tornOrWrong <- fmt.Sprintf("%+v", got):
 						default:
@@ -326,7 +327,7 @@ func TestHostileKeysStayInsideDir(t *testing.T) {
 	s := mustOpen(t, dir, 0)
 	for _, key := range []string{"../../etc/passwd", "a/b/c", "", ".", "..", "k\x00v"} {
 		saveSync(t, s, key, testStats(1))
-		if _, ok := s.Load(key); !ok {
+		if _, ok := s.Load(context.Background(), key); !ok {
 			t.Errorf("key %q did not round-trip", key)
 		}
 		path := s.path(key)
@@ -347,19 +348,19 @@ func TestCloseFlushesPendingWrites(t *testing.T) {
 	}
 	const n = 64
 	for i := 0; i < n; i++ {
-		s.Save(fmt.Sprintf("%08x", i), testStats(int64(i)))
+		s.Save(context.Background(), fmt.Sprintf("%08x", i), testStats(int64(i)))
 	}
 	s.Close()
 
 	s2 := mustOpen(t, dir, 0)
 	for i := 0; i < n; i++ {
-		if _, ok := s2.Load(fmt.Sprintf("%08x", i)); !ok {
+		if _, ok := s2.Load(context.Background(), fmt.Sprintf("%08x", i)); !ok {
 			t.Fatalf("entry %d accepted before Close was not durable", i)
 		}
 	}
 	// Saves after Close are dropped, not crashed.
-	s.Save("after", testStats(1))
-	if _, ok := s2.Load("after"); ok {
+	s.Save(context.Background(), "after", testStats(1))
+	if _, ok := s2.Load(context.Background(), "after"); ok {
 		t.Error("Save after Close persisted an entry")
 	}
 }

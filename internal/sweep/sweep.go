@@ -24,12 +24,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"oovec/internal/engine"
 	"oovec/internal/metrics"
 	"oovec/internal/ooosim"
 	"oovec/internal/refsim"
 	"oovec/internal/simcache"
+	"oovec/internal/span"
 	"oovec/internal/trace"
 )
 
@@ -93,6 +95,29 @@ func (o Opts) validate() {
 	}
 }
 
+// startPoint opens a per-grid-point span when Opts.Ctx carries a parent
+// span (an instrumented /v1/sweep request). Returns nil — and every later
+// span call a no-op — for the CLI and untraced paths. Points run on worker
+// goroutines; distinct spans of one trace are safe to record concurrently.
+func (o Opts) startPoint(machine, key string) *span.Span {
+	if o.Ctx == nil {
+		return nil
+	}
+	sp, _ := span.Start(o.Ctx, "sweep.point")
+	sp.SetAttr("machine", machine)
+	if key != "" {
+		sp.SetAttr("key", key)
+	}
+	return sp
+}
+
+// endPoint closes a grid-point span, recording whether the measurement was
+// a cache hit or an actual simulation.
+func endPoint(sp *span.Span, cached bool) {
+	sp.SetAttr("cached", strconv.FormatBool(cached))
+	sp.End()
+}
+
 // runRef produces one REF measurement, through the cache when configured.
 func (o Opts) runRef(m *refsim.Machine, t *trace.Trace, cfg refsim.Config) *metrics.RunStats {
 	run := func() *metrics.RunStats {
@@ -103,9 +128,15 @@ func (o Opts) runRef(m *refsim.Machine, t *trace.Trace, cfg refsim.Config) *metr
 		return m.Run(t)
 	}
 	if o.Cache == nil {
-		return run()
+		sp := o.startPoint("REF", "")
+		st := run()
+		endPoint(sp, false)
+		return st
 	}
-	st, _ := o.Cache.Do(simcache.ResultKey(simcache.RefConfigKey(cfg), o.TraceKey), run)
+	key := simcache.ResultKey(simcache.RefConfigKey(cfg), o.TraceKey)
+	sp := o.startPoint("REF", key)
+	st, cached := o.Cache.Do(key, run)
+	endPoint(sp, cached)
 	return st
 }
 
@@ -119,9 +150,15 @@ func (o Opts) runOOO(m *ooosim.Machine, t *trace.Trace, cfg ooosim.Config) *metr
 		return m.Run(t).Stats
 	}
 	if o.Cache == nil {
-		return run()
+		sp := o.startPoint("OOOVA", "")
+		st := run()
+		endPoint(sp, false)
+		return st
 	}
-	st, _ := o.Cache.Do(simcache.ResultKey(simcache.OOOConfigKey(cfg), o.TraceKey), run)
+	key := simcache.ResultKey(simcache.OOOConfigKey(cfg), o.TraceKey)
+	sp := o.startPoint("OOOVA", key)
+	st, cached := o.Cache.Do(key, run)
+	endPoint(sp, cached)
 	return st
 }
 
