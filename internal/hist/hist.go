@@ -160,27 +160,34 @@ func secondsToDuration(s float64) time.Duration {
 // the per-bucket atomics, so they are non-decreasing even while observes
 // race the render, and the `_count` equals the +Inf bucket exactly.
 //
-// A bucket holding an exemplar gets the OpenMetrics exemplar suffix
-// appended to its line — `# {trace_id="…"} <seconds>` — pointing a
-// dashboard's "why is this bucket filling" question at one concrete
-// /v1/traces/{id} timeline. Parsers that stop at the sample value (the
-// Prometheus text format contract) are unaffected.
-func (h *Hist) WriteProm(w io.Writer, name, label string) {
+// With exemplars set, a bucket holding an exemplar gets the OpenMetrics
+// exemplar suffix appended to its line — `# {trace_id="…"} <seconds>` —
+// pointing a dashboard's "why is this bucket filling" question at one
+// concrete /v1/traces/{id} timeline. Exemplar syntax exists only in the
+// OpenMetrics exposition format: the Prometheus 0.0.4 text parser reads
+// the trailing `# {...}` as a malformed timestamp and fails the whole
+// scrape. Callers must therefore pass exemplars=true only when the scraper
+// negotiated application/openmetrics-text, and keep plain-text renders
+// exemplar-free.
+func (h *Hist) WriteProm(w io.Writer, name, label string, exemplars bool) {
 	var cum int64
 	for i, b := range Bounds {
 		cum += h.counts[i].Load()
 		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d%s\n", name, label,
-			strconv.FormatFloat(b, 'g', -1, 64), cum, h.exemplarSuffix(i))
+			strconv.FormatFloat(b, 'g', -1, 64), cum, h.exemplarSuffix(i, exemplars))
 	}
 	cum += h.counts[len(Bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d%s\n", name, label, cum, h.exemplarSuffix(len(Bounds)))
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d%s\n", name, label, cum, h.exemplarSuffix(len(Bounds), exemplars))
 	fmt.Fprintf(w, "%s_sum{%s} %.6f\n", name, label, h.Sum().Seconds())
 	fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, cum)
 }
 
 // exemplarSuffix renders bucket i's exemplar in OpenMetrics syntax, or ""
-// when no traced sample has landed there.
-func (h *Hist) exemplarSuffix(i int) string {
+// when exemplars are disabled or no traced sample has landed there.
+func (h *Hist) exemplarSuffix(i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
 	e := h.exemplars[i].Load()
 	if e == nil {
 		return ""

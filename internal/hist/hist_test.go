@@ -37,7 +37,7 @@ func TestBucketsMonotone(t *testing.T) {
 	h.Observe(time.Hour) // +Inf bucket
 
 	var sb strings.Builder
-	h.WriteProm(&sb, "x", `l="v"`)
+	h.WriteProm(&sb, "x", `l="v"`, false)
 	counts := histBuckets(t, sb.String(), "x", `l="v"`)
 	if len(counts) != NumBuckets {
 		t.Fatalf("got %d bucket lines, want %d", len(counts), NumBuckets)
@@ -188,7 +188,7 @@ func TestExemplarRendered(t *testing.T) {
 	h.Observe(3 * time.Millisecond) // untraced sample, same bucket
 
 	var sb strings.Builder
-	h.WriteProm(&sb, "x", `l="v"`)
+	h.WriteProm(&sb, "x", `l="v"`, true)
 	body := sb.String()
 	want := `x_bucket{l="v",le="0.005"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.003000`
 	if !strings.Contains(body, want+"\n") {
@@ -204,11 +204,29 @@ func TestExemplarRendered(t *testing.T) {
 	}
 }
 
+// TestExemplarSuppressedWithoutOptIn pins the scrape-compatibility
+// contract: exemplar syntax is OpenMetrics-only, so a render without the
+// opt-in — the default Prometheus 0.0.4 /metrics exposition — must stay
+// exemplar-free even when traced samples have installed exemplars.
+func TestExemplarSuppressedWithoutOptIn(t *testing.T) {
+	var h Hist
+	h.ObserveTrace(3*time.Millisecond, "4bf92f3577b34da6a3ce929d0e0e4736")
+	var sb strings.Builder
+	h.WriteProm(&sb, "x", `l="v"`, false)
+	if strings.Contains(sb.String(), "#") {
+		t.Errorf("exemplar leaked into a plain-text render:\n%s", sb.String())
+	}
+	// Every bucket line parses under the strict no-suffix regexp.
+	if got := histBuckets(t, sb.String(), "x", `l="v"`); len(got) != NumBuckets {
+		t.Errorf("parsed %d bucket lines, want %d:\n%s", len(got), NumBuckets, sb.String())
+	}
+}
+
 func TestObserveTraceEmptyIDIsPlainObserve(t *testing.T) {
 	var h Hist
 	h.ObserveTrace(3*time.Millisecond, "")
 	var sb strings.Builder
-	h.WriteProm(&sb, "x", `l="v"`)
+	h.WriteProm(&sb, "x", `l="v"`, true)
 	if strings.Contains(sb.String(), "# {") {
 		t.Errorf("untraced sample installed an exemplar:\n%s", sb.String())
 	}
@@ -238,7 +256,7 @@ func TestConcurrentObserveTrace(t *testing.T) {
 		defer close(done)
 		for i := 0; i < 100; i++ {
 			var sb strings.Builder
-			h.WriteProm(&sb, "x", `l="v"`)
+			h.WriteProm(&sb, "x", `l="v"`, true)
 		}
 	}()
 	wg.Wait()
@@ -247,7 +265,7 @@ func TestConcurrentObserveTrace(t *testing.T) {
 		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
 	}
 	var sb strings.Builder
-	h.WriteProm(&sb, "x", `l="v"`)
+	h.WriteProm(&sb, "x", `l="v"`, true)
 	m := regexp.MustCompile(`# \{trace_id="(trace-\d+)"\} 0\.003000`).FindStringSubmatch(sb.String())
 	if m == nil {
 		t.Fatalf("no exemplar survived the render:\n%s", sb.String())

@@ -28,7 +28,7 @@ func TestScrapeToleratesExemplars(t *testing.T) {
 			http.NotFound(w, r)
 			return
 		}
-		h.WriteProm(w, "ovserve_request_duration_seconds", `path="/v1/sim"`)
+		h.WriteProm(w, "ovserve_request_duration_seconds", `path="/v1/sim"`, true)
 		fmt.Fprintln(w, "ovserve_sims_total 7")
 		fmt.Fprintln(w, "ovserve_result_cache_hits_total 5")
 		fmt.Fprintln(w, "ovserve_result_cache_misses_total 2")

@@ -36,8 +36,9 @@ type routeOpts struct {
 }
 
 // instrument wraps a handler in the middleware chain. Order matters:
-// cheap refusals (drain, auth) come before slot acquisition, so a draining
-// or unauthenticated request can never occupy simulation capacity, and
+// cheap refusals (drain, auth) come before slot acquisition and before the
+// root span is started, so a draining or unauthenticated request can never
+// occupy simulation capacity or a slot in the bounded trace buffer, and
 // every outcome — including the refusals — is observed in the latency and
 // response-code counters.
 func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.HandlerFunc {
@@ -49,21 +50,14 @@ func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.
 		// request log line.
 		rid := requestID(r)
 		sw.Header().Set(RequestIDHeader, rid)
-		ctx := context.WithValue(r.Context(), requestIDKey, rid)
-		// Root span: join the caller's W3C traceparent when present — its
-		// sampled flag forces retention past head sampling, so a client that
-		// injects traceparent can always fetch its own timeline. Nil tracer
-		// or an unsampled request leaves sp nil and every span call below a
-		// no-op.
-		tid, parentSpan, sampled, _ := span.ParseTraceparent(r.Header.Get(span.TraceparentHeader))
-		sp := s.tracer.Root(route, tid, parentSpan, sampled)
-		if sp != nil {
-			sp.SetAttr("method", r.Method)
-			sp.SetAttr("request_id", rid)
-			sw.Header().Set(TraceIDHeader, sp.TraceID())
-			ctx = span.NewContext(ctx, sp)
-		}
-		r = r.WithContext(ctx)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+		// The root span is started below, only after the drain and auth
+		// refusals: a caller-supplied sampled traceparent forces trace
+		// retention, so starting it earlier would let unauthenticated
+		// clients churn the bounded trace ring (evicting legitimate traces)
+		// and stamp attacker-chosen trace ids onto the refusal exemplars.
+		// Refused requests are observed and logged with an empty trace id.
+		var sp *span.Span
 		defer func() {
 			d := time.Since(start)
 			sp.SetInt("status", int64(sw.Status()))
@@ -90,6 +84,19 @@ func (s *Server) instrument(route string, o routeOpts, h http.HandlerFunc) http.
 			sw.Header().Set("WWW-Authenticate", `Bearer realm="ovserve"`)
 			httpError(sw, http.StatusUnauthorized, "missing or invalid bearer token")
 			return
+		}
+		// Root span: join the caller's W3C traceparent when present — its
+		// sampled flag forces retention past head sampling, so a client that
+		// injects traceparent can always fetch its own timeline. Nil tracer
+		// or an unsampled request leaves sp nil and every span call below a
+		// no-op.
+		tid, parentSpan, sampled, _ := span.ParseTraceparent(r.Header.Get(span.TraceparentHeader))
+		sp = s.tracer.Root(route, tid, parentSpan, sampled)
+		if sp != nil {
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("request_id", rid)
+			sw.Header().Set(TraceIDHeader, sp.TraceID())
+			r = r.WithContext(span.NewContext(r.Context(), sp))
 		}
 		if o.limit && s.inflightSem != nil {
 			select {

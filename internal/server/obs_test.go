@@ -14,6 +14,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"oovec/internal/hist"
 )
 
 // histBuckets parses the cumulative bucket counts of one histogram/label
@@ -66,6 +68,50 @@ func TestRequestAndTierHistograms(t *testing.T) {
 		if counts[i] < counts[i-1] {
 			t.Fatalf("request histogram not monotone: %v", counts)
 		}
+	}
+}
+
+// TestMetricsExemplarNegotiation pins the exposition-format contract:
+// exemplars are OpenMetrics-only syntax, so the default /metrics scrape
+// stays Prometheus 0.0.4 text with no exemplar suffixes (a stock
+// Prometheus parser would fail the whole scrape on one), while a scraper
+// that negotiates application/openmetrics-text gets the exemplars,
+// histogram TYPE metadata and the # EOF terminator the format requires.
+func TestMetricsExemplarNegotiation(t *testing.T) {
+	s := newTracedServer(t)
+	// A sampled request installs an exemplar on the /v1/sim latency bucket.
+	if rec := post(t, s, "/v1/sim", SimRequest{Bench: "swm256", Insns: testInsns}); rec.Code != 200 {
+		t.Fatalf("sim status %d: %s", rec.Code, rec.Body)
+	}
+
+	plain := get(t, s, "/metrics")
+	if ct := plain.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("default Content-Type = %q, want Prometheus 0.0.4 text", ct)
+	}
+	if body := plain.Body.String(); strings.Contains(body, "# {trace_id=") {
+		t.Errorf("default 0.0.4 exposition carries an exemplar:\n%s", body)
+	} else if strings.Contains(body, "# EOF") {
+		t.Errorf("default 0.0.4 exposition carries the OpenMetrics terminator")
+	}
+
+	om := getWith(t, s, "/metrics", map[string]string{"Accept": "application/openmetrics-text"})
+	if ct := om.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("negotiated Content-Type = %q, want application/openmetrics-text", ct)
+	}
+	body := om.Body.String()
+	if !strings.Contains(body, "# {trace_id=") {
+		t.Errorf("negotiated OpenMetrics exposition carries no exemplar:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE ovserve_request_duration_seconds histogram\n") {
+		t.Error("OpenMetrics exposition lacks histogram TYPE metadata")
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition does not end with # EOF:\n…%s", body[max(0, len(body)-80):])
+	}
+	// The default exposition stays fully parseable under the strict
+	// no-suffix bucket regexp — every bucket line ends at its sample value.
+	if got := histBuckets(t, plain.Body.String(), "ovserve_request_duration_seconds", `path="/v1/sim"`); len(got) != hist.NumBuckets {
+		t.Errorf("default exposition parsed %d clean bucket lines, want %d", len(got), hist.NumBuckets)
 	}
 }
 

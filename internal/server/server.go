@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -379,8 +380,24 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// openMetricsType is the content type of the OpenMetrics text exposition.
+// Exemplars are OpenMetrics-only syntax, so they are rendered exactly when
+// a scraper asks for this format.
+const openMetricsType = "application/openmetrics-text"
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// Content negotiation: the default exposition is Prometheus 0.0.4 text,
+	// whose parser treats a trailing exemplar as a malformed timestamp and
+	// fails the whole scrape — so the default stays exemplar-free. A scraper
+	// that accepts application/openmetrics-text gets the OpenMetrics shape
+	// instead: histogram TYPE metadata, exemplar suffixes on bucket lines,
+	// and the # EOF terminator the format requires.
+	om := strings.Contains(r.Header.Get("Accept"), openMetricsType)
+	if om {
+		w.Header().Set("Content-Type", openMetricsType+"; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	}
 	uptime := time.Since(s.start).Seconds()
 	sims := s.simsTotal.Load()
 	fmt.Fprintf(w, "ovserve_build_info{version=%q,go=%q} 1\n", s.version, runtime.Version())
@@ -389,11 +406,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, route := range routes {
 		fmt.Fprintf(w, "ovserve_requests_total{path=%q} %d\n", route, s.requests[route].Load())
 	}
+	if om {
+		fmt.Fprintf(w, "# TYPE ovserve_request_duration_seconds histogram\n")
+	}
 	for _, route := range routes {
-		s.durations[route].WriteProm(w, "ovserve_request_duration_seconds", fmt.Sprintf("path=%q", route))
+		s.durations[route].WriteProm(w, "ovserve_request_duration_seconds", fmt.Sprintf("path=%q", route), om)
+	}
+	if om {
+		fmt.Fprintf(w, "# TYPE ovserve_resolve_duration_seconds histogram\n")
 	}
 	for t := simcache.Tier(0); t < simcache.NumTiers; t++ {
-		s.resolve[t].WriteProm(w, "ovserve_resolve_duration_seconds", fmt.Sprintf("tier=%q", t.String()))
+		s.resolve[t].WriteProm(w, "ovserve_resolve_duration_seconds", fmt.Sprintf("tier=%q", t.String()), om)
 	}
 	s.writeResponseMetrics(w)
 	fmt.Fprintf(w, "ovserve_requests_rejected_total %d\n", s.rejected.Load())
@@ -421,6 +444,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCacheMetrics(w, "result", s.results.MemStats())
 	writeCacheMetrics(w, "trace", simcache.TraceStats())
 	s.writeStoreMetrics(w)
+	if om {
+		// The OpenMetrics exposition is invalid without its terminator.
+		fmt.Fprintf(w, "# EOF\n")
+	}
 }
 
 func writeCacheMetrics(w http.ResponseWriter, name string, st simcache.Stats) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -251,6 +252,84 @@ func TestTraceUnknownID(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), "not buffered") {
 		t.Errorf("unknown trace id error %q does not say why", rec.Body)
+	}
+}
+
+// TestRefusedRequestNotTraced: the root span starts only after the drain
+// and auth refusals, so an unauthenticated client spamming sampled
+// traceparents cannot churn the bounded trace ring or stamp its trace ids
+// onto the refusal exemplars — a 401 carries no X-Trace-Id and buffers
+// nothing.
+func TestRefusedRequestNotTraced(t *testing.T) {
+	s := New(Opts{Workers: 1, AuthToken: "s3cret", TraceSample: 1})
+	const evilID = "eeeeffff0000111122223333eeeeffff"
+	rec := postTraced(t, s, "/v1/sim", tp(evilID), SimRequest{Bench: "swm256", Insns: testInsns})
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated sim status %d, want 401", rec.Code)
+	}
+	if got := rec.Header().Get(TraceIDHeader); got != "" {
+		t.Errorf("401 response carries X-Trace-Id %q, want none", got)
+	}
+	if _, ok := s.tracer.Get(evilID); ok {
+		t.Error("refused request's traceparent landed in the trace buffer")
+	}
+	if got := len(s.tracer.List()); got != 0 {
+		t.Errorf("%d traces buffered by refused requests, want 0", got)
+	}
+
+	// Control: the same request with credentials is traced under its id.
+	req := httptest.NewRequest("POST", "/v1/sim",
+		strings.NewReader(`{"bench":"swm256","insns":`+strconv.Itoa(testInsns)+`}`))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	req.Header.Set(span.TraceparentHeader, tp(evilID))
+	authed := httptest.NewRecorder()
+	s.Handler().ServeHTTP(authed, req)
+	if authed.Code != http.StatusOK {
+		t.Fatalf("authenticated sim status %d: %s", authed.Code, authed.Body)
+	}
+	if got := authed.Header().Get(TraceIDHeader); got != evilID {
+		t.Errorf("authenticated X-Trace-Id = %q, want %q", got, evilID)
+	}
+	if _, ok := s.tracer.Get(evilID); !ok {
+		t.Error("authenticated traced request missing from the buffer")
+	}
+}
+
+// TestReplayedTraceparentReMinted: a client replaying one traceparent
+// across requests gets a fresh trace id on every request after the first,
+// so X-Trace-Id always names exactly one buffered timeline; the replayed
+// id is kept as the root span's client_trace_id attribute.
+func TestReplayedTraceparentReMinted(t *testing.T) {
+	s := newTracedServer(t)
+	const id = "aaaabbbbccccddddaaaabbbbccccdddd"
+	req := SimRequest{Bench: "swm256", Insns: testInsns, Config: SimConfig{VRegs: 32}}
+
+	first := postTraced(t, s, "/v1/sim", tp(id), req)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first sim status %d: %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get(TraceIDHeader); got != id {
+		t.Fatalf("first X-Trace-Id = %q, want the injected id %q", got, id)
+	}
+
+	second := postTraced(t, s, "/v1/sim", tp(id), req)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second sim status %d: %s", second.Code, second.Body)
+	}
+	minted := second.Header().Get(TraceIDHeader)
+	if minted == "" || minted == id {
+		t.Fatalf("replayed traceparent not re-minted: X-Trace-Id = %q", minted)
+	}
+	reMinted := fetchTrace(t, s, minted)
+	if len(reMinted.Spans) == 0 {
+		t.Fatal("re-minted trace has no spans")
+	}
+	if got := attrValue(reMinted.Spans[0], "client_trace_id"); got != id {
+		t.Errorf("re-minted root client_trace_id = %q, want the replayed id %q", got, id)
+	}
+	// The original id still resolves to the first request's timeline.
+	if orig := fetchTrace(t, s, id); len(spansNamed(orig, "simulate")) != 1 {
+		t.Errorf("original trace id no longer names the first (cold) timeline: %+v", orig.Spans)
 	}
 }
 

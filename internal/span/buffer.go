@@ -132,15 +132,26 @@ func (b *buffer) list() []Summary {
 func (b *buffer) get(id string) (*TraceRec, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for _, r := range b.recent {
-		if r != nil && r.TraceID == id {
+	// Newest-first over the ring: duplicate ids can still land (two
+	// in-flight requests replaying one traceparent race Root's buffer
+	// check), and the lookup must then be deterministic — the newest trace
+	// wins, matching the listing order of snapshotLocked.
+	n := len(b.recent)
+	for i := 0; i < n; i++ {
+		if r := b.recent[((b.next-1-i)%n+n)%n]; r != nil && r.TraceID == id {
 			return r, true
 		}
 	}
-	for _, r := range b.slowest {
-		if r.TraceID == id {
+	for i := len(b.slowest) - 1; i >= 0; i-- {
+		if r := b.slowest[i]; r.TraceID == id {
 			return r, true
 		}
 	}
 	return nil, false
+}
+
+// has reports whether a trace with the given id is buffered.
+func (b *buffer) has(id string) bool {
+	_, ok := b.get(id)
+	return ok
 }

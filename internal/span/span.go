@@ -148,6 +148,12 @@ type trace struct {
 // (and force is false). id zero generates a fresh trace id; parent non-zero
 // records the caller's traceparent span id as the root's parent, linking
 // the server timeline under the client's span. Safe on a nil Tracer.
+//
+// A caller-supplied id that already names a buffered trace — a client
+// replaying one traceparent across requests — is re-minted to a fresh id,
+// keeping the replayed one as the root's `client_trace_id` attribute, so
+// the trace id handed back (the X-Trace-Id header) always identifies
+// exactly one buffered timeline.
 func (t *Tracer) Root(name string, id TraceID, parent uint64, force bool) *Span {
 	if t == nil {
 		return nil
@@ -155,13 +161,21 @@ func (t *Tracer) Root(name string, id TraceID, parent uint64, force bool) *Span 
 	if !force && (t.seq.Add(1)-1)%t.sample != 0 {
 		return nil
 	}
+	var clientID string
 	if id.IsZero() {
+		id = NewTraceID()
+	} else if t.buf.has(id.String()) {
+		clientID = id.String()
 		id = NewTraceID()
 	}
 	//ovlint:allow determinism trace timestamps are observability metadata, never simulation input
 	now := time.Now()
 	tr := &trace{tracer: t, id: id, start: now, name: name, nextID: 1}
-	return &Span{tr: tr, id: 1, parent: parent, name: name, start: now, root: true}
+	sp := &Span{tr: tr, id: 1, parent: parent, name: name, start: now, root: true}
+	if clientID != "" {
+		sp.addAttr("client_trace_id", clientID)
+	}
+	return sp
 }
 
 // List snapshots the buffered trace summaries, newest first. Safe on nil.

@@ -189,6 +189,64 @@ func TestBufferRingAndSlowestRetention(t *testing.T) {
 	}
 }
 
+// TestReplayedTraceIDReMinted: a caller-supplied trace id that already
+// names a buffered trace is re-minted, keeping the replayed id as the
+// root's client_trace_id attribute — the returned trace id always
+// identifies exactly one buffered timeline.
+func TestReplayedTraceIDReMinted(t *testing.T) {
+	tr := NewTracer(1, 8)
+	id := NewTraceID()
+	first := tr.Root("first", id, 1, true)
+	if first.TraceID() != id.String() {
+		t.Fatalf("fresh id rewritten: got %s, want %s", first.TraceID(), id)
+	}
+	first.End()
+
+	second := tr.Root("second", id, 1, true)
+	minted := second.TraceID()
+	if minted == id.String() {
+		t.Fatal("replayed trace id not re-minted")
+	}
+	second.End()
+
+	rec, ok := tr.Get(minted)
+	if !ok {
+		t.Fatalf("re-minted trace %s not buffered", minted)
+	}
+	var client string
+	for _, a := range rec.Spans[0].Attrs {
+		if a.Key == "client_trace_id" {
+			client = a.Value
+		}
+	}
+	if client != id.String() {
+		t.Errorf("client_trace_id = %q, want the replayed id %s", client, id)
+	}
+	// The original id still resolves to the first trace.
+	if orig, ok := tr.Get(id.String()); !ok || orig.Name != "first" {
+		t.Errorf("original id resolves to %+v, want the first trace", orig)
+	}
+}
+
+// TestGetPrefersNewestDuplicate: two in-flight roots replaying one
+// traceparent race past Root's buffer check and publish under the same id;
+// the lookup must then be deterministic — the newest wins.
+func TestGetPrefersNewestDuplicate(t *testing.T) {
+	tr := NewTracer(1, 8)
+	id := NewTraceID()
+	older := tr.Root("older", id, 1, true)
+	newer := tr.Root("newer", id, 1, true) // before older publishes: same id
+	older.End()
+	newer.End()
+	rec, ok := tr.Get(id.String())
+	if !ok {
+		t.Fatal("duplicated id not found")
+	}
+	if rec.Name != "newer" {
+		t.Errorf("Get returned %q, want the newest duplicate", rec.Name)
+	}
+}
+
 func TestConcurrentChildren(t *testing.T) {
 	tr := NewTracer(1, 4)
 	root := tr.Root("r", TraceID{}, 0, false)
